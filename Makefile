@@ -1,0 +1,25 @@
+# Convenience targets for the Loopapalooza reproduction.
+
+.PHONY: install test bench figures examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+figures:
+	python examples/full_paper_run.py
+
+examples:
+	python examples/quickstart.py
+	python examples/dependence_census.py
+	python examples/loop_diagnosis.py
+	python examples/call_continuation_tls.py
+
+clean:
+	rm -rf build *.egg-info .pytest_cache benchmarks/out
+	find . -name __pycache__ -type d -exec rm -rf {} +

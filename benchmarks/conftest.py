@@ -1,0 +1,41 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Profiling the 48 synthetic benchmarks once per session keeps the
+pytest-benchmark timings focused on the evaluation machinery. Each harness
+also writes its regenerated table under ``benchmarks/out/`` so the artifacts
+survive without ``-s``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.suites import SuiteRunner
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    shared = SuiteRunner()
+    # Pre-profile everything so per-figure timings measure evaluation only.
+    from repro.bench import all_programs
+
+    for program in all_programs():
+        shared.instance(program)
+    return shared
+
+
+@pytest.fixture(scope="session")
+def artifact_dir():
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def publish(artifact_dir, name, text):
+    """Print a regenerated table and save it under benchmarks/out/."""
+    print()
+    print(text)
+    (artifact_dir / name).write_text(text + "\n")

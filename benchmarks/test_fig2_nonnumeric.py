@@ -1,0 +1,29 @@
+"""Regenerates paper Fig. 2: GEOMEAN speedups for the non-numeric suites
+(SpecINT2000/2006) across the 14 configurations.
+
+Run: ``pytest benchmarks/test_fig2_nonnumeric.py --benchmark-only -s``
+"""
+
+from repro.reporting import figure2_nonnumeric, format_speedup_figure
+
+from conftest import publish
+
+PAPER_REFERENCE = """
+Paper reference points (Fig. 2):
+  doall reduc0-dep0-fn0     : ~1.1x / ~1.3x   (int2000 / int2006)
+  pdoall reduc1-dep2-fn2    : ~1.2x / ~2.0x
+  pdoall reduc0-dep3-fn3    : ~2.0x / ~2.6x
+  helix  reduc0-dep0-fn2    : ~2.2x / ~2.2x
+  helix  reduc1-dep1-fn2    :  4.6x /  7.2x   (the headline result)
+""".strip()
+
+
+def test_fig2_nonnumeric(benchmark, runner, artifact_dir):
+    rows = benchmark(figure2_nonnumeric, runner)
+    text = format_speedup_figure(
+        rows, "Fig. 2 (reproduced) — non-numeric GEOMEAN speedups"
+    )
+    publish(artifact_dir, "fig2_nonnumeric.txt", text + "\n\n" + PAPER_REFERENCE)
+    # Shape assertions mirroring tests/test_trends.py (kept light here).
+    best = rows["helix:reduc1-dep1-fn2"]
+    assert best["specint2006"] > best["specint2000"] > 2.0

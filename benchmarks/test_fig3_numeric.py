@@ -1,0 +1,30 @@
+"""Regenerates paper Fig. 3: GEOMEAN speedups for the numeric suites
+(EEMBC, SpecFP2000/2006) across the 14 configurations.
+
+Run: ``pytest benchmarks/test_fig3_numeric.py --benchmark-only -s``
+"""
+
+from repro.reporting import figure3_numeric, format_speedup_figure
+
+from conftest import publish
+
+PAPER_REFERENCE = """
+Paper reference points (Fig. 3):
+  doall reduc0-dep0-fn0  : 1.6x-3.1x
+  doall reduc1-dep0-fn0  : 2.2x-3.6x
+  pdoall reduc1-dep2-fn0 : 4.0x-4.6x
+  pdoall reduc1-dep2-fn2 : 6.0x-10.7x  (best realistic PDOALL)
+  pdoall reduc0-dep3-fn3 : 10x-92x
+  helix  reduc1-dep1-fn2 : 21.6x-50.6x (best HELIX)
+""".strip()
+
+
+def test_fig3_numeric(benchmark, runner, artifact_dir):
+    rows = benchmark(figure3_numeric, runner)
+    text = format_speedup_figure(
+        rows, "Fig. 3 (reproduced) — numeric GEOMEAN speedups"
+    )
+    publish(artifact_dir, "fig3_numeric.txt", text + "\n\n" + PAPER_REFERENCE)
+    best = rows["helix:reduc1-dep1-fn2"]
+    for suite, value in best.items():
+        assert value > 10, f"{suite} best HELIX too low"

@@ -1,0 +1,35 @@
+"""Regenerates paper Fig. 4: per-benchmark speedups for the best PDOALL
+(``reduc1-dep2-fn2``) and best HELIX (``reduc1-dep1-fn2``) configurations
+across all four SPEC-like suites.
+
+Run: ``pytest benchmarks/test_fig4_per_benchmark.py --benchmark-only -s``
+"""
+
+from repro.reporting import figure4_per_benchmark, format_figure4
+
+from conftest import publish
+
+PAPER_REFERENCE = """
+Paper reference (Fig. 4): HELIX provides the more consistent gains across
+the non-numeric benchmarks, but PDOALL wins a handful of low-conflict-rate
+cases: 179_art, 450_soplex, 482_sphinx, and (429/181) mcf.
+""".strip()
+
+EXPECTED_PDOALL_WINS = {
+    "specint2000/mcf_like",
+    "specint2006/mcf_like06",
+    "specfp2000/art_like",
+    "specfp2006/soplex_like",
+    "specfp2006/sphinx_like",
+}
+
+
+def test_fig4_per_benchmark(benchmark, runner, artifact_dir):
+    data = benchmark(figure4_per_benchmark, runner)
+    text = format_figure4(data)
+    publish(artifact_dir, "fig4_per_benchmark.txt", text + "\n\n" + PAPER_REFERENCE)
+    winners = {
+        name for name, entry in data.items() if entry["pdoall"] > entry["helix"]
+    }
+    assert EXPECTED_PDOALL_WINS <= winners
+    assert len(winners) < len(data) / 2, "HELIX should win the majority"

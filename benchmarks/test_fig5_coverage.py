@@ -1,0 +1,27 @@
+"""Regenerates paper Fig. 5: GEOMEAN dynamic coverage for the selected
+configurations (PDOALL dep0-fn2, HELIX dep0-fn2, HELIX dep1-fn2).
+
+Run: ``pytest benchmarks/test_fig5_coverage.py --benchmark-only -s``
+"""
+
+from repro.reporting import figure5_coverage, format_coverage
+
+from conftest import publish
+
+PAPER_REFERENCE = """
+Paper reference (Fig. 5): dynamic coverage jumps dramatically from
+dep0-fn2 PDOALL to dep0-fn2 HELIX and again to dep1-fn2 HELIX — "recall
+from Amdahl's Law that parallel speedup is a function of both degree of
+parallelism and fraction of code parallelized".
+""".strip()
+
+
+def test_fig5_coverage(benchmark, runner, artifact_dir):
+    rows = benchmark(figure5_coverage, runner)
+    text = format_coverage(rows)
+    publish(artifact_dir, "fig5_coverage.txt", text + "\n\n" + PAPER_REFERENCE)
+    for suite in ("specint2000", "specint2006"):
+        pdoall = rows["pdoall:reduc0-dep0-fn2"][suite]
+        helix0 = rows["helix:reduc0-dep0-fn2"][suite]
+        helix1 = rows["helix:reduc0-dep1-fn2"][suite]
+        assert helix1 > helix0 >= pdoall * 0.9

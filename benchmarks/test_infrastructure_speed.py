@@ -1,0 +1,59 @@
+"""Infrastructure throughput benchmarks (engineering health, not paper data):
+
+* MiniC compile throughput (frontend + full pass pipeline),
+* interpreter throughput in IR instructions/second,
+* instrumented-profiling overhead factor,
+* per-configuration evaluation latency on a profiled benchmark.
+
+Run: ``pytest benchmarks/test_infrastructure_speed.py --benchmark-only``
+"""
+
+from repro.bench import find_program
+from repro.core import BEST_HELIX, Loopapalooza
+from repro.core.evaluator import evaluate_config
+from repro.frontend import compile_source
+from repro.interp.interpreter import Interpreter
+
+KERNEL = find_program("specfp2000/swim_like").source
+
+
+def test_compile_throughput(benchmark):
+    module = benchmark(compile_source, KERNEL)
+    assert module.get_function("main").blocks
+
+
+def test_interpreter_throughput(benchmark):
+    module = compile_source(KERNEL)
+
+    def run():
+        machine = Interpreter(module)
+        machine.run("main")
+        return machine.cost
+
+    cost = benchmark(run)
+    assert cost > 100_000
+    # Attach a derived metric: IR instructions per second.
+    benchmark.extra_info["ir_instructions"] = cost
+
+
+def test_profiling_overhead(benchmark):
+    lp = Loopapalooza(KERNEL, "overhead_probe")
+
+    def profile_fresh():
+        fresh = Loopapalooza(KERNEL, "overhead_probe")
+        return fresh.profile().total_cost
+
+    cost = benchmark(profile_fresh)
+    # Instrumentation must not change the metric itself.
+    assert cost == lp.run_uninstrumented()[1]
+
+
+def test_evaluation_latency(benchmark):
+    lp = Loopapalooza(KERNEL, "eval_probe")
+    profile = lp.profile()
+
+    def evaluate():
+        return evaluate_config(profile, lp.static_info, BEST_HELIX)
+
+    result = benchmark(evaluate)
+    assert result.speedup > 1.0

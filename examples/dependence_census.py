@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Dependence census: the Table-I view of a program and of the suites.
+
+Shows how Loopapalooza's compile-time component classifies every loop-header
+phi (computable IV/MIV, reduction accumulator, non-computable LCD) and every
+call site (pure / thread-safe / instrumented / unsafe), then prints the
+aggregated census across the five synthetic suites.
+
+Run:  python examples/dependence_census.py
+"""
+
+from repro.bench import ALL_SUITES, default_runner
+from repro.core import (
+    PHI_COMPUTABLE,
+    PHI_NONCOMPUTABLE,
+    PHI_REDUCTION,
+    Loopapalooza,
+)
+from repro.reporting import format_census, table1_census
+
+DEMO = """
+float OUT = 0.0;
+int A[256];
+int main() {
+  int i;
+  int tri = 0;             // mutual induction variable (computable)
+  float acc = 0.0;         // reduction accumulator
+  int state = 7;           // non-computable, unpredictable LCD
+  float drift = 0.5;       // non-computable but stride-predictable LCD
+  for (i = 0; i < 256; i = i + 1) {
+    tri = tri + i;
+    state = (state * 1103515245 + 12345) & 2147483647;
+    drift = drift + 0.125;
+    A[i] = (state >> 9) & 255;
+    acc = acc + (float)A[i] * drift + (float)tri * 0.001;
+  }
+  OUT = acc;
+  return state & 65535;
+}
+"""
+
+CLASS_LABELS = {
+    PHI_COMPUTABLE: "computable (IV/MIV)  -- never a constraint",
+    PHI_REDUCTION: "reduction accumulator -- free under reduc1",
+    PHI_NONCOMPUTABLE: "non-computable LCD    -- dep0/1/2/3 territory",
+}
+
+
+def main():
+    print("=== per-loop classification of the demo kernel ===\n")
+    lp = Loopapalooza(DEMO, name="census_demo")
+    for loop_id in lp.loop_ids():
+        static = lp.describe_loop(loop_id)
+        print(f"loop {loop_id} (depth {static.depth})")
+        for key, cls in sorted(static.phi_classes.items()):
+            name = key.rsplit(":", 1)[1]
+            print(f"  phi %{name:8s} {CLASS_LABELS[cls]}")
+        if static.call_classes:
+            print(f"  calls: {', '.join(sorted(static.call_classes))}")
+        print()
+
+    print("=== Table I (measured): census across the synthetic suites ===\n")
+    runner = default_runner()
+    print(format_census(table1_census(runner)))
+    print()
+    from repro.reporting import format_dynamic_census, suite_dynamic_census
+
+    dynamic_rows = {
+        suite: suite_dynamic_census(runner, suite) for suite in ALL_SUITES
+    }
+    print(format_dynamic_census(dynamic_rows))
+    print()
+    print("Reading it the paper's way: the non-numeric suites (specint*) "
+          "carry proportionally more non-computable register LCDs, while "
+          "the numeric suites are dominated by computable IVs and "
+          "reductions — which is exactly why only dep1-fn2 HELIX unlocks "
+          "the former.")
+
+
+if __name__ == "__main__":
+    main()

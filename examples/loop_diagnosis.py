@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Loop diagnosis: "what would it take to parallelize this loop?"
+
+For each loop of a program, walk the paper's relaxation ladder and report
+the first configuration at which the loop goes parallel — i.e. which
+architectural/compiler feature (reduction hardware, value prediction,
+per-LCD synchronization, call support) is the binding constraint. This is
+the cost/benefit view of §IV's "lessons learnt".
+
+Run:  python examples/loop_diagnosis.py
+"""
+
+from repro.core import LPConfig, Loopapalooza
+
+# The ladder: each rung names the capability it adds.
+LADDER = [
+    ("doall:reduc0-dep0-fn0", "plain speculative DOALL"),
+    ("doall:reduc1-dep0-fn0", "+ reduction hardware (tree/chain units)"),
+    ("pdoall:reduc1-dep0-fn0", "+ transactional restart (Partial-DOALL)"),
+    ("pdoall:reduc1-dep2-fn0", "+ run-time value prediction"),
+    ("pdoall:reduc1-dep2-fn2", "+ parallel calls (cactus stacks, fn2)"),
+    ("helix:reduc1-dep1-fn2", "+ per-LCD synchronization (HELIX ring)"),
+    ("pdoall:reduc0-dep3-fn3", "+ perfect prediction, all calls (oracle)"),
+]
+
+PROGRAM = """
+int STREAM[4000];
+int HIST[128];
+int OUT[4000];
+float ENERGY = 0.0;
+int smooth(int a, int b) { return (a * 3 + b) >> 2; }
+int main() {
+  int i;
+  int pos = 0;
+  float energy = 0.0;
+  // loop 1: serial decode chain
+  STREAM[0] = 90001;
+  for (i = 1; i < 4000; i = i + 1) {
+    STREAM[i] = (STREAM[i - 1] * 69069 + 12345 + i) & 2147483647;
+  }
+  // loop 2: cursor walk with early resolution + histogram
+  while (pos < 3900) {
+    int at = pos;
+    pos = pos + 1 + ((STREAM[at] >> 16) & 3);
+    HIST[(STREAM[at] >> 8) & 127] = HIST[(STREAM[at] >> 8) & 127] + 1;
+  }
+  // loop 3: data-parallel smoothing through a helper
+  for (i = 1; i < 4000; i = i + 1) {
+    OUT[i] = smooth(STREAM[i], STREAM[i - 1]);
+  }
+  // loop 4: energy reduction
+  for (i = 0; i < 4000; i = i + 1) {
+    energy = energy + (float)(OUT[i] & 255);
+  }
+  ENERGY = energy;
+  return pos;
+}
+"""
+
+
+def main():
+    lp = Loopapalooza(PROGRAM, name="diagnosis")
+    lp.profile()
+    print("Relaxation ladder (first rung at which each loop parallelizes):\n")
+    loop_ids = lp.loop_ids()
+    verdicts = {loop_id: None for loop_id in loop_ids}
+    for config_name, label in LADDER:
+        result = lp.evaluate(LPConfig.parse(config_name))
+        for loop_id in loop_ids:
+            summary = result.loops.get(loop_id)
+            if summary is None or verdicts[loop_id] is not None:
+                continue
+            if summary.is_parallel and summary.speedup > 1.05:
+                verdicts[loop_id] = (label, summary.speedup)
+
+    for loop_id in loop_ids:
+        verdict = verdicts[loop_id]
+        if verdict is None:
+            print(f"  {loop_id:24s} never parallel (frequent "
+                  "late-producer chain: HELIX marks it serial)")
+        else:
+            label, speedup = verdict
+            print(f"  {loop_id:24s} unlocks at {label!r} ({speedup:.1f}x)")
+
+    print("\nWhole-program speedups along the ladder:")
+    for config_name, label in LADDER:
+        result = lp.evaluate(config_name)
+        print(f"  {result.speedup:>7.2f}x  {label}")
+
+
+if __name__ == "__main__":
+    main()

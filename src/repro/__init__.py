@@ -1,0 +1,42 @@
+"""Loopapalooza — a compiler-driven limit study of loop-level parallelism.
+
+Python reproduction of Zaidi, Iordanou, Luján & Gabrielli, "Loopapalooza:
+Investigating Limits of Loop-Level Parallelism with a Compiler-Driven
+Approach" (ISPASS 2021).
+
+Public entry points:
+
+* :class:`repro.core.Loopapalooza` — compile a MiniC program, profile it, and
+  evaluate any Table-II configuration.
+* :class:`repro.core.LPConfig` — the ``reducX-depY-fnZ`` configuration flags.
+* :mod:`repro.bench` — the synthetic SPEC/EEMBC benchmark suites.
+* :mod:`repro.reporting` — the figure/table regeneration harness.
+"""
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    """Lazy re-exports of the main entry points, so ``import repro`` stays
+    cheap while ``repro.Loopapalooza`` etc. still work."""
+    if name in ("Loopapalooza", "LPConfig", "paper_configurations",
+                "BEST_PDOALL", "BEST_HELIX"):
+        from . import core
+
+        return getattr(core, name)
+    if name == "compile_source":
+        from .frontend import compile_source
+
+        return compile_source
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+__all__ = [
+    "BEST_HELIX",
+    "BEST_PDOALL",
+    "LPConfig",
+    "Loopapalooza",
+    "__version__",
+    "compile_source",
+    "paper_configurations",
+]

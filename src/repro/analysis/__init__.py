@@ -1,0 +1,52 @@
+"""repro.analysis — compiler analyses over the repro IR.
+
+CFG utilities, dominators (Cooper-Harvey-Kennedy), natural-loop detection,
+scalar evolution (the paper's SCEV-based "computable LCD" classifier),
+reduction recurrence detection, function purity, and the call graph.
+"""
+
+from .callgraph import CallGraph
+from .cfg import CFG
+from .dominators import DominatorTree
+from .loop_info import Loop, LoopInfo
+from .purity import FunctionClass, PurityAnalysis
+from .reduction import RecurrenceDescriptor, detect_reduction, loop_reductions
+from .scev import (
+    COULD_NOT_COMPUTE,
+    SCEV,
+    SCEVAdd,
+    SCEVAddRec,
+    SCEVConstant,
+    SCEVCouldNotCompute,
+    SCEVMul,
+    SCEVUnknown,
+    ScalarEvolution,
+    scev_add,
+    scev_mul,
+    scev_sub,
+)
+
+__all__ = [
+    "CFG",
+    "COULD_NOT_COMPUTE",
+    "CallGraph",
+    "DominatorTree",
+    "FunctionClass",
+    "Loop",
+    "LoopInfo",
+    "PurityAnalysis",
+    "RecurrenceDescriptor",
+    "SCEV",
+    "SCEVAdd",
+    "SCEVAddRec",
+    "SCEVConstant",
+    "SCEVCouldNotCompute",
+    "SCEVMul",
+    "SCEVUnknown",
+    "ScalarEvolution",
+    "detect_reduction",
+    "loop_reductions",
+    "scev_add",
+    "scev_mul",
+    "scev_sub",
+]

@@ -1,0 +1,100 @@
+"""Call graph construction and SCC condensation (Tarjan).
+
+Used by the purity analysis (bottom-up over SCCs) and by the Loopapalooza
+compile-time component to know which functions a loop may transitively call.
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import Call
+
+
+class CallGraph:
+    """Direct-call graph over a module's functions (intrinsics included)."""
+
+    def __init__(self, module):
+        self.module = module
+        self.callees = {}
+        self.callers = {}
+        for function in module.functions.values():
+            self.callees[function] = set()
+            self.callers.setdefault(function, set())
+        for function in module.functions.values():
+            for instruction in function.instructions():
+                if isinstance(instruction, Call):
+                    self.callees[function].add(instruction.callee)
+                    self.callers.setdefault(instruction.callee, set()).add(function)
+
+    def callees_of(self, function):
+        return self.callees.get(function, set())
+
+    def callers_of(self, function):
+        return self.callers.get(function, set())
+
+    def transitive_callees(self, function):
+        """Every function reachable through calls from ``function``."""
+        seen = set()
+        worklist = [function]
+        while worklist:
+            current = worklist.pop()
+            for callee in self.callees.get(current, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    worklist.append(callee)
+        return seen
+
+    def sccs_bottom_up(self):
+        """Strongly connected components, callees before callers (Tarjan's
+        algorithm emits SCCs in reverse topological order, which is exactly
+        the bottom-up order purity propagation wants)."""
+        index_counter = [0]
+        indices = {}
+        lowlinks = {}
+        on_stack = set()
+        stack = []
+        result = []
+
+        def strongconnect(node):
+            # Iterative Tarjan to avoid recursion limits on deep call chains.
+            work = [(node, iter(sorted(self.callees.get(node, ()), key=lambda f: f.name)))]
+            indices[node] = lowlinks[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            while work:
+                current, successor_iter = work[-1]
+                advanced = False
+                for successor in successor_iter:
+                    if successor not in indices:
+                        indices[successor] = lowlinks[successor] = index_counter[0]
+                        index_counter[0] += 1
+                        stack.append(successor)
+                        on_stack.add(successor)
+                        work.append(
+                            (successor, iter(sorted(self.callees.get(successor, ()),
+                                                    key=lambda f: f.name)))
+                        )
+                        advanced = True
+                        break
+                    if successor in on_stack:
+                        lowlinks[current] = min(lowlinks[current], indices[successor])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlinks[parent] = min(lowlinks[parent], lowlinks[current])
+                if lowlinks[current] == indices[current]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member is current:
+                            break
+                    result.append(component)
+
+        for function in self.module.functions.values():
+            if function not in indices:
+                strongconnect(function)
+        return result

@@ -1,0 +1,84 @@
+"""Control-flow graph helper built once per function.
+
+Caches successor/predecessor maps and reachability so analyses avoid the
+O(blocks) `BasicBlock.predecessors` scan, and provides the traversal orders
+(reverse post-order) dominance and loop analysis need.
+"""
+
+from __future__ import annotations
+
+
+class CFG:
+    """Immutable snapshot of a function's control-flow graph.
+
+    Invalidated by any CFG edit; passes rebuild it after mutating blocks.
+    """
+
+    def __init__(self, function):
+        self.function = function
+        self._succs = {}
+        self._preds = {block: [] for block in function.blocks}
+        for block in function.blocks:
+            successors = block.successors()
+            self._succs[block] = successors
+            for successor in successors:
+                self._preds[successor].append(block)
+        self._reachable = self._compute_reachable()
+        self._rpo = None
+
+    def successors(self, block):
+        return self._succs[block]
+
+    def predecessors(self, block):
+        return self._preds[block]
+
+    def is_reachable(self, block):
+        return block in self._reachable
+
+    def reachable_blocks(self):
+        """Reachable blocks in function order."""
+        return [b for b in self.function.blocks if b in self._reachable]
+
+    def _compute_reachable(self):
+        entry = self.function.entry_block
+        seen = {entry}
+        worklist = [entry]
+        while worklist:
+            block = worklist.pop()
+            for successor in self._succs[block]:
+                if successor not in seen:
+                    seen.add(successor)
+                    worklist.append(successor)
+        return seen
+
+    def reverse_post_order(self):
+        """Reverse post-order over reachable blocks (entry first).
+
+        Computed lazily and cached; uses an explicit stack so deep CFGs do
+        not hit Python's recursion limit.
+        """
+        if self._rpo is not None:
+            return self._rpo
+        entry = self.function.entry_block
+        post = []
+        visited = set()
+        # Each stack entry is (block, iterator over its successors).
+        stack = [(entry, iter(self._succs[entry]))]
+        visited.add(entry)
+        while stack:
+            block, successor_iter = stack[-1]
+            advanced = False
+            for successor in successor_iter:
+                if successor not in visited:
+                    visited.add(successor)
+                    stack.append((successor, iter(self._succs[successor])))
+                    advanced = True
+                    break
+            if not advanced:
+                post.append(block)
+                stack.pop()
+        self._rpo = list(reversed(post))
+        return self._rpo
+
+    def post_order(self):
+        return list(reversed(self.reverse_post_order()))

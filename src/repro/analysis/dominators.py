@@ -1,0 +1,137 @@
+"""Dominator tree and dominance frontiers.
+
+Implements Cooper, Harvey & Kennedy's "A Simple, Fast Dominance Algorithm"
+(2001) — the same algorithm LLVM used for years — plus Cytron-style dominance
+frontiers, which :mod:`repro.passes.mem2reg` needs for pruned SSA
+construction.
+"""
+
+from __future__ import annotations
+
+from .cfg import CFG
+
+
+class DominatorTree:
+    """Immediate-dominator tree over the reachable blocks of a function."""
+
+    def __init__(self, function, cfg=None):
+        self.function = function
+        self.cfg = cfg if cfg is not None else CFG(function)
+        self.idom = {}
+        self._order_index = {}
+        self._children = {}
+        self._frontiers = None
+        self._compute()
+
+    # -- construction -------------------------------------------------------
+
+    def _compute(self):
+        rpo = self.cfg.reverse_post_order()
+        for index, block in enumerate(rpo):
+            self._order_index[block] = index
+        entry = self.function.entry_block
+        idom = {entry: entry}
+
+        def intersect(b1, b2):
+            while b1 is not b2:
+                while self._order_index[b1] > self._order_index[b2]:
+                    b1 = idom[b1]
+                while self._order_index[b2] > self._order_index[b1]:
+                    b2 = idom[b2]
+            return b1
+
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo:
+                if block is entry:
+                    continue
+                new_idom = None
+                for pred in self.cfg.predecessors(block):
+                    if pred not in idom:
+                        continue  # unreachable or not yet processed
+                    new_idom = pred if new_idom is None else intersect(pred, new_idom)
+                if new_idom is not None and idom.get(block) is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+
+        self.idom = idom
+        self._children = {block: [] for block in idom}
+        for block, parent in idom.items():
+            if block is not entry:
+                self._children[parent].append(block)
+
+    # -- queries -------------------------------------------------------------
+
+    def immediate_dominator(self, block):
+        """The idom of ``block`` (``None`` for the entry or unreachable)."""
+        if block is self.function.entry_block:
+            return None
+        return self.idom.get(block)
+
+    def children(self, block):
+        return self._children.get(block, [])
+
+    def dominates(self, a, b):
+        """Does block ``a`` dominate block ``b``? (Reflexive.)"""
+        if a is b:
+            return True
+        runner = self.idom.get(b)
+        entry = self.function.entry_block
+        while runner is not None:
+            if runner is a:
+                return True
+            if runner is entry:
+                return False
+            runner = self.idom.get(runner)
+        return False
+
+    def strictly_dominates(self, a, b):
+        return a is not b and self.dominates(a, b)
+
+    def dom_tree_preorder(self):
+        """Blocks in dominator-tree preorder (entry first)."""
+        entry = self.function.entry_block
+        order = []
+        stack = [entry]
+        while stack:
+            block = stack.pop()
+            order.append(block)
+            stack.extend(reversed(self._children.get(block, [])))
+        return order
+
+    # -- dominance frontiers ---------------------------------------------------
+
+    def dominance_frontiers(self):
+        """Map block -> set of blocks in its dominance frontier (Cytron)."""
+        if self._frontiers is not None:
+            return self._frontiers
+        frontiers = {block: set() for block in self.idom}
+        for block in self.idom:
+            preds = [p for p in self.cfg.predecessors(block) if p in self.idom]
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                runner = pred
+                while runner is not self.idom[block]:
+                    frontiers[runner].add(block)
+                    runner = self.idom[runner]
+        self._frontiers = frontiers
+        return frontiers
+
+    def iterated_dominance_frontier(self, blocks):
+        """IDF of a set of blocks: where phi nodes must be placed for defs in
+        those blocks (the core step of pruned SSA construction)."""
+        frontiers = self.dominance_frontiers()
+        result = set()
+        worklist = [b for b in blocks if b in self.idom]
+        seen = set(worklist)
+        while worklist:
+            block = worklist.pop()
+            for frontier_block in frontiers.get(block, ()):
+                if frontier_block not in result:
+                    result.add(frontier_block)
+                    if frontier_block not in seen:
+                        seen.add(frontier_block)
+                        worklist.append(frontier_block)
+        return result

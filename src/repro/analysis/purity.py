@@ -1,0 +1,143 @@
+"""Function purity analysis — the compiler side of the ``fnX`` flags.
+
+The paper's Table II distinguishes:
+
+* ``fn1`` — calls to functions the compiler proves *pure* (read-only, no
+  side effects) may be parallelized;
+* ``fn2`` — additionally, thread-safe (re-entrant) library functions and any
+  user function LP can instrument;
+* ``fn3`` — everything.
+
+This module computes, bottom-up over call-graph SCCs, a
+:class:`FunctionClass` for each function:
+
+* ``PURE`` — no observable writes: stores only to the function's own allocas
+  (whose address does not escape), no unsafe/writing intrinsic calls, and all
+  callees pure. Reads of globals/arguments are allowed ("read-only").
+* ``INSTRUMENTED`` — any other user-defined function: LP instruments its
+  memory accesses, so under ``fn2`` its loads/stores simply participate in
+  run-time conflict tracking.
+* ``THREAD_SAFE`` — library intrinsic marked re-entrant (e.g. ``sqrt`` with
+  errno modelling disabled, ``memcpy``-style helpers that only touch
+  pointer arguments).
+* ``UNSAFE`` — library intrinsic with hidden global state or I/O (``rand``,
+  ``print``): uninstrumentable, so any loop calling it serializes below
+  ``fn3``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..ir.instructions import GEP, Alloca, Call, Load, Store
+from .callgraph import CallGraph
+
+
+class FunctionClass(enum.Enum):
+    PURE = "pure"
+    INSTRUMENTED = "instrumented"
+    THREAD_SAFE = "thread_safe"
+    UNSAFE = "unsafe"
+
+
+def _trace_to_base(pointer):
+    """Follow GEPs to the base pointer value."""
+    while isinstance(pointer, GEP):
+        pointer = pointer.pointer
+    return pointer
+
+
+def _alloca_escapes(alloca):
+    """Does the alloca's address flow anywhere besides load/store/gep?
+
+    An escaping address may be written by callees, so stores to it cannot be
+    discounted when judging purity.
+    """
+    worklist = [alloca]
+    seen = set()
+    while worklist:
+        value = worklist.pop()
+        if id(value) in seen:
+            continue
+        seen.add(id(value))
+        for user in value.users():
+            if isinstance(user, Load):
+                continue
+            if isinstance(user, Store):
+                if user.pointer is value and user.value is not value:
+                    continue
+                return True  # the address itself is stored somewhere
+            if isinstance(user, GEP) and user.pointer is value:
+                worklist.append(user)
+                continue
+            return True  # call argument, select, phi, compare... treat as escape
+    return False
+
+
+class PurityAnalysis:
+    """Computes :class:`FunctionClass` for every function in a module."""
+
+    def __init__(self, module):
+        self.module = module
+        self.callgraph = CallGraph(module)
+        self.classes = {}
+        self._run()
+
+    def _run(self):
+        for component in self.callgraph.sccs_bottom_up():
+            # First pass: intrinsic members classify directly.
+            component_pure = True
+            for function in component:
+                if function.is_intrinsic:
+                    info = function.intrinsic
+                    if info.side_effects or info.global_state:
+                        self.classes[function] = FunctionClass.UNSAFE
+                    elif info.writes_memory:
+                        self.classes[function] = FunctionClass.THREAD_SAFE
+                    else:
+                        self.classes[function] = FunctionClass.PURE
+            # Second pass: user functions in the SCC are pure only if every
+            # member is locally pure and every external callee is pure.
+            user_members = [f for f in component if not f.is_intrinsic]
+            for function in user_members:
+                if not self._locally_pure(function, component):
+                    component_pure = False
+                    break
+            for function in user_members:
+                if function.is_declaration:
+                    # Unknown body: conservatively uninstrumentable.
+                    self.classes[function] = FunctionClass.UNSAFE
+                elif component_pure:
+                    self.classes[function] = FunctionClass.PURE
+                else:
+                    self.classes[function] = FunctionClass.INSTRUMENTED
+
+    def _locally_pure(self, function, component):
+        if function.is_declaration:
+            return False
+        local_allocas = set()
+        for instruction in function.instructions():
+            if isinstance(instruction, Alloca):
+                if not _alloca_escapes(instruction):
+                    local_allocas.add(instruction)
+        for instruction in function.instructions():
+            if isinstance(instruction, Store):
+                base = _trace_to_base(instruction.pointer)
+                if base not in local_allocas:
+                    return False
+            elif isinstance(instruction, Call):
+                callee = instruction.callee
+                if callee in component:
+                    continue  # judged with the whole SCC
+                callee_class = self.classes.get(callee)
+                if callee_class is not FunctionClass.PURE:
+                    return False
+        return True
+
+    # -- queries -------------------------------------------------------------
+
+    def class_of(self, function):
+        return self.classes[function]
+
+    def is_pure(self, function):
+        return self.classes.get(function) is FunctionClass.PURE

@@ -1,0 +1,255 @@
+"""Reduction recurrence detection (LLVM's ``RecurrenceDescriptor``).
+
+The paper (§II-A) treats *reduction accumulators* as a special class of
+non-computable register LCD: the per-iteration value is not known at compile
+time, but the update pattern is a pure fold with an associative (or at least
+well-understood) operator, so the accumulation can be decoupled from the
+loop's critical path (tree/linear-chain reduction hardware, cf. Arm SVE).
+Under the ``reduc1`` flag these phis are considered parallel with no
+overhead; under ``reduc0`` they count as ordinary non-computable LCDs.
+
+Detection criteria for a loop-header phi (mirroring LLVM):
+
+* the phi has exactly two incoming values (preheader init, latch update);
+* walking back from the latch value reaches the phi through a chain of
+  instructions that all perform the *same* reduction operation (``add``,
+  ``fadd``, ``mul``, ``fmul``, ``and``, ``or``, ``xor``), or the min/max
+  pattern ``select(cmp(a, b), a, b)``;
+* every in-loop user of the phi and of each chain link is either the next
+  chain link or the loop-exit consumer — i.e. the running value never feeds
+  other computation inside the loop (if it did, iterations would truly need
+  the previous value and decoupling would be unsound).
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import BinaryOp, FCmp, ICmp, Phi, Select
+
+REDUCTION_BINOPS = {
+    "add": "add",
+    "fadd": "fadd",
+    "mul": "mul",
+    "fmul": "fmul",
+    "and": "and",
+    "or": "or",
+    "xor": "xor",
+}
+
+MINMAX_PREDICATES = {
+    ("icmp", "slt"): "smin",
+    ("icmp", "sle"): "smin",
+    ("icmp", "sgt"): "smax",
+    ("icmp", "sge"): "smax",
+    ("fcmp", "olt"): "fmin",
+    ("fcmp", "ole"): "fmin",
+    ("fcmp", "ogt"): "fmax",
+    ("fcmp", "oge"): "fmax",
+}
+
+
+class RecurrenceDescriptor:
+    """A recognized reduction: its phi, kind, and the chain instructions."""
+
+    def __init__(self, phi, kind, chain):
+        self.phi = phi
+        self.kind = kind
+        self.chain = list(chain)
+
+    @property
+    def is_float(self):
+        return self.kind in ("fadd", "fmul", "fmin", "fmax")
+
+    @property
+    def is_associative(self):
+        # FP reductions are mathematically non-associative; the paper still
+        # decouples them with linear-chain (ordered) reduction hardware.
+        return self.kind in ("add", "mul", "and", "or", "xor", "smin", "smax")
+
+    def __repr__(self):
+        return f"<Reduction {self.kind} on %{self.phi.name or '?'}>"
+
+
+def _operation_kind(instruction):
+    """Classify one candidate chain link; returns the reduction kind or None.
+
+    For min/max the link is the ``select``; its compare partner is looked
+    through separately.
+    """
+    if isinstance(instruction, BinaryOp):
+        return REDUCTION_BINOPS.get(instruction.opcode)
+    if isinstance(instruction, Select):
+        condition = instruction.condition
+        if isinstance(condition, ICmp):
+            key = ("icmp", condition.predicate)
+        elif isinstance(condition, FCmp):
+            key = ("fcmp", condition.predicate)
+        else:
+            return None
+        kind = MINMAX_PREDICATES.get(key)
+        if kind is None:
+            return None
+        # select arms must be the two compared values (either order).
+        compared = {id(condition.lhs), id(condition.rhs)}
+        arms = {id(instruction.true_value), id(instruction.false_value)}
+        if compared != arms:
+            return None
+        return kind
+    return None
+
+
+def detect_reduction(phi, loop):
+    """Return a :class:`RecurrenceDescriptor` if ``phi`` is a reduction
+    accumulator of ``loop``, else ``None``.
+
+    The chain walk admits intermediate (non-header) phi nodes, which is how
+    *conditional* reductions (``if (p) acc = acc + x;``) appear after SSA
+    construction — LLVM's RecurrenceDescriptor accepts the same shape.
+    """
+    if not isinstance(phi, Phi) or phi.parent is not loop.header:
+        return None
+    if len(phi.operands) != 2:
+        return None
+
+    latch_value = None
+    for value, block in phi.incoming():
+        if block in loop.blocks:
+            latch_value = value
+    if latch_value is None:
+        return None
+    if getattr(latch_value, "parent", None) not in loop.blocks:
+        return None
+    if latch_value is phi:
+        return None  # invariant pass-through, not a reduction
+
+    # Breadth-first walk from the latch value back to the header phi. Every
+    # node on the way must be a same-kind reduction op or a pass-through phi.
+    kind = None
+    chain = []
+    visited = set()
+    extra_compare_ids = set()
+    reached_header_phi = False
+    worklist = [latch_value]
+
+    def chain_continuable(value):
+        if value is phi:
+            return True
+        if (
+            isinstance(value, Phi)
+            and getattr(value, "parent", None) in loop.blocks
+            and value.parent is not loop.header
+        ):
+            return True
+        return (
+            _operation_kind(value) is not None
+            and getattr(value, "parent", None) in loop.blocks
+        )
+
+    def match_phi_minmax(candidate):
+        """``if (x OP best) best = x;`` — find the compare of {x, phi} that
+        guards the conditional assignment; returns the min/max kind."""
+        for user in list(candidate.users()) + list(phi.users()):
+            if isinstance(user, (ICmp, FCmp)) and user.parent in loop.blocks:
+                operand_ids = {id(user.lhs), id(user.rhs)}
+                if operand_ids == {id(candidate), id(phi)} and user.predicate in (
+                    "slt", "sle", "sgt", "sge", "olt", "ole", "ogt", "oge"
+                ):
+                    extra_compare_ids.add(id(user))
+                    return "fmax" if isinstance(user, FCmp) else "smax"
+        return None
+
+    while worklist:
+        current = worklist.pop()
+        if current is phi:
+            reached_header_phi = True
+            continue
+        if id(current) in visited:
+            continue
+        visited.add(id(current))
+        if getattr(current, "parent", None) not in loop.blocks:
+            return None
+        if isinstance(current, Phi):
+            if current.parent is loop.header:
+                return None  # a different recurrence feeding this one
+            chain.append(current)
+            for incoming_value in current.operands:
+                if chain_continuable(incoming_value):
+                    worklist.append(incoming_value)
+                else:
+                    minmax_kind = match_phi_minmax(incoming_value)
+                    if minmax_kind is None:
+                        return None
+                    if kind is None:
+                        kind = minmax_kind
+                    elif kind != minmax_kind:
+                        return None
+            continue
+        current_kind = _operation_kind(current)
+        if current_kind is None:
+            return None
+        if kind is None:
+            kind = current_kind
+        elif kind != current_kind:
+            return None
+        chain.append(current)
+        # Exactly one operand continues the chain; the rest must be free of
+        # the recurrence (checked globally by the use-set test below).
+        if isinstance(current, Select):
+            candidates = [current.true_value, current.false_value]
+        else:
+            candidates = [current.lhs, current.rhs]
+        continuing = [
+            candidate
+            for candidate in candidates
+            if candidate is phi
+            or (
+                isinstance(candidate, Phi)
+                and getattr(candidate, "parent", None) in loop.blocks
+                and candidate.parent is not loop.header
+            )
+            or (
+                _operation_kind(candidate) == kind
+                and getattr(candidate, "parent", None) in loop.blocks
+            )
+        ]
+        if len(continuing) != 1:
+            return None
+        worklist.append(continuing[0])
+
+    if not reached_header_phi or kind is None:
+        return None
+
+    chain_ids = {id(link) for link in chain}
+    # Admit the compare feeding a min/max select or guarding a conditional
+    # min/max as a chain-internal use.
+    compare_ids = {
+        id(link.condition) for link in chain if isinstance(link, Select)
+    } | extra_compare_ids
+
+    def uses_ok(value, allow_phi_feed=False):
+        for user in value.users():
+            if user.parent not in loop.blocks:
+                continue  # out-of-loop consumer: fine
+            if allow_phi_feed and user is phi:
+                continue
+            if id(user) in chain_ids or id(user) in compare_ids:
+                continue
+            return False
+        return True
+
+    if not uses_ok(phi):
+        return None
+    for link in chain:
+        if not uses_ok(link, allow_phi_feed=True):
+            return None
+
+    return RecurrenceDescriptor(phi, kind, chain)
+
+
+def loop_reductions(loop):
+    """All reduction descriptors for a loop's header phis."""
+    descriptors = []
+    for phi in loop.header.phis():
+        descriptor = detect_reduction(phi, loop)
+        if descriptor is not None:
+            descriptors.append(descriptor)
+    return descriptors

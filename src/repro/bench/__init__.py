@@ -1,0 +1,25 @@
+"""repro.bench — the synthetic SPEC/EEMBC benchmark suites and runner."""
+
+from .program import BenchmarkProgram
+from .suites import (
+    ALL_SUITES,
+    NON_NUMERIC_SUITES,
+    NUMERIC_SUITES,
+    SuiteRunner,
+    all_programs,
+    default_runner,
+    find_program,
+    suite_programs,
+)
+
+__all__ = [
+    "ALL_SUITES",
+    "BenchmarkProgram",
+    "NON_NUMERIC_SUITES",
+    "NUMERIC_SUITES",
+    "SuiteRunner",
+    "all_programs",
+    "default_runner",
+    "find_program",
+    "suite_programs",
+]

@@ -1,0 +1,41 @@
+"""Benchmark program descriptor.
+
+Each synthetic benchmark is a MiniC source string engineered to exhibit the
+dependence character of its SPEC/EEMBC namesake (see DESIGN.md for the
+substitution rationale). ``traits`` records which Table-I behaviours the
+program was designed to exercise, so tests can assert the design holds.
+"""
+
+from __future__ import annotations
+
+
+class BenchmarkProgram:
+    """One synthetic benchmark: source + provenance + design intent."""
+
+    __slots__ = ("name", "suite", "source", "description", "traits")
+
+    def __init__(self, name, suite, source, description, traits=()):
+        self.name = name
+        self.suite = suite
+        self.source = source
+        self.description = description
+        self.traits = frozenset(traits)
+
+    @property
+    def full_name(self):
+        return f"{self.suite}/{self.name}"
+
+    def __repr__(self):
+        return f"<BenchmarkProgram {self.full_name}>"
+
+
+# Trait vocabulary (used by tests/test_suite_traits.py):
+TRAIT_DOALL = "doall-friendly"             # conflict-free data-parallel loops
+TRAIT_REDUCTION = "reduction"              # reduction accumulators in hot loops
+TRAIT_PREDICTABLE_LCD = "predictable-lcd"  # non-computable but predictable LCDs
+TRAIT_UNPREDICTABLE_LCD = "unpredictable-lcd"
+TRAIT_FREQUENT_MEM_LCD = "frequent-mem-lcd"
+TRAIT_INFREQUENT_MEM_LCD = "infrequent-mem-lcd"
+TRAIT_CALLS = "calls-in-loops"             # user helpers in hot loops
+TRAIT_UNSAFE_CALLS = "unsafe-calls"        # rand()/IO in loops (fn3-only)
+TRAIT_PDOALL_FRIENDLY = "pdoall-friendly"  # rare conflicts: PDOALL beats HELIX

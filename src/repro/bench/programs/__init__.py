@@ -1,0 +1,5 @@
+"""Synthetic benchmark programs, one module per suite."""
+
+from . import eembc, specfp2000, specfp2006, specint2000, specint2006
+
+__all__ = ["eembc", "specfp2000", "specfp2006", "specint2000", "specint2006"]

@@ -1,0 +1,358 @@
+"""EEMBC-like suite: small embedded kernels (numeric).
+
+Design intent (paper §IV): EEMBC is the most regular suite — dominated by
+data-parallel pixel/DSP loops and clean reductions — but its hot loops call
+small helper functions, so it *"benefits more from fn2 than from
+reduc1/dep2"*: with calls forbidden (fn0) almost nothing parallelizes, and
+allowing instrumented/pure calls (fn2) unlocks most of the suite at once.
+"""
+
+from __future__ import annotations
+
+from ..program import (
+    BenchmarkProgram,
+    TRAIT_CALLS,
+    TRAIT_DOALL,
+    TRAIT_FREQUENT_MEM_LCD,
+    TRAIT_REDUCTION,
+)
+
+_RGBCMY = r"""
+// rgbcmy: RGB -> CMY(K) pixel conversion. Pure elementwise map, but every
+// pixel goes through clamp/convert helpers -> serial below fn1.
+int W = 1536;
+int RAWPX[1536];
+int R[1536]; int G[1536]; int B[1536];
+int C[1536]; int M[1536]; int Y[1536];
+int CHK = 0;
+
+int clamp8(int v) {
+  if (v < 0) { return 0; }
+  if (v > 255) { return 255; }
+  return v;
+}
+
+int convert(int channel) {
+  return clamp8(255 - channel);
+}
+
+int main() {
+  int i;
+  int sum = 0;
+  // Serial pixel-stream read (input phase)...
+  RAWPX[0] = 16807;
+  for (i = 1; i < W; i = i + 1) {
+    RAWPX[i] = (RAWPX[i - 1] * 1103515245 + 12345 + i) & 2147483647;
+  }
+  // ...then parallel channel unpack.
+  for (i = 0; i < W; i = i + 1) {
+    R[i] = (RAWPX[i] >> 5) & 255;
+    G[i] = (RAWPX[i] >> 13) & 255;
+    B[i] = (RAWPX[i] >> 21) & 255;
+  }
+  for (i = 0; i < W; i = i + 1) {
+    C[i] = convert(R[i]);
+    M[i] = convert(G[i]);
+    Y[i] = convert(B[i]);
+  }
+  for (i = 0; i < W; i = i + 1) {
+    sum = sum + C[i] + M[i] + Y[i];
+  }
+  CHK = sum;
+  return sum & 65535;
+}
+"""
+
+_AIFIRF = r"""
+// aifirf: FIR filter. Outer loop over samples is DOALL once the inner
+// tap-accumulation reduction and the tap helper call are admitted.
+int NS = 700;
+int NT = 24;
+float SIG[724];
+float COEF[24];
+float OUT[700];
+float CHK = 0.0;
+
+float tap(float c, float x) {
+  return c * x;
+}
+
+int main() {
+  int i; int t;
+  float total = 0.0;
+  SIG[0] = 0.1875;
+  for (i = 1; i < NS + NT; i = i + 1) {
+    // Serial sample acquisition: each sample perturbs the DC estimate.
+    SIG[i] = SIG[i - 1] * 0.5 + (noise_f64(i) - 0.5);
+  }
+  for (t = 0; t < NT; t = t + 1) { COEF[t] = noise_f64(t + 977) * 0.25; }
+  for (i = 0; i < NS; i = i + 1) {
+    float acc = 0.0;
+    for (t = 0; t < NT; t = t + 1) {
+      acc = acc + tap(COEF[t], SIG[i + t]);
+    }
+    OUT[i] = acc;
+  }
+  for (i = 0; i < NS; i = i + 1) { total = total + OUT[i]; }
+  CHK = total;
+  return (int)(total * 16.0);
+}
+"""
+
+_AUTCOR = r"""
+// autcor: autocorrelation. Nested reductions, no calls in the hot loops:
+// the one EEMBC kernel that parallelizes under plain reduc1 DOALL.
+int NS = 640;
+int NL = 24;
+float X[664];
+float ACR[24];
+float CHK = 0.0;
+
+int main() {
+  int lag; int i;
+  float total = 0.0;
+  X[0] = 0.25;
+  for (i = 1; i < NS + NL; i = i + 1) {
+    X[i] = X[i - 1] * 0.25 + (noise_f64(i * 3 + 1) - 0.5);
+  }
+  for (lag = 0; lag < NL; lag = lag + 1) {
+    float acc = 0.0;
+    for (i = 0; i < NS; i = i + 1) {
+      acc = acc + X[i] * X[i + lag];
+    }
+    ACR[lag] = acc;
+  }
+  for (lag = 0; lag < NL; lag = lag + 1) { total = total + ACR[lag]; }
+  CHK = total;
+  return (int)(total * 4.0);
+}
+"""
+
+_MATRIX = r"""
+// matrix: dense matmul (flattened 2-D). Triple nest: two DOALL levels over
+// an inner dot-product reduction.
+int N = 40;
+float A[1600]; float B[1600]; float C[1600];
+float CHK = 0.0;
+
+int main() {
+  int i; int j; int k;
+  float total = 0.0;
+  // Serial matrix-file read for A; B derives in parallel.
+  A[0] = 0.125;
+  for (i = 1; i < N * N; i = i + 1) {
+    A[i] = A[i - 1] * 0.5 + (noise_f64(i) - 0.5);
+  }
+  for (i = 0; i < N * N; i = i + 1) {
+    B[i] = noise_f64(i + 31337) - 0.5;
+  }
+  for (i = 0; i < N; i = i + 1) {
+    for (j = 0; j < N; j = j + 1) {
+      float acc = 0.0;
+      for (k = 0; k < N; k = k + 1) {
+        acc = acc + A[i * N + k] * B[k * N + j];
+      }
+      C[i * N + j] = acc;
+    }
+  }
+  for (i = 0; i < N * N; i = i + 1) { total = total + C[i]; }
+  CHK = total;
+  return (int)total;
+}
+"""
+
+_FFT_BFLY = r"""
+// fft_bfly: one radix-2 butterfly pass per stage with sin/cos twiddles.
+// Strided elementwise updates; the pure math intrinsics keep it serial at
+// fn0 and unlock it at fn1+.
+int N = 1024;
+float RE[1024]; float IM[1024];
+float CHK = 0.0;
+
+int main() {
+  int stage; int half; int i; int j;
+  float total = 0.0;
+  RE[0] = 0.125;
+  for (i = 1; i < N; i = i + 1) {
+    RE[i] = RE[i - 1] * 0.5 + (noise_f64(i) - 0.5);
+  }
+  for (i = 0; i < N; i = i + 1) { IM[i] = 0.0; }
+  half = 1;
+  for (stage = 0; stage < 4; stage = stage + 1) {
+    for (i = 0; i < N; i = i + 2 * half) {
+      for (j = 0; j < half; j = j + 1) {
+        float ang = 3.14159265 * (float)j / (float)half;
+        float wr = cos(ang);
+        float wi = 0.0 - sin(ang);
+        float tr = wr * RE[i + j + half] - wi * IM[i + j + half];
+        float ti = wr * IM[i + j + half] + wi * RE[i + j + half];
+        RE[i + j + half] = RE[i + j] - tr;
+        IM[i + j + half] = IM[i + j] - ti;
+        RE[i + j] = RE[i + j] + tr;
+        IM[i + j] = IM[i + j] + ti;
+      }
+    }
+    half = half * 2;
+  }
+  for (i = 0; i < N; i = i + 1) { total = total + RE[i] * RE[i] + IM[i] * IM[i]; }
+  CHK = total;
+  return (int)total;
+}
+"""
+
+_VITERBI = r"""
+// viterbi_like: trellis relaxation. Time steps carry a frequent memory LCD
+// (the whole metric array), but the per-step state loop is parallel; the
+// max-metric recurrence uses the pure imax intrinsic.
+int T = 160;
+int S = 32;
+int METRIC[32];
+int NEXTM[32];
+int TRANS[1024];
+int CHK = 0;
+
+int main() {
+  int t; int s; int p;
+  int best = 0;
+  TRANS[0] = 48611;
+  for (p = 1; p < S * S; p = p + 1) {
+    TRANS[p] = (TRANS[p - 1] * 69069 + 12345 + p) & 2147483647;
+  }
+  for (p = 0; p < S * S; p = p + 1) { TRANS[p] = (TRANS[p] >> 9) & 63; }
+  for (s = 0; s < S; s = s + 1) { METRIC[s] = 0; }
+  for (t = 0; t < T; t = t + 1) {
+    for (s = 0; s < S; s = s + 1) {
+      int m = -1000000;
+      for (p = 0; p < S; p = p + 1) {
+        m = imax(m, METRIC[p] + TRANS[p * S + s]);
+      }
+      NEXTM[s] = m;
+    }
+    for (s = 0; s < S; s = s + 1) { METRIC[s] = NEXTM[s]; }
+  }
+  for (s = 0; s < S; s = s + 1) { best = imax(best, METRIC[s]); }
+  CHK = best;
+  return best;
+}
+"""
+
+_DITHER = r"""
+// dither: Floyd-Steinberg-style error diffusion. The running error is a
+// frequent, *unpredictable* register LCD produced early in each iteration,
+// so HELIX pipelines it while (P)DOALL cannot.
+int W = 4096;
+int IMG[4096];
+int OUTP[4096];
+int CHK = 0;
+
+int main() {
+  int i;
+  int err = 0;
+  int count = 0;
+  IMG[0] = 3511;
+  for (i = 1; i < W; i = i + 1) {
+    IMG[i] = (IMG[i - 1] * 1103515245 + 12345 + i * 7) & 2147483647;
+  }
+  for (i = 0; i < W; i = i + 1) { IMG[i] = (IMG[i] >> 11) & 255; }
+  for (i = 0; i < W; i = i + 1) {
+    int v = IMG[i] + err;
+    int px = 0;
+    if (v > 127) { px = 255; }
+    err = v - px;
+    OUTP[i] = px;
+    count = count + px;
+  }
+  CHK = count;
+  return count & 65535;
+}
+"""
+
+_ROUTELOOKUP = r"""
+// routelookup: per-packet table walks. Packets are independent (outer
+// DOALL), each walk is a read-only chase through the table via a helper.
+int NP = 400;
+int NODES = 512;
+int LEFT[512]; int RIGHT[512]; int LEAF[512];
+int DST[400];
+int HOPS[400];
+int CHK = 0;
+
+int step_node(int node, int bit) {
+  if (bit == 1) { return RIGHT[node]; }
+  return LEFT[node];
+}
+
+int main() {
+  int n; int p;
+  int total = 0;
+  LEFT[0] = 60013;
+  for (n = 1; n < NODES; n = n + 1) {
+    LEFT[n] = (LEFT[n - 1] * 69069 + 12345 + n) & 2147483647;
+  }
+  for (n = 0; n < NODES; n = n + 1) {
+    RIGHT[n] = (LEFT[n] >> 11) & 511;
+    LEAF[n] = (LEFT[n] >> 20) & 1;
+  }
+  for (n = 0; n < NODES; n = n + 1) { LEFT[n] = (LEFT[n] >> 2) & 511; }
+  for (p = 0; p < NP; p = p + 1) { DST[p] = hash_i32(p * 13 + 5); }
+  for (p = 0; p < NP; p = p + 1) {
+    int node = DST[p] & 511;
+    int depth = 0;
+    int key = DST[p];
+    while (depth < 16 && LEAF[node] == 0) {
+      node = step_node(node, (key >> depth) & 1);
+      depth = depth + 1;
+    }
+    HOPS[p] = depth;
+  }
+  for (p = 0; p < NP; p = p + 1) { total = total + HOPS[p]; }
+  CHK = total;
+  return total;
+}
+"""
+
+
+def programs():
+    """The EEMBC-like suite."""
+    return [
+        BenchmarkProgram(
+            "rgbcmy", "eembc", _RGBCMY,
+            "RGB->CMY pixel conversion through clamp helpers",
+            (TRAIT_DOALL, TRAIT_CALLS),
+        ),
+        BenchmarkProgram(
+            "aifirf", "eembc", _AIFIRF,
+            "FIR filter: per-sample tap reduction via a helper",
+            (TRAIT_DOALL, TRAIT_REDUCTION, TRAIT_CALLS),
+        ),
+        BenchmarkProgram(
+            "autcor", "eembc", _AUTCOR,
+            "autocorrelation: nested reductions, no calls",
+            (TRAIT_DOALL, TRAIT_REDUCTION),
+        ),
+        BenchmarkProgram(
+            "matrix", "eembc", _MATRIX,
+            "dense matrix multiply (two DOALL levels over a reduction)",
+            (TRAIT_DOALL, TRAIT_REDUCTION),
+        ),
+        BenchmarkProgram(
+            "fft_bfly", "eembc", _FFT_BFLY,
+            "radix-2 butterfly passes with trig intrinsics",
+            (TRAIT_DOALL, TRAIT_CALLS),
+        ),
+        BenchmarkProgram(
+            "viterbi_like", "eembc", _VITERBI,
+            "trellis relaxation: serial time steps, parallel state loop",
+            (TRAIT_FREQUENT_MEM_LCD, TRAIT_CALLS, TRAIT_DOALL),
+        ),
+        BenchmarkProgram(
+            "dither", "eembc", _DITHER,
+            "error diffusion: frequent early-resolving register LCD",
+            (TRAIT_FREQUENT_MEM_LCD,),
+        ),
+        BenchmarkProgram(
+            "routelookup", "eembc", _ROUTELOOKUP,
+            "per-packet read-only table walks via a helper",
+            (TRAIT_DOALL, TRAIT_CALLS),
+        ),
+    ]

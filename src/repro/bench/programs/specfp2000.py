@@ -1,0 +1,350 @@
+"""SpecFP2000-like suite (numeric).
+
+Design intent (paper §IV): *"SpecFP2000 benefits greatly from both reduc1
+and dep2"* — hot loops carry clean reductions plus non-computable but
+stride-predictable floating-point recurrences. ``179_art`` is one of the
+Fig. 4 benchmarks where Partial-DOALL beats HELIX: its hot loop conflicts
+*rarely*, so speculative restarts are cheaper than always-on
+synchronization.
+"""
+
+from __future__ import annotations
+
+from ..program import (
+    BenchmarkProgram,
+    TRAIT_CALLS,
+    TRAIT_DOALL,
+    TRAIT_FREQUENT_MEM_LCD,
+    TRAIT_INFREQUENT_MEM_LCD,
+    TRAIT_PDOALL_FRIENDLY,
+    TRAIT_PREDICTABLE_LCD,
+    TRAIT_REDUCTION,
+)
+
+_SWIM = r"""
+// swim_like: shallow-water stencil sweeps. Updates write a new grid from an
+// old grid (no carried dependency within a sweep); sweeps alternate.
+int N = 64;
+float U[4096]; float V[4096]; float UNEW[4096];
+float CHK = 0.0;
+
+int main() {
+  int it; int i; int j;
+  float total = 0.0;
+  // Serial restart-file read for U; V derives in parallel.
+  U[0] = 0.03125;
+  for (i = 1; i < N * N; i = i + 1) {
+    U[i] = U[i - 1] * 0.5 + (noise_f64(i) - 0.5);
+  }
+  for (i = 0; i < N * N; i = i + 1) { V[i] = noise_f64(i + 4096) - 0.5; }
+  for (it = 0; it < 3; it = it + 1) {
+    for (i = 1; i < N - 1; i = i + 1) {
+      for (j = 1; j < N - 1; j = j + 1) {
+        UNEW[i * N + j] = 0.25 * (U[(i - 1) * N + j] + U[(i + 1) * N + j]
+                        + U[i * N + j - 1] + U[i * N + j + 1])
+                        + 0.5 * V[i * N + j];
+      }
+    }
+    for (i = 1; i < N - 1; i = i + 1) {
+      for (j = 1; j < N - 1; j = j + 1) {
+        U[i * N + j] = UNEW[i * N + j];
+      }
+    }
+  }
+  for (i = 0; i < N * N; i = i + 1) { total = total + U[i]; }
+  CHK = total;
+  return (int)(total * 8.0);
+}
+"""
+
+_MGRID = r"""
+// mgrid_like: residual smoothing plus a norm reduction per level.
+int N = 48;
+float P[2304]; float R[2304];
+float CHK = 0.0;
+
+int main() {
+  int lvl; int i; int j;
+  float norm = 0.0;
+  P[0] = 0.0625;
+  for (i = 1; i < N * N; i = i + 1) {
+    P[i] = P[i - 1] * 0.25 + (noise_f64(i * 5) - 0.5);
+  }
+  for (lvl = 0; lvl < 4; lvl = lvl + 1) {
+    for (i = 1; i < N - 1; i = i + 1) {
+      for (j = 1; j < N - 1; j = j + 1) {
+        R[i * N + j] = P[i * N + j]
+                     - 0.25 * (P[(i - 1) * N + j] + P[(i + 1) * N + j]
+                     + P[i * N + j - 1] + P[i * N + j + 1]);
+      }
+    }
+    for (i = 1; i < N - 1; i = i + 1) {
+      for (j = 1; j < N - 1; j = j + 1) {
+        P[i * N + j] = P[i * N + j] - 0.7 * R[i * N + j];
+      }
+    }
+  }
+  for (i = 0; i < N * N; i = i + 1) { norm = norm + P[i] * P[i]; }
+  CHK = norm;
+  return (int)norm;
+}
+"""
+
+_APPLU = r"""
+// applu_like: SSOR-style line solve. The j-sweep carries a frequent memory
+// LCD (each line depends on the previous line), while the i-loop within a
+// line is parallel. HELIX pipelines the sweep; (P)DOALL cannot.
+int N = 72;
+float G[5184];
+float CHK = 0.0;
+
+int main() {
+  int i; int j;
+  float total = 0.0;
+  G[0] = 0.25;
+  for (i = 1; i < N * N; i = i + 1) {
+    G[i] = G[i - 1] * 0.5 + (noise_f64(i) - 0.5);
+  }
+  for (j = 1; j < N; j = j + 1) {
+    for (i = 0; i < N; i = i + 1) {
+      G[j * N + i] = 0.6 * G[j * N + i] + 0.4 * G[(j - 1) * N + i];
+    }
+  }
+  for (i = 0; i < N * N; i = i + 1) { total = total + G[i]; }
+  CHK = total;
+  return (int)(total * 2.0);
+}
+"""
+
+_MESA = r"""
+// mesa_like: vertex/pixel pipeline stages built from helper calls. Pure
+// data parallelism hidden behind fn2.
+int NV = 900;
+float VX[900]; float VY[900]; float VZ[900];
+float SX[900]; float SY[900];
+float CHK = 0.0;
+
+float project(float v, float z) {
+  return v / (1.0 + z * z * 0.1);
+}
+
+float shade(float x, float y) {
+  float d = x * x + y * y;
+  return 1.0 / (1.0 + d);
+}
+
+int main() {
+  int v;
+  float lum = 0.0;
+  VX[0] = 0.125;
+  for (v = 1; v < NV; v = v + 1) {
+    VX[v] = VX[v - 1] * 0.5 + (noise_f64(v) - 0.5);
+  }
+  for (v = 0; v < NV; v = v + 1) {
+    VY[v] = noise_f64(v + 1000) - 0.5;
+    VZ[v] = noise_f64(v + 2000);
+  }
+  for (v = 0; v < NV; v = v + 1) {
+    SX[v] = project(VX[v], VZ[v]);
+    SY[v] = project(VY[v], VZ[v]);
+  }
+  for (v = 0; v < NV; v = v + 1) {
+    lum = lum + shade(SX[v], SY[v]);
+  }
+  CHK = lum;
+  return (int)(lum * 32.0);
+}
+"""
+
+_ART = r"""
+// art_like: neural template matching. The match loop only *rarely* touches
+// shared state (a handful of resonance updates across ~500 iterations), so
+// Partial-DOALL restarts beat HELIX's always-on synchronization -- one of
+// the paper's Fig. 4 PDOALL-wins cases.
+int NF = 520;
+int NW = 64;
+float INP[520];
+float WGT[64];
+float SCORE[520];
+float RES[8];
+float CHK = 0.0;
+
+int main() {
+  int f; int w;
+  float total = 0.0;
+  INP[0] = 0.0625;
+  for (f = 1; f < NF; f = f + 1) {
+    INP[f] = INP[f - 1] * 0.25 + (noise_f64(f * 3) - 0.5);
+  }
+  for (w = 0; w < NW; w = w + 1) { WGT[w] = noise_f64(w + 555) - 0.5; }
+  for (w = 0; w < 8; w = w + 1) { RES[w] = 0.0; }
+  RES[0] = -1000.0;
+  for (f = 0; f < NF; f = f + 1) {
+    // Early read of the shared resonance level: the consumer sits at the
+    // top of the iteration, so when a (rare) producer from the previous
+    // iteration manifests, HELIX must stall nearly a whole iteration while
+    // Partial-DOALL pays a single restart.
+    float reso = RES[0];
+    float acc = reso * 0.0001;
+    for (w = 0; w < NW; w = w + 1) {
+      acc = acc + INP[(f + w) % 520] * WGT[w];
+    }
+    SCORE[f] = acc;
+    // Rare, late resonance update: a running max fires O(log n) times.
+    if (acc > reso) {
+      RES[0] = acc + 0.25;
+    }
+  }
+  for (f = 0; f < NF; f = f + 1) { total = total + SCORE[f]; }
+  for (w = 0; w < 8; w = w + 1) { total = total + RES[w]; }
+  CHK = total;
+  return (int)(total * 2.0);
+}
+"""
+
+_EQUAKE = r"""
+// equake_like: sparse matrix-vector product plus an energy reduction.
+// Indirection through column indices; rows are independent.
+int NR = 420;
+int NNZ = 8;
+int COLIDX[3360];
+float VAL[3360];
+float X[420]; float Y[420];
+float CHK = 0.0;
+
+int main() {
+  int r; int k;
+  float energy = 0.0;
+  for (r = 0; r < NR; r = r + 1) { X[r] = noise_f64(r) - 0.5; }
+  // Serial mesh-file read: the sparsity pattern arrives as a chain.
+  COLIDX[0] = 39916801;
+  for (k = 1; k < NR * NNZ; k = k + 1) {
+    COLIDX[k] = (COLIDX[k - 1] * 69069 + 12345 + k) & 2147483647;
+  }
+  for (k = 0; k < NR * NNZ; k = k + 1) {
+    VAL[k] = noise_f64(COLIDX[k] & 4095) - 0.5;
+    COLIDX[k] = (COLIDX[k] >> 7) % 420;
+  }
+  for (r = 0; r < NR; r = r + 1) {
+    float acc = 0.0;
+    for (k = 0; k < NNZ; k = k + 1) {
+      acc = acc + VAL[r * NNZ + k] * X[COLIDX[r * NNZ + k]];
+    }
+    Y[r] = acc;
+  }
+  for (r = 0; r < NR; r = r + 1) { energy = energy + Y[r] * Y[r]; }
+  CHK = energy;
+  return (int)(energy * 8.0);
+}
+"""
+
+_AMMP = r"""
+// ammp_like: force accumulation with a stride-predictable cutoff radius
+// recurrence -- non-computable to SCEV (it feeds back through fmin) yet
+// trivially caught by the stride/last-value predictors (dep2).
+int NA = 360;
+float PX[360]; float FX[360];
+float CHK = 0.0;
+
+int main() {
+  int i; int j;
+  float cutoff = 2.0;
+  float total = 0.0;
+  PX[0] = 0.5;
+  for (i = 1; i < NA; i = i + 1) {
+    PX[i] = PX[i - 1] * 0.5 + noise_f64(i * 9) * 4.0;
+  }
+  for (i = 0; i < NA; i = i + 1) {
+    float f = 0.0;
+    for (j = 0; j < 16; j = j + 1) {
+      float d = PX[i] - PX[(i + j * 7) % 360];
+      float d2 = d * d + 0.1;
+      if (d2 < cutoff) { f = f + 1.0 / d2; }
+    }
+    FX[i] = f;
+    // The cutoff relaxes on a fixed schedule: predictable at run time,
+    // opaque to SCEV (float recurrence used inside the loop). The step is
+    // a dyadic rational so the additions are exact and a stride predictor
+    // reproduces them bit-for-bit.
+    cutoff = cutoff + 0.0078125;
+  }
+  for (i = 0; i < NA; i = i + 1) { total = total + FX[i]; }
+  CHK = total;
+  return (int)total;
+}
+"""
+
+_SIXTRACK = r"""
+// sixtrack_like: beamline element sweep. The accumulated phase advance is a
+// float stride recurrence (exact dyadic step) consumed by every element
+// update: opaque to SCEV, trivial for the stride predictor -- the dep2
+// showcase. No memory LCDs, so prediction alone unlocks the loop.
+int NS = 2600;
+float KICK[2600];
+float OUT[2600];
+float CHK = 0.0;
+
+int main() {
+  int s;
+  float total = 0.0;
+  float phase = 0.25;
+  KICK[0] = 0.03125;
+  for (s = 1; s < NS; s = s + 1) {
+    KICK[s] = KICK[s - 1] * 0.25 + (noise_f64(s) - 0.5);
+  }
+  for (s = 0; s < NS; s = s + 1) {
+    phase = phase + 0.015625;
+    OUT[s] = KICK[s] * cos(phase) + 0.1 * sin(phase);
+  }
+  for (s = 0; s < NS; s = s + 1) { total = total + OUT[s]; }
+  CHK = total;
+  return (int)(total * 16.0);
+}
+"""
+
+
+def programs():
+    """The SpecFP2000-like suite."""
+    return [
+        BenchmarkProgram(
+            "swim_like", "specfp2000", _SWIM,
+            "shallow-water stencil sweeps (old->new grid)",
+            (TRAIT_DOALL, TRAIT_REDUCTION),
+        ),
+        BenchmarkProgram(
+            "mgrid_like", "specfp2000", _MGRID,
+            "multigrid-ish smoothing with per-level norm reduction",
+            (TRAIT_DOALL, TRAIT_REDUCTION),
+        ),
+        BenchmarkProgram(
+            "applu_like", "specfp2000", _APPLU,
+            "SSOR line solve: serial sweep over parallel lines",
+            (TRAIT_FREQUENT_MEM_LCD, TRAIT_DOALL),
+        ),
+        BenchmarkProgram(
+            "mesa_like", "specfp2000", _MESA,
+            "graphics pipeline stages behind helper calls",
+            (TRAIT_DOALL, TRAIT_CALLS, TRAIT_REDUCTION),
+        ),
+        BenchmarkProgram(
+            "art_like", "specfp2000", _ART,
+            "template matching with rare resonance conflicts (PDOALL wins)",
+            (TRAIT_DOALL, TRAIT_REDUCTION, TRAIT_INFREQUENT_MEM_LCD,
+             TRAIT_PDOALL_FRIENDLY),
+        ),
+        BenchmarkProgram(
+            "equake_like", "specfp2000", _EQUAKE,
+            "sparse matvec with indirection + energy reduction",
+            (TRAIT_DOALL, TRAIT_REDUCTION),
+        ),
+        BenchmarkProgram(
+            "ammp_like", "specfp2000", _AMMP,
+            "force loop with a stride-predictable cutoff recurrence",
+            (TRAIT_REDUCTION, TRAIT_PREDICTABLE_LCD),
+        ),
+        BenchmarkProgram(
+            "sixtrack_like", "specfp2000", _SIXTRACK,
+            "particle tracking: float stride recurrence per turn",
+            (TRAIT_DOALL, TRAIT_PREDICTABLE_LCD, TRAIT_CALLS),
+        ),
+    ]

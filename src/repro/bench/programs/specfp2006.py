@@ -1,0 +1,369 @@
+"""SpecFP2006-like suite (numeric).
+
+Design intent (paper §IV): FP2006 benefits mostly from ``dep2`` (predictable
+recurrences) and ``fn2`` (helpers in hot loops), somewhat less from
+``reduc1`` than FP2000. ``450_soplex`` and ``482_sphinx`` are Fig. 4
+PDOALL-wins cases: their hot loops conflict rarely, so speculative restarts
+beat HELIX's per-iteration synchronization.
+"""
+
+from __future__ import annotations
+
+from ..program import (
+    BenchmarkProgram,
+    TRAIT_CALLS,
+    TRAIT_DOALL,
+    TRAIT_INFREQUENT_MEM_LCD,
+    TRAIT_PDOALL_FRIENDLY,
+    TRAIT_PREDICTABLE_LCD,
+    TRAIT_REDUCTION,
+)
+
+_BWAVES = r"""
+// bwaves_like: blast-wave flux stencil, old grid -> new grid, plus a
+// stability (CFL) max-reduction.
+int N = 56;
+float Q[3136]; float QN[3136];
+float CHK = 0.0;
+
+int main() {
+  int it; int i; int j;
+  float cfl = 0.0;
+  Q[0] = 0.125;
+  for (i = 1; i < N * N; i = i + 1) {
+    Q[i] = Q[i - 1] * 0.5 + (noise_f64(i) - 0.5);
+  }
+  for (it = 0; it < 3; it = it + 1) {
+    for (i = 1; i < N - 1; i = i + 1) {
+      for (j = 1; j < N - 1; j = j + 1) {
+        float flux = Q[(i + 1) * N + j] - Q[(i - 1) * N + j]
+                   + Q[i * N + j + 1] - Q[i * N + j - 1];
+        QN[i * N + j] = Q[i * N + j] + 0.1 * flux;
+      }
+    }
+    for (i = 1; i < N - 1; i = i + 1) {
+      for (j = 1; j < N - 1; j = j + 1) {
+        Q[i * N + j] = QN[i * N + j];
+      }
+    }
+  }
+  for (i = 0; i < N * N; i = i + 1) {
+    if (Q[i] > cfl) { cfl = Q[i]; }
+  }
+  CHK = cfl;
+  return (int)(cfl * 1024.0);
+}
+"""
+
+_MILC = r"""
+// milc_like: lattice link updates through small complex-arithmetic helpers.
+int NL = 1400;
+float LRE[1400]; float LIM[1400];
+float GRE[1400]; float GIM[1400];
+float CHK = 0.0;
+
+float cmul_re(float ar, float ai, float br, float bi) {
+  return ar * br - ai * bi;
+}
+
+float cmul_im(float ar, float ai, float br, float bi) {
+  return ar * bi + ai * br;
+}
+
+int main() {
+  int s;
+  float action = 0.0;
+  LRE[0] = 0.25;
+  for (s = 1; s < NL; s = s + 1) {
+    LRE[s] = LRE[s - 1] * 0.5 + (noise_f64(s) - 0.5);
+  }
+  for (s = 0; s < NL; s = s + 1) {
+    LIM[s] = noise_f64(s + 3000) - 0.5;
+    GRE[s] = noise_f64(s + 6000) - 0.5;
+    GIM[s] = noise_f64(s + 9000) - 0.5;
+  }
+  for (s = 0; s < NL; s = s + 1) {
+    float nr = cmul_re(LRE[s], LIM[s], GRE[s], GIM[s]);
+    float ni = cmul_im(LRE[s], LIM[s], GRE[s], GIM[s]);
+    LRE[s] = nr;
+    LIM[s] = ni;
+  }
+  for (s = 0; s < NL; s = s + 1) { action = action + LRE[s] * LRE[s]; }
+  CHK = action;
+  return (int)(action * 4.0);
+}
+"""
+
+_NAMD = r"""
+// namd_like: pair-list force kernel. The neighbour-list cursor advances by
+// a data-independent fixed stride (predictable LCD, opaque to SCEV because
+// it wraps through a conditional reset); forces accumulate per atom.
+int NA = 300;
+int NPAIR = 12;
+float POS[300]; float FRC[300];
+float CHK = 0.0;
+
+int main() {
+  int i; int k;
+  int cursor = 0;
+  float total = 0.0;
+  POS[0] = 1.0;
+  for (i = 1; i < NA; i = i + 1) {
+    POS[i] = POS[i - 1] * 0.5 + noise_f64(i * 3) * 8.0;
+  }
+  for (i = 0; i < NA; i = i + 1) {
+    float f = 0.0;
+    for (k = 0; k < NPAIR; k = k + 1) {
+      float d = POS[i] - POS[(i + k * 11 + 3) % 300];
+      f = f + d / (0.5 + d * d);
+    }
+    FRC[i] = f;
+    cursor = cursor + 7;
+    if (cursor > 4096) { cursor = cursor - 4096; }
+  }
+  for (i = 0; i < NA; i = i + 1) { total = total + FRC[i]; }
+  CHK = total + (float)0;
+  return (int)total;
+}
+"""
+
+_DEALII = r"""
+// dealii_like: FEM assembly. Element contributions scatter into a global
+// vector; neighbouring elements share a node only at a coarse stride, so
+// conflicts are infrequent.
+int NE = 480;
+float GLOBALV[964];
+float CHK = 0.0;
+
+int main() {
+  int e; int q;
+  float total = 0.0;
+  // Serial mesh read feeding the element loop.
+  GLOBALV[0] = 0.0078125;
+  for (e = 1; e < NE; e = e + 1) {
+    GLOBALV[e % 964] = GLOBALV[(e - 1) % 964] * 0.5 + 0.001;
+  }
+  for (e = 0; e < NE; e = e + 1) {
+    float contrib = 0.0;
+    for (q = 0; q < 6; q = q + 1) {
+      float x = noise_f64(e * 6 + q) - 0.5;
+      contrib = contrib + x * x;
+    }
+    GLOBALV[e * 2] = GLOBALV[e * 2] + contrib;
+    // Every 16th element also touches its right neighbour's node,
+    // producing the rare cross-iteration RAW.
+    if ((e & 15) == 0) {
+      GLOBALV[e * 2 + 2] = GLOBALV[e * 2 + 2] + 0.5 * contrib;
+    }
+  }
+  for (e = 0; e < NE * 2; e = e + 1) { total = total + GLOBALV[e]; }
+  CHK = total;
+  return (int)(total * 2.0);
+}
+"""
+
+_SOPLEX = r"""
+// soplex_like: simplex pricing scan. Candidate columns are scored
+// independently; the shared incumbent state is rewritten only on the rare
+// improving column -- the canonical PDOALL-beats-HELIX shape.
+int NC = 620;
+int NR = 12;
+float COLSEED[620];
+float PRICE[620];
+float BESTV[4];
+float CHK = 0.0;
+
+int main() {
+  int c; int r;
+  float total = 0.0;
+  BESTV[0] = -1000.0;
+  // Serial read of the column file (one seed per column).
+  COLSEED[0] = 0.0625;
+  for (c = 1; c < NC; c = c + 1) {
+    COLSEED[c] = COLSEED[c - 1] * 0.25 + (noise_f64(c) - 0.5);
+  }
+  for (c = 0; c < NC; c = c + 1) {
+    // Early read of the incumbent (consumer at iteration top)...
+    float bound = BESTV[0];
+    float score = bound * 0.0001;
+    float x = COLSEED[c];
+    for (r = 0; r < NR; r = r + 1) {
+      x = x * 0.8 + 0.3;
+      score = score + x * x - 0.4;
+    }
+    PRICE[c] = score;
+    // ...rare, late improving-column rewrite: a running max fires
+    // O(log n) times (producer at iteration end).
+    if (score > bound) {
+      BESTV[0] = score + 0.5;
+    }
+  }
+  for (c = 0; c < NC; c = c + 1) { total = total + PRICE[c]; }
+  CHK = total + BESTV[0];
+  return (int)(total * 2.0);
+}
+"""
+
+_POVRAY = r"""
+// povray_like: ray-sphere intersection tests through math helpers.
+int NRAY = 520;
+float OX[520]; float OY[520];
+float HIT[520];
+float CHK = 0.0;
+
+float ray_hit(float ox, float oy) {
+  float b = ox * 0.8 + oy * 0.6;
+  float c = ox * ox + oy * oy - 1.0;
+  float disc = b * b - c;
+  if (disc < 0.0) { return 0.0; }
+  return 0.0 - b + sqrt(disc);
+}
+
+int main() {
+  int r;
+  float total = 0.0;
+  OX[0] = 0.5;
+  for (r = 1; r < NRAY; r = r + 1) {
+    OX[r] = OX[r - 1] * 0.5 + noise_f64(r) - 0.5;
+  }
+  for (r = 0; r < NRAY; r = r + 1) {
+    OY[r] = noise_f64(r + 600) * 2.0 - 1.0;
+  }
+  for (r = 0; r < NRAY; r = r + 1) {
+    HIT[r] = ray_hit(OX[r], OY[r]);
+  }
+  for (r = 0; r < NRAY; r = r + 1) { total = total + HIT[r]; }
+  CHK = total;
+  return (int)(total * 8.0);
+}
+"""
+
+_LBM = r"""
+// lbm_like: lattice Boltzmann stream-and-collide over two grids.
+int N = 52;
+float F0[2704]; float F1[2704];
+float CHK = 0.0;
+
+int main() {
+  int it; int i; int j;
+  float mass = 0.0;
+  F0[0] = 0.75;
+  for (i = 1; i < N * N; i = i + 1) {
+    F0[i] = F0[i - 1] * 0.5 + noise_f64(i) * 0.5 + 0.25;
+  }
+  for (it = 0; it < 3; it = it + 1) {
+    for (i = 1; i < N - 1; i = i + 1) {
+      for (j = 1; j < N - 1; j = j + 1) {
+        float rho = F0[i * N + j] + 0.25 * (F0[(i - 1) * N + j]
+                  + F0[(i + 1) * N + j] + F0[i * N + j - 1] + F0[i * N + j + 1]);
+        F1[i * N + j] = F0[i * N + j] + 0.6 * (rho * 0.2 - F0[i * N + j]);
+      }
+    }
+    for (i = 1; i < N - 1; i = i + 1) {
+      for (j = 1; j < N - 1; j = j + 1) {
+        F0[i * N + j] = F1[i * N + j];
+      }
+    }
+  }
+  for (i = 0; i < N * N; i = i + 1) { mass = mass + F0[i]; }
+  CHK = mass;
+  return (int)mass;
+}
+"""
+
+_SPHINX = r"""
+// sphinx_like: per-frame Gaussian mixture scoring via a helper; the running
+// best-score normalizer is rewritten only when a frame beats it by a margin
+// (rare) -- the other Fig. 4 PDOALL-wins case.
+int NF = 360;
+int NG = 10;
+float FEAT[360];
+float MEAN[10]; float PREC[10];
+float SCORE[360];
+float NORM[4];
+float CHK = 0.0;
+
+float gauss(float x, float mean, float prec) {
+  float d = x - mean;
+  return 0.0 - d * d * prec;
+}
+
+int main() {
+  int f; int g;
+  float total = 0.0;
+  NORM[0] = -900.0;
+  FEAT[0] = 0.5;
+  for (f = 1; f < NF; f = f + 1) {
+    FEAT[f] = FEAT[f - 1] * 0.5 + noise_f64(f * 5);
+  }
+  for (g = 0; g < NG; g = g + 1) {
+    MEAN[g] = noise_f64(g + 41) * 2.0;
+    PREC[g] = noise_f64(g + 97) + 0.5;
+  }
+  for (f = 0; f < NF; f = f + 1) {
+    // Early read of the running normalizer; rare late rewrite below.
+    float norm = NORM[0];
+    float best = -1000.0 + norm * 0.0001;
+    for (g = 0; g < NG; g = g + 1) {
+      float s = gauss(FEAT[f], MEAN[g], PREC[g]);
+      if (s > best) { best = s; }
+    }
+    SCORE[f] = best;
+    // Running-max normalizer: rare, late rewrite.
+    if (best > norm) {
+      NORM[0] = best + 0.125;
+    }
+  }
+  for (f = 0; f < NF; f = f + 1) { total = total + SCORE[f]; }
+  CHK = total + NORM[0];
+  return (int)(0.0 - total);
+}
+"""
+
+
+def programs():
+    """The SpecFP2006-like suite."""
+    return [
+        BenchmarkProgram(
+            "bwaves_like", "specfp2006", _BWAVES,
+            "blast-wave flux stencil with a CFL max-reduction",
+            (TRAIT_DOALL, TRAIT_REDUCTION),
+        ),
+        BenchmarkProgram(
+            "milc_like", "specfp2006", _MILC,
+            "lattice link updates through complex-mult helpers",
+            (TRAIT_DOALL, TRAIT_CALLS),
+        ),
+        BenchmarkProgram(
+            "namd_like", "specfp2006", _NAMD,
+            "pair-list forces with a predictable cursor recurrence",
+            (TRAIT_DOALL, TRAIT_REDUCTION, TRAIT_PREDICTABLE_LCD),
+        ),
+        BenchmarkProgram(
+            "dealii_like", "specfp2006", _DEALII,
+            "FEM assembly with rare shared-node conflicts",
+            (TRAIT_DOALL, TRAIT_INFREQUENT_MEM_LCD),
+        ),
+        BenchmarkProgram(
+            "soplex_like", "specfp2006", _SOPLEX,
+            "simplex pricing scan with rare incumbent updates (PDOALL wins)",
+            (TRAIT_DOALL, TRAIT_REDUCTION, TRAIT_INFREQUENT_MEM_LCD,
+             TRAIT_PDOALL_FRIENDLY),
+        ),
+        BenchmarkProgram(
+            "povray_like", "specfp2006", _POVRAY,
+            "ray-sphere intersection through math helpers",
+            (TRAIT_DOALL, TRAIT_CALLS),
+        ),
+        BenchmarkProgram(
+            "lbm_like", "specfp2006", _LBM,
+            "lattice Boltzmann stream-and-collide over two grids",
+            (TRAIT_DOALL, TRAIT_REDUCTION),
+        ),
+        BenchmarkProgram(
+            "sphinx_like", "specfp2006", _SPHINX,
+            "GMM frame scoring with a rare normalizer rewrite (PDOALL wins)",
+            (TRAIT_DOALL, TRAIT_CALLS, TRAIT_INFREQUENT_MEM_LCD,
+             TRAIT_PDOALL_FRIENDLY),
+        ),
+    ]

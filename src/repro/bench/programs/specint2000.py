@@ -1,0 +1,556 @@
+"""SpecINT2000-like suite (non-numeric).
+
+Design intent (paper §IV): non-numeric codes are "sufficiently complex that
+their loops are serialized due to frequent true LCDs, both through memory
+and registers, as well as frequent structural (call-stack) hazards". The
+recurring hot-loop shape here is a *stream cursor*: a data-dependent,
+unpredictable register LCD (``pos += length-of-current-token``) computed
+**early** in the iteration, followed by the heavy per-token work. DOALL and
+Partial-DOALL can do nothing with it; HELIX ``dep1`` pipelines it — which is
+exactly how the paper gets INT speedups only at ``dep1-fn2`` HELIX.
+
+Every program starts with a *serial input phase*: an in-program LCG chain
+threaded through memory (``A[i] = f(A[i-1])``), standing in for the input
+parsing real SPEC binaries do. It bounds the limit speedup the way real
+serial phases do (Amdahl), is unparallelizable under every (P)DOALL
+configuration, and gains only a small pipelining factor under HELIX. Data
+consumed by control decisions is taken from the *high* bits of the chain so
+the value predictors cannot exploit the LCG's periodic low bits.
+"""
+
+from __future__ import annotations
+
+from ..program import (
+    BenchmarkProgram,
+    TRAIT_CALLS,
+    TRAIT_DOALL,
+    TRAIT_FREQUENT_MEM_LCD,
+    TRAIT_INFREQUENT_MEM_LCD,
+    TRAIT_PDOALL_FRIENDLY,
+    TRAIT_UNPREDICTABLE_LCD,
+    TRAIT_UNSAFE_CALLS,
+)
+
+_GZIP = r"""
+// gzip_like: LZ-style scan over a serially-parsed stream. The cursor
+// advances by the data-dependent match length, resolved at the top of the
+// iteration; the emit/model work below dominates the iteration.
+int SLEN = 10000;
+int STREAM[10000];
+int LITCNT[256];
+int CHK = 0;
+
+int main() {
+  int i;
+  int pos = 0;
+  int emitted = 0;
+  // Serial input phase: LCG chain through memory.
+  STREAM[0] = 48271;
+  for (i = 1; i < SLEN; i = i + 1) {
+    STREAM[i] = (STREAM[i - 1] * 1103515245 + 12345 + i) & 2147483647;
+  }
+  while (pos < SLEN - 8) {
+    int base = pos;
+    int head = (STREAM[base] >> 9) & 255;
+    int mlen = 1 + ((STREAM[base] >> 17) & 7);
+    pos = pos + mlen;                     // early: cursor resolves here
+    int k;
+    int acc = 0;
+    for (k = 0; k < 6; k = k + 1) {       // heavy emit/model update work
+      acc = acc + (((STREAM[base + k] >> 7) * 31 + k) & 1023);
+    }
+    LITCNT[head] = LITCNT[head] + 1;
+    emitted = emitted + acc;
+  }
+  CHK = emitted;
+  return emitted & 65535;
+}
+"""
+
+_VPR = r"""
+// vpr_like: placement annealing. Each move reads and writes two
+// data-dependent cells: frequent, scattered memory LCDs on top of a serial
+// netlist-parse phase.
+int NC = 512;
+int NMOVE = 1500;
+int CELLS[512];
+int MOVA[1500]; int MOVB[1500];
+int CHK = 0;
+
+int main() {
+  int m; int i;
+  int accepted = 0;
+  CELLS[0] = 99991;
+  for (i = 1; i < NC; i = i + 1) {
+    CELLS[i] = (CELLS[i - 1] * 69069 + 12345 + i) & 2147483647;
+  }
+  MOVA[0] = 7;
+  for (m = 1; m < NMOVE; m = m + 1) {
+    MOVA[m] = (MOVA[m - 1] * 1103515245 + 12345) & 2147483647;
+  }
+  for (m = 0; m < NMOVE; m = m + 1) { MOVB[m] = (MOVA[m] >> 13) & 511; }
+  for (m = 0; m < NMOVE; m = m + 1) {
+    int a = (MOVA[m] >> 5) & 511;
+    int b = MOVB[m];
+    int ca = CELLS[a];
+    int cb = CELLS[b];
+    int delta = ((cb & 1023) - (ca & 1023)) * ((m & 3) - 1);
+    if (delta < 16) {
+      CELLS[a] = cb;
+      CELLS[b] = ca;
+      accepted = accepted + 1;
+    }
+  }
+  CHK = accepted;
+  return accepted;
+}
+"""
+
+_GCC = r"""
+// gcc_like: compiler-ish passes over a serially-built instruction table:
+// per-instruction classification through a helper (parallel at fn2), then a
+// worklist sweep with a data-dependent early cursor.
+int NI = 2200;
+int OPS[2200]; int USES[2200]; int FLAGS[2200];
+int CHK = 0;
+
+int classify(int op) {
+  if ((op & 3) == 0) { return 2; }
+  if ((op & 7) < 3) { return 1; }
+  return 3;
+}
+
+int main() {
+  int i;
+  int cursor = 0;
+  int marks = 0;
+  OPS[0] = 31337;
+  for (i = 1; i < NI; i = i + 1) {
+    OPS[i] = (OPS[i - 1] * 1103515245 + 12345 + i * 7) & 2147483647;
+  }
+  for (i = 0; i < NI; i = i + 1) { USES[i] = (OPS[i] >> 19) & 7; }
+  // Pass 1: per-instruction classification (parallel once calls allowed).
+  for (i = 0; i < NI; i = i + 1) {
+    FLAGS[i] = classify((OPS[i] >> 8) & 63);
+  }
+  // Pass 2: worklist walk with a data-dependent stride (early cursor).
+  while (cursor < NI - 4) {
+    int at = cursor;
+    int stride = 1 + ((OPS[at] >> 11) & 3);
+    cursor = cursor + stride;             // early cursor resolution
+    int j;
+    int localsum = 0;
+    for (j = 0; j < 4; j = j + 1) {
+      localsum = localsum + FLAGS[(at + j) % 2200] * USES[(at + j) % 2200];
+    }
+    marks = marks + localsum;
+  }
+  CHK = marks;
+  return marks & 65535;
+}
+"""
+
+_MCF = r"""
+// mcf_like: arc relaxation over a serially-parsed network. Arc checks read
+// node potentials early; the potential rewrite fires rarely and late --
+// the Fig. 4 181_mcf PDOALL-beats-HELIX shape.
+int NA = 1400;
+int ARCS[1400];
+int POT[128];
+int DUAL[1];
+int CHK = 0;
+
+int main() {
+  int a;
+  int improved = 0;
+  ARCS[0] = 271828;
+  for (a = 1; a < NA; a = a + 1) {
+    ARCS[a] = (ARCS[a - 1] * 69069 + 90001 + a) & 2147483647;
+  }
+  for (a = 0; a < 128; a = a + 1) { POT[a] = (ARCS[a * 4] >> 21) & 63; }
+  DUAL[0] = 1000000;
+  for (a = 0; a < NA; a = a + 1) {
+    int best = DUAL[0];         // early read of the running-min dual
+    int tail = (ARCS[a] >> 7) & 127;
+    int head = (ARCS[a] >> 14) & 127;
+    int reduced = ((ARCS[a] >> 5) & 255) + POT[tail] - POT[head];
+    int w;
+    int score = 0;
+    for (w = 0; w < 8; w = w + 1) {
+      score = score + ((reduced * (w + 3)) & 255);
+    }
+    improved = improved + (score & 7);
+    if (reduced < best) {       // rare (running min), late rewrite
+      DUAL[0] = reduced;
+    }
+  }
+  CHK = improved;
+  return improved & 65535;
+}
+"""
+
+_CRAFTY = r"""
+// crafty_like: board evaluation. An early xor-mask register LCD plus
+// popcount chains: register-only constraints, the dep3 showcase (the
+// bitboards themselves arrive through a serial parse chain).
+int NPOS = 900;
+int BOARDS[900];
+int CHK = 0;
+
+int main() {
+  int p;
+  int total = 0;
+  BOARDS[0] = 555557;
+  for (p = 1; p < NPOS; p = p + 1) {
+    BOARDS[p] = (BOARDS[p - 1] * 1103515245 + 12345 + p * 3) & 2147483647;
+  }
+  int mask = 0;
+  for (p = 0; p < NPOS; p = p + 1) {
+    mask = mask ^ BOARDS[p];      // early, unpredictable register LCD
+    int bits = BOARDS[p];
+    int count = 0;
+    while (bits != 0) {
+      bits = bits & (bits - 1);   // unpredictable chain: b = b & (b-1)
+      count = count + 1;
+    }
+    int score = count * 16 + ((BOARDS[p] ^ mask) & 15);
+    total = total + score;
+  }
+  CHK = total;
+  return total & 65535;
+}
+"""
+
+_PARSER = r"""
+// parser_like: tokenizer over serially-read text. Early data-dependent
+// cursor advance plus link counting into a hash table.
+int TLEN = 8000;
+int TEXT[8000];
+int LINKS[256];
+int CHK = 0;
+
+int main() {
+  int i;
+  int pos = 0;
+  int tokens = 0;
+  TEXT[0] = 1299709;
+  for (i = 1; i < TLEN; i = i + 1) {
+    TEXT[i] = (TEXT[i - 1] * 69069 + 12345 + i) & 2147483647;
+  }
+  while (pos < TLEN - 8) {
+    int at = pos;
+    int tlen = 1 + ((TEXT[at] >> 15) & 3);
+    pos = pos + tlen;                    // early cursor resolution
+    int h = 0;
+    int k;
+    for (k = 0; k < 5; k = k + 1) {
+      h = (h * 33 + ((TEXT[at + k] >> 9) & 127)) & 255;
+    }
+    LINKS[h] = LINKS[h] + 1;
+    tokens = tokens + 1;
+  }
+  CHK = tokens;
+  return tokens;
+}
+"""
+
+_EON = r"""
+// eon_like: C++-style rendering pipeline: per-probe shading through small
+// helpers. Independent probes -> parallel at fn2; the scene description is
+// parsed serially first.
+int NPROBE = 1400;
+int SCENE[1400];
+int SHADE[1400];
+int CHK = 0;
+
+int facet(int x, int y) {
+  int d = x * x + y * y;
+  return (d >> 4) & 255;
+}
+
+int lightmix(int base, int f) {
+  return (base * (255 - f) + f * 96) >> 8;
+}
+
+int main() {
+  int p;
+  int total = 0;
+  SCENE[0] = 104729;
+  for (p = 1; p < NPROBE; p = p + 1) {
+    SCENE[p] = (SCENE[p - 1] * 1103515245 + 12345 + p) & 2147483647;
+  }
+  for (p = 0; p < NPROBE; p = p + 1) {
+    int x = (SCENE[p] >> 8) & 63;
+    int y = (SCENE[p] >> 17) & 63;
+    int f = facet(x, y);
+    SHADE[p] = lightmix(x + y, f);
+  }
+  for (p = 0; p < NPROBE; p = p + 1) { total = total + SHADE[p]; }
+  CHK = total;
+  return total & 65535;
+}
+"""
+
+_PERLBMK = r"""
+// perlbmk_like: bytecode interpreter. The instruction pointer advances by a
+// data-dependent opcode length (early); the virtual stack pointer is a
+// frequent memory LCD whose producers also sit early in the iteration.
+int PLEN = 6000;
+int PROG[6000];
+int STACK[256];
+int SP[1];
+int CHK = 0;
+
+int main() {
+  int i;
+  int ip = 0;
+  int executed = 0;
+  PROG[0] = 611953;
+  for (i = 1; i < PLEN; i = i + 1) {
+    PROG[i] = (PROG[i - 1] * 69069 + 12345 + i * 5) & 2147483647;
+  }
+  SP[0] = 8;
+  while (ip < PLEN - 4) {
+    int base = ip;
+    int op = (PROG[base] >> 10) & 63;
+    int oplen = 1 + (op & 3);
+    ip = ip + oplen;                      // early: ip resolves here
+    int sp = SP[0];
+    int nsp = sp;
+    if ((op & 12) == 0) { nsp = sp + 1; }
+    if ((op & 12) == 4) { nsp = sp - 1; }
+    if (nsp < 4) { nsp = 4; }
+    if (nsp > 250) { nsp = 250; }
+    SP[0] = nsp;                          // early store of the new SP
+    int k;
+    int work = 0;
+    for (k = 0; k < 5; k = k + 1) {       // late: opcode "execution"
+      work = work + ((op * (k + 7) + base) & 511);
+    }
+    STACK[nsp] = work & 1023;
+    executed = executed + 1;
+  }
+  CHK = executed;
+  return executed & 65535;
+}
+"""
+
+_GAP = r"""
+// gap_like: multi-precision arithmetic. The outer loop over independent
+// bignum pairs is parallel (at fn2); the inner digit loop carries the late
+// carry -> early consumer chain that nothing short of dep3 removes. The
+// operand digits arrive through a serial parse chain.
+int NB = 170;
+int ND = 18;
+int RAW[3060];
+int ANUM[3060]; int BNUM[3060]; int RNUM[3060];
+int CHK = 0;
+
+int norm_digit(int s) {
+  if (s < 0) { return 0; }
+  return s % 10;
+}
+
+int main() {
+  int n; int d;
+  int checks = 0;
+  RAW[0] = 777781;
+  for (n = 1; n < NB * ND; n = n + 1) {
+    RAW[n] = (RAW[n - 1] * 1103515245 + 12345 + n) & 2147483647;
+  }
+  for (n = 0; n < NB * ND; n = n + 1) {
+    ANUM[n] = (RAW[n] >> 9) % 10;
+    BNUM[n] = (RAW[n] >> 17) % 10;
+  }
+  for (n = 0; n < NB; n = n + 1) {
+    int carry = 0;
+    for (d = 0; d < ND; d = d + 1) {
+      int s = ANUM[n * ND + d] + BNUM[n * ND + d] + carry;
+      RNUM[n * ND + d] = norm_digit(s);
+      carry = s / 10;                     // late producer, early consumer
+    }
+    checks = checks + RNUM[n * ND] + carry;
+  }
+  CHK = checks;
+  return checks & 65535;
+}
+"""
+
+_VORTEX = r"""
+// vortex_like: object-database transactions over a serially-parsed journal.
+// Object sizes drive an early allocation cursor; inserts hash into buckets
+// with occasional aliasing.
+int NTX = 1100;
+int JRNL[1100];
+int BUCKETS[128];
+int HEAP[8192];
+int CHK = 0;
+
+int main() {
+  int t;
+  int top = 0;
+  int stored = 0;
+  JRNL[0] = 424243;
+  for (t = 1; t < NTX; t = t + 1) {
+    JRNL[t] = (JRNL[t - 1] * 69069 + 90017 + t) & 2147483647;
+  }
+  for (t = 0; t < NTX; t = t + 1) {
+    int sz = 2 + ((JRNL[t] >> 13) & 5);
+    int base = top;
+    top = top + sz;                       // early cursor (data-dependent)
+    int k;
+    int sig = 0;
+    for (k = 0; k < sz; k = k + 1) {
+      HEAP[(base + k) & 8191] = (t * 37 + k) & 255;
+      sig = sig + HEAP[(base + k) & 8191];
+    }
+    int b = sig & 127;
+    BUCKETS[b] = BUCKETS[b] + 1;
+    stored = stored + 1;
+  }
+  CHK = stored + top;
+  return (stored + top) & 65535;
+}
+"""
+
+_BZIP2 = r"""
+// bzip2_like: run-length + MTF modelling over serially-read data. The RLE
+// cursor is unpredictable and resolves early; the model update below
+// dominates.
+int BLEN = 7000;
+int DATA[7000];
+int FREQ[64];
+int CHK = 0;
+
+int main() {
+  int i;
+  int pos = 0;
+  int outlen = 0;
+  DATA[0] = 888887;
+  for (i = 1; i < BLEN; i = i + 1) {
+    DATA[i] = (DATA[i - 1] * 1103515245 + 12345 + i * 11) & 2147483647;
+  }
+  while (pos < BLEN - 6) {
+    int sym = (DATA[pos] >> 12) & 63;
+    int run = 1;
+    if (((DATA[pos + 1] >> 12) & 63) == sym) { run = 2; }
+    if (run == 2 && ((DATA[pos + 2] >> 12) & 63) == sym) { run = 3; }
+    pos = pos + run;                       // early-resolved cursor
+    int k;                                 // model update work
+    int acc = 0;
+    for (k = 0; k < 5; k = k + 1) {
+      acc = acc + ((sym * 17 + k * 29) & 255);
+    }
+    FREQ[sym] = FREQ[sym] + run;
+    outlen = outlen + acc;
+  }
+  CHK = outlen;
+  return outlen & 65535;
+}
+"""
+
+_TWOLF = r"""
+// twolf_like: standard-cell annealing with row-occupancy bookkeeping:
+// frequent scattered memory LCDs keep it near-serial; a periodic
+// temperature log uses unsafe I/O (fn3-only territory).
+int NC = 400;
+int NMOVE = 1200;
+int ROWOCC[32];
+int CELLROW[400];
+int RNDS[1200];
+int CHK = 0;
+
+int main() {
+  int m; int i;
+  int cost = 0;
+  RNDS[0] = 121523;
+  for (m = 1; m < NMOVE; m = m + 1) {
+    RNDS[m] = (RNDS[m - 1] * 69069 + 12345 + m) & 2147483647;
+  }
+  for (i = 0; i < NC; i = i + 1) {
+    CELLROW[i] = (RNDS[i] >> 16) & 31;
+    ROWOCC[CELLROW[i]] = ROWOCC[CELLROW[i]] + 1;
+  }
+  for (m = 0; m < NMOVE; m = m + 1) {
+    int c = (RNDS[m] >> 7) % 400;
+    int newrow = (RNDS[m] >> 21) & 31;
+    int oldrow = CELLROW[c];
+    int gain = ROWOCC[oldrow] - ROWOCC[newrow];
+    if (gain > 0) {
+      ROWOCC[oldrow] = ROWOCC[oldrow] - 1;
+      ROWOCC[newrow] = ROWOCC[newrow] + 1;
+      CELLROW[c] = newrow;
+      cost = cost + gain;
+    }
+    if ((m & 511) == 511) { print_int(cost); }
+  }
+  CHK = cost;
+  return cost & 65535;
+}
+"""
+
+
+def programs():
+    """The SpecINT2000-like suite."""
+    return [
+        BenchmarkProgram(
+            "gzip_like", "specint2000", _GZIP,
+            "LZ scan: early data-dependent cursor + heavy emit work",
+            (TRAIT_UNPREDICTABLE_LCD, TRAIT_FREQUENT_MEM_LCD),
+        ),
+        BenchmarkProgram(
+            "vpr_like", "specint2000", _VPR,
+            "placement annealing: scattered read/write cell conflicts",
+            (TRAIT_FREQUENT_MEM_LCD,),
+        ),
+        BenchmarkProgram(
+            "gcc_like", "specint2000", _GCC,
+            "compiler passes: helper calls + worklist cursor",
+            (TRAIT_CALLS, TRAIT_UNPREDICTABLE_LCD, TRAIT_DOALL),
+        ),
+        BenchmarkProgram(
+            "mcf_like", "specint2000", _MCF,
+            "arc relaxation with rare potential rewrites (PDOALL wins)",
+            (TRAIT_INFREQUENT_MEM_LCD, TRAIT_PDOALL_FRIENDLY),
+        ),
+        BenchmarkProgram(
+            "crafty_like", "specint2000", _CRAFTY,
+            "board eval: xor-mask + popcount chains (dep3 unlocks)",
+            (TRAIT_UNPREDICTABLE_LCD,),
+        ),
+        BenchmarkProgram(
+            "parser_like", "specint2000", _PARSER,
+            "tokenizer: early cursor + hash-bucket link counts",
+            (TRAIT_UNPREDICTABLE_LCD, TRAIT_INFREQUENT_MEM_LCD),
+        ),
+        BenchmarkProgram(
+            "eon_like", "specint2000", _EON,
+            "probe shading through helpers: parallel only at fn2",
+            (TRAIT_DOALL, TRAIT_CALLS),
+        ),
+        BenchmarkProgram(
+            "perlbmk_like", "specint2000", _PERLBMK,
+            "bytecode interpreter: early ip/sp, late opcode execution",
+            (TRAIT_UNPREDICTABLE_LCD, TRAIT_FREQUENT_MEM_LCD),
+        ),
+        BenchmarkProgram(
+            "gap_like", "specint2000", _GAP,
+            "bignum adds: parallel numbers over serial carry chains",
+            (TRAIT_DOALL, TRAIT_UNPREDICTABLE_LCD, TRAIT_CALLS),
+        ),
+        BenchmarkProgram(
+            "vortex_like", "specint2000", _VORTEX,
+            "object DB: early allocation cursor + bucket inserts",
+            (TRAIT_UNPREDICTABLE_LCD, TRAIT_INFREQUENT_MEM_LCD),
+        ),
+        BenchmarkProgram(
+            "bzip2_like", "specint2000", _BZIP2,
+            "RLE/MTF: early run-length cursor + model updates",
+            (TRAIT_UNPREDICTABLE_LCD, TRAIT_FREQUENT_MEM_LCD),
+        ),
+        BenchmarkProgram(
+            "twolf_like", "specint2000", _TWOLF,
+            "cell annealing with unsafe logging (fn3-only loop)",
+            (TRAIT_FREQUENT_MEM_LCD, TRAIT_UNSAFE_CALLS),
+        ),
+    ]

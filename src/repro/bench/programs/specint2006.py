@@ -1,0 +1,557 @@
+"""SpecINT2006-like suite (non-numeric).
+
+Design intent (paper §IV): INT2006 follows the INT2000 pattern (frequent
+register and memory LCDs, calls everywhere) but contains a few famously
+parallel members — ``libquantum`` (data-parallel gate application),
+``hmmer`` (DP rows), ``h264ref`` (independent macroblocks) — which is why
+the paper reports higher limits for INT2006 than INT2000 at every
+configuration (2.0 vs 1.2 at ``dep2-fn2`` PDOALL; 7.2 vs 4.6 at
+``dep1-fn2`` HELIX). ``429_mcf`` is a Fig. 4 PDOALL-wins case.
+"""
+
+from __future__ import annotations
+
+from ..program import (
+    BenchmarkProgram,
+    TRAIT_CALLS,
+    TRAIT_DOALL,
+    TRAIT_FREQUENT_MEM_LCD,
+    TRAIT_INFREQUENT_MEM_LCD,
+    TRAIT_PDOALL_FRIENDLY,
+    TRAIT_UNPREDICTABLE_LCD,
+)
+
+_PERLBENCH = r"""
+// perlbench_like: regex-ish matcher VM. Early data-dependent pc advance,
+// helper call in the hot loop, match-state table with early producers.
+int PLEN = 6000;
+int PAT[6000];
+int STATE[64];
+int CHK = 0;
+
+int step_class(int op, int c) {
+  if ((op & 3) == 0) { return (c & 7); }
+  if ((op & 3) == 1) { return (c >> 3) & 7; }
+  return (c * 3) & 7;
+}
+
+int main() {
+  int i;
+  int pc = 0;
+  int matches = 0;
+  PAT[0] = 141650963;
+  for (i = 1; i < PLEN; i = i + 1) {
+    PAT[i] = (PAT[i - 1] * 1103515245 + 12345 + i * 3) & 2147483647;
+  }
+  while (pc < PLEN - 4) {
+    int at = pc;
+    int op = (PAT[at] >> 11) & 63;
+    int adv = 1 + (op & 3);
+    pc = pc + adv;                        // early pc resolution
+    int cls = step_class(op, (PAT[at + 1] >> 6) & 255);
+    STATE[cls * 8] = STATE[cls * 8] + 1;  // early-ish table update
+    int k;
+    int work = 0;
+    for (k = 0; k < 5; k = k + 1) {
+      work = work + ((op * (k + 11) + at) & 255);
+    }
+    matches = matches + (work & 3);
+  }
+  CHK = matches;
+  return matches & 65535;
+}
+"""
+
+_BZIP2_06 = r"""
+// bzip2_like06: block compressor. Blocks are independent (outer loop
+// parallel at fn2); within a block the RLE cursor is the usual early
+// unpredictable register LCD.
+int NBLK = 60;
+int BLEN = 128;
+int DATA[7680];
+int OUTV[60];
+int CHK = 0;
+
+int rle_len(int a, int b) {
+  if (a == b) { return 2; }
+  return 1;
+}
+
+int main() {
+  int blk; int i;
+  int total = 0;
+  DATA[0] = 2017;
+  for (i = 1; i < NBLK * BLEN; i = i + 1) {
+    DATA[i] = (DATA[i - 1] * 69069 + 12345 + i) & 2147483647;
+  }
+  for (blk = 0; blk < NBLK; blk = blk + 1) {
+    int pos = 0;
+    int acc = 0;
+    while (pos < BLEN - 2) {
+      int at = blk * BLEN + pos;
+      int run = rle_len((DATA[at] >> 9) & 31, (DATA[at + 1] >> 9) & 31);
+      pos = pos + run;                   // early cursor (inner loop)
+      acc = acc + ((DATA[at] >> 9) & 31) * run;
+    }
+    OUTV[blk] = acc;
+  }
+  for (blk = 0; blk < NBLK; blk = blk + 1) { total = total + OUTV[blk]; }
+  CHK = total;
+  return total & 65535;
+}
+"""
+
+_GCC_06 = r"""
+// gcc_like06: dataflow solver. Iterate-to-fixpoint over basic blocks: the
+// outer pass loop carries the whole fact table (frequent memory LCD), the
+// inner per-block update is parallel once its helper call is admitted.
+int NB = 180;
+int FACTS[180]; int SUCC1[180]; int SUCC2[180];
+int CHK = 0;
+
+int meet(int a, int b) {
+  return a & b;
+}
+
+int main() {
+  int pass; int b;
+  int changed = 0;
+  FACTS[0] = 65537;
+  for (b = 1; b < NB; b = b + 1) {
+    FACTS[b] = (FACTS[b - 1] * 1103515245 + 12345 + b) & 2147483647;
+  }
+  for (b = 0; b < NB; b = b + 1) {
+    SUCC1[b] = (FACTS[b] >> 8) % 180;
+    SUCC2[b] = (FACTS[b] >> 17) % 180;
+  }
+  for (b = 0; b < NB; b = b + 1) { FACTS[b] = FACTS[b] & 1023; }
+  for (pass = 0; pass < 8; pass = pass + 1) {
+    for (b = 0; b < NB; b = b + 1) {
+      int fresh = meet(FACTS[SUCC1[b]], FACTS[SUCC2[b]]) | (b & 15);
+      if (fresh != FACTS[b]) {
+        FACTS[b] = fresh;
+        changed = changed + 1;
+      }
+    }
+  }
+  CHK = changed;
+  return changed;
+}
+"""
+
+_MCF_06 = r"""
+// mcf_like06: SPP network simplex pricing, bigger arc set than the 2000
+// edition; rare late potential rewrites -> PDOALL wins (Fig. 4 429_mcf).
+int NA = 1800;
+int TAIL[1800]; int HEAD[1800]; int COST[1800];
+int POT[160];
+int DUAL[1];
+int CHK = 0;
+
+int main() {
+  int a;
+  int pushes = 0;
+  TAIL[0] = 7368787;
+  for (a = 1; a < NA; a = a + 1) {
+    TAIL[a] = (TAIL[a - 1] * 69069 + 90021 + a) & 2147483647;
+  }
+  for (a = 0; a < NA; a = a + 1) {
+    HEAD[a] = (TAIL[a] >> 12) % 160;
+    COST[a] = (TAIL[a] >> 5) & 511;
+  }
+  for (a = 0; a < 160; a = a + 1) { POT[a] = (TAIL[a * 8] >> 20) & 127; }
+  for (a = 0; a < NA; a = a + 1) { TAIL[a] = (TAIL[a] >> 3) % 160; }
+  DUAL[0] = 1000000;
+  for (a = 0; a < NA; a = a + 1) {
+    int best = DUAL[0];                  // early read of the running min
+    int red = COST[a] + POT[TAIL[a]] - POT[HEAD[a]];
+    int w;
+    int score = 0;
+    for (w = 0; w < 6; w = w + 1) {
+      score = score + ((red * (w + 5)) & 511);
+    }
+    pushes = pushes + (score & 3);
+    if (red < best) {                    // rare (running min), late rewrite
+      DUAL[0] = red;
+    }
+  }
+  CHK = pushes;
+  return pushes & 65535;
+}
+"""
+
+_GOBMK = r"""
+// gobmk_like: move generation/evaluation. Candidate moves are scored
+// independently through helpers; the game-state update loop that follows is
+// a short serial chain.
+int NMOVES = 520;
+int BOARD[361];
+int SCOREV[520];
+int CHK = 0;
+
+int influence(int stone, int dist) {
+  if (dist == 0) { return stone * 4; }
+  return (stone * 4) / (dist + 1);
+}
+
+int main() {
+  int m; int d;
+  int total = 0;
+  BOARD[0] = 19937;
+  for (m = 1; m < 361; m = m + 1) {
+    BOARD[m] = (BOARD[m - 1] * 1103515245 + 12345 + m) & 2147483647;
+  }
+  for (m = 0; m < 361; m = m + 1) { BOARD[m] = (BOARD[m] >> 14) % 3; }
+  for (m = 0; m < NMOVES; m = m + 1) {
+    int pt = (m * 7) % 361;
+    int acc = 0;
+    for (d = 0; d < 6; d = d + 1) {
+      acc = acc + influence(BOARD[(pt + d * d) % 361], d);
+    }
+    SCOREV[m] = acc;
+  }
+  int state = 1;
+  for (m = 0; m < NMOVES; m = m + 1) {
+    state = ((state * 5 + SCOREV[m]) & 4095) | 1;   // unpredictable chain
+    total = total + (state & 15);
+  }
+  CHK = total;
+  return total & 65535;
+}
+"""
+
+_HMMER = r"""
+// hmmer_like: profile-HMM DP. Rows depend on the previous row (frequent
+// memory LCD across the outer loop) but the per-row cell loop is parallel
+// and dominated by max/add work: the "numeric-ish" INT2006 member.
+int NROW = 90;
+int NCOL = 64;
+int PREV[64]; int CUR[64];
+int EMIT[5760];
+int CHK = 0;
+
+int main() {
+  int r; int c;
+  int best = 0;
+  EMIT[0] = 104711;
+  for (r = 1; r < NROW * NCOL; r = r + 1) {
+    EMIT[r] = (EMIT[r - 1] * 69069 + 12345 + r) & 2147483647;
+  }
+  for (r = 0; r < NROW * NCOL; r = r + 1) { EMIT[r] = (EMIT[r] >> 10) & 63; }
+  for (c = 0; c < NCOL; c = c + 1) { PREV[c] = 0; }
+  for (r = 1; r < NROW; r = r + 1) {
+    for (c = 1; c < NCOL; c = c + 1) {
+      int up = PREV[c] + 3;
+      int diag = PREV[c - 1] + EMIT[r * NCOL + c];
+      int m = up;
+      if (diag > m) { m = diag; }
+      CUR[c] = m;
+    }
+    for (c = 1; c < NCOL; c = c + 1) { PREV[c] = CUR[c]; }
+  }
+  for (c = 1; c < NCOL; c = c + 1) {
+    if (PREV[c] > best) { best = PREV[c]; }
+  }
+  CHK = best;
+  return best;
+}
+"""
+
+_SJENG = r"""
+// sjeng_like: game-tree scan with hash-table probes. The Zobrist-style key
+// is an unpredictable register LCD threaded through every node; probe
+// writes alias occasionally.
+int NNODE = 1000;
+int MOVES[1000];
+int TT[512];
+int CHK = 0;
+
+int main() {
+  int n;
+  int key = 12345;
+  int hits = 0;
+  MOVES[0] = 262147;
+  for (n = 1; n < NNODE; n = n + 1) {
+    MOVES[n] = (MOVES[n - 1] * 1103515245 + 12345 + n * 13) & 2147483647;
+  }
+  for (n = 0; n < NNODE; n = n + 1) {
+    key = (key * 2654435761 + MOVES[n]) & 2147483647;  // early, unpredictable
+    int slot = key & 511;
+    int k;
+    int evalv = 0;
+    for (k = 0; k < 6; k = k + 1) {
+      evalv = evalv + ((MOVES[n] >> k) & 31);
+    }
+    if (TT[slot] == 0) { TT[slot] = evalv | 1; }
+    if (TT[slot] != 0) { hits = hits + 1; }
+  }
+  CHK = hits + (key & 255);
+  return (hits + key) & 65535;
+}
+"""
+
+_LIBQUANTUM = r"""
+// libquantum_like: quantum gate application. Pure bit-manipulation sweeps
+// over the amplitude index array -- data-parallel with no calls at all, the
+// famously DOALL member of INT2006.
+int NSTATE = 4096;
+int AMP[4096];
+int CHK = 0;
+
+int main() {
+  int g; int i;
+  int parity = 0;
+  AMP[0] = 40961;
+  for (i = 1; i < NSTATE; i = i + 1) {
+    AMP[i] = (AMP[i - 1] * 69069 + 12345 + i) & 2147483647;
+  }
+  for (i = 0; i < NSTATE; i = i + 1) { AMP[i] = (AMP[i] >> 8) & 4095; }
+  for (g = 0; g < 4; g = g + 1) {
+    for (i = 0; i < NSTATE; i = i + 1) {
+      AMP[i] = AMP[i] ^ (1 << g) ^ ((AMP[i] >> 3) & 7);
+    }
+  }
+  for (i = 0; i < NSTATE; i = i + 1) { parity = parity ^ AMP[i]; }
+  CHK = parity;
+  return parity & 65535;
+}
+"""
+
+_H264 = r"""
+// h264ref_like: motion estimation. Macroblock SAD searches are independent
+// (parallel at fn2); the reconstruction sweep depends on the left
+// neighbour with an early producer -- HELIX pipelines it.
+int NMB = 140;
+int NCAND = 8;
+int REFB[2240]; int CURB[2240];
+int BESTSAD[140];
+int RECON[140];
+int CHK = 0;
+
+int sad16(int a, int b) {
+  int d = a - b;
+  if (d < 0) { return 0 - d; }
+  return d;
+}
+
+int main() {
+  int mb; int c; int k;
+  int total = 0;
+  REFB[0] = 84631;
+  for (k = 1; k < NMB * 16; k = k + 1) {
+    REFB[k] = (REFB[k - 1] * 1103515245 + 12345 + k) & 2147483647;
+  }
+  for (k = 0; k < NMB * 16; k = k + 1) {
+    CURB[k] = (REFB[k] >> 13) & 255;
+    REFB[k] = (REFB[k] >> 5) & 255;
+  }
+  for (mb = 0; mb < NMB; mb = mb + 1) {
+    int best = 1000000;
+    for (c = 0; c < NCAND; c = c + 1) {
+      int acc = 0;
+      for (k = 0; k < 16; k = k + 1) {
+        acc = acc + sad16(CURB[mb * 16 + k], REFB[((mb + c) % 140) * 16 + k]);
+      }
+      if (acc < best) { best = acc; }
+    }
+    BESTSAD[mb] = best;
+  }
+  RECON[0] = BESTSAD[0];
+  for (mb = 1; mb < NMB; mb = mb + 1) {
+    int pred = RECON[mb - 1] >> 1;        // early producer read
+    RECON[mb] = pred + (BESTSAD[mb] & 63);  // early producer write
+    int w;
+    int filt = 0;
+    for (w = 0; w < 8; w = w + 1) {       // late deblocking-ish work
+      filt = filt + ((RECON[mb] * (w + 3)) & 255);
+    }
+    total = total + (filt & 7);
+  }
+  CHK = total;
+  return total & 65535;
+}
+"""
+
+_OMNETPP = r"""
+// omnetpp_like: discrete-event simulation. The event clock and the queue
+// head index form a serial chain through every iteration; the queue array
+// is rewritten each event (frequent memory LCD, late producers).
+int NEV = 900;
+int QUEUE[256];
+int CHK = 0;
+
+int main() {
+  int e; int i;
+  int clock = 0;
+  int head = 0;
+  int fired = 0;
+  QUEUE[0] = 524287;
+  for (i = 1; i < 256; i = i + 1) {
+    QUEUE[i] = (QUEUE[i - 1] * 69069 + 12345 + i) & 1023;
+  }
+  for (e = 0; e < NEV; e = e + 1) {
+    int ev = QUEUE[head & 255];
+    clock = clock + (ev & 15) + 1;        // serial clock advance
+    int k;
+    int effect = 0;
+    for (k = 0; k < 6; k = k + 1) {
+      effect = effect + ((ev * (k + 3) + clock) & 511);
+    }
+    QUEUE[(head + (effect & 63)) & 255] = (ev + effect) & 1023;  // late insert
+    head = head + 1 + (effect & 1);       // late head update
+    fired = fired + 1;
+  }
+  CHK = fired + clock;
+  return (fired + clock) & 65535;
+}
+"""
+
+_ASTAR = r"""
+// astar_like: grid path relaxation. Wavefront passes relax all cells from
+// their neighbours (parallel within a pass at fn2); pass-to-pass carries
+// the whole cost grid.
+int W = 48;
+int COSTG[2304]; int DIST[2304];
+int CHK = 0;
+
+int relax(int current, int candidate) {
+  if (candidate < current) { return candidate; }
+  return current;
+}
+
+int main() {
+  int pass; int i; int j;
+  int total = 0;
+  COSTG[0] = 92821;
+  for (i = 1; i < W * W; i = i + 1) {
+    COSTG[i] = (COSTG[i - 1] * 1103515245 + 12345 + i) & 2147483647;
+  }
+  for (i = 0; i < W * W; i = i + 1) {
+    COSTG[i] = 1 + ((COSTG[i] >> 9) & 7);
+    DIST[i] = 100000;
+  }
+  DIST[0] = 0;
+  for (pass = 0; pass < 5; pass = pass + 1) {
+    for (i = 1; i < W - 1; i = i + 1) {
+      for (j = 1; j < W - 1; j = j + 1) {
+        int here = DIST[i * W + j];
+        int viaw = DIST[i * W + j - 1] + COSTG[i * W + j];
+        int vian = DIST[(i - 1) * W + j] + COSTG[i * W + j];
+        here = relax(here, viaw);
+        here = relax(here, vian);
+        DIST[i * W + j] = here;
+      }
+    }
+  }
+  for (i = 0; i < W * W; i = i + 1) {
+    if (DIST[i] < 100000) { total = total + (DIST[i] & 63); }
+  }
+  CHK = total;
+  return total & 65535;
+}
+"""
+
+_XALANCBMK = r"""
+// xalancbmk_like: tree-to-text transform. The output cursor advances by the
+// node's rendered width (early, data-dependent); rendering goes through a
+// helper; sibling nodes are otherwise independent.
+int NN = 800;
+int NODEW[800]; int KIND[800];
+int OUTBUF[8192];
+int CHK = 0;
+
+int render_width(int kind) {
+  if (kind == 0) { return 3; }
+  if (kind == 1) { return 5; }
+  return 2 + (kind & 3);
+}
+
+int main() {
+  int n; int k;
+  int outpos = 0;
+  int rendered = 0;
+  KIND[0] = 786433;
+  for (n = 1; n < NN; n = n + 1) {
+    KIND[n] = (KIND[n - 1] * 69069 + 12345 + n * 17) & 2147483647;
+  }
+  for (n = 0; n < NN; n = n + 1) { KIND[n] = (KIND[n] >> 12) & 7; }
+  for (n = 0; n < NN; n = n + 1) {
+    int w = render_width(KIND[n]);
+    int base = outpos;
+    outpos = outpos + w;                  // early output cursor
+    for (k = 0; k < w; k = k + 1) {
+      OUTBUF[(base + k) & 8191] = (KIND[n] * 31 + k) & 255;
+    }
+    NODEW[n] = w;
+    rendered = rendered + 1;
+  }
+  for (n = 0; n < NN; n = n + 1) { CHK = CHK + NODEW[n]; }
+  return (CHK + outpos) & 65535;
+}
+"""
+
+
+def programs():
+    """The SpecINT2006-like suite."""
+    return [
+        BenchmarkProgram(
+            "perlbench_like", "specint2006", _PERLBENCH,
+            "regex VM: early pc, helper in hot loop, state table",
+            (TRAIT_UNPREDICTABLE_LCD, TRAIT_FREQUENT_MEM_LCD, TRAIT_CALLS),
+        ),
+        BenchmarkProgram(
+            "bzip2_like06", "specint2006", _BZIP2_06,
+            "block compressor: independent blocks over serial RLE cursors",
+            (TRAIT_DOALL, TRAIT_UNPREDICTABLE_LCD, TRAIT_CALLS),
+        ),
+        BenchmarkProgram(
+            "gcc_like06", "specint2006", _GCC_06,
+            "dataflow fixpoint: serial passes over parallel block updates",
+            (TRAIT_FREQUENT_MEM_LCD, TRAIT_CALLS, TRAIT_DOALL),
+        ),
+        BenchmarkProgram(
+            "mcf_like06", "specint2006", _MCF_06,
+            "network simplex pricing, rare rewrites (PDOALL wins, Fig. 4)",
+            (TRAIT_INFREQUENT_MEM_LCD, TRAIT_PDOALL_FRIENDLY),
+        ),
+        BenchmarkProgram(
+            "gobmk_like", "specint2006", _GOBMK,
+            "move scoring through helpers + short serial state chain",
+            (TRAIT_DOALL, TRAIT_CALLS, TRAIT_UNPREDICTABLE_LCD),
+        ),
+        BenchmarkProgram(
+            "hmmer_like", "specint2006", _HMMER,
+            "profile-HMM DP: serial rows over parallel cells",
+            (TRAIT_FREQUENT_MEM_LCD, TRAIT_DOALL),
+        ),
+        BenchmarkProgram(
+            "sjeng_like", "specint2006", _SJENG,
+            "tree scan with a Zobrist-key register LCD + TT probes",
+            (TRAIT_UNPREDICTABLE_LCD, TRAIT_INFREQUENT_MEM_LCD),
+        ),
+        BenchmarkProgram(
+            "libquantum_like", "specint2006", _LIBQUANTUM,
+            "gate application sweeps: call-free DOALL loops",
+            (TRAIT_DOALL,),
+        ),
+        BenchmarkProgram(
+            "h264ref_like", "specint2006", _H264,
+            "independent SAD searches + left-neighbour reconstruction",
+            (TRAIT_DOALL, TRAIT_CALLS, TRAIT_FREQUENT_MEM_LCD),
+        ),
+        BenchmarkProgram(
+            "omnetpp_like", "specint2006", _OMNETPP,
+            "event simulation: serial clock/queue chain",
+            (TRAIT_UNPREDICTABLE_LCD, TRAIT_FREQUENT_MEM_LCD),
+        ),
+        BenchmarkProgram(
+            "astar_like", "specint2006", _ASTAR,
+            "wavefront relaxation: serial passes over parallel cells",
+            (TRAIT_FREQUENT_MEM_LCD, TRAIT_CALLS, TRAIT_DOALL),
+        ),
+        BenchmarkProgram(
+            "xalancbmk_like", "specint2006", _XALANCBMK,
+            "tree rendering: early output cursor through a helper",
+            (TRAIT_UNPREDICTABLE_LCD, TRAIT_CALLS),
+        ),
+    ]

@@ -1,0 +1,109 @@
+"""Suite registry and cached benchmark runner.
+
+Five suites mirror the paper's benchmark groups:
+
+* non-numeric: ``specint2000``, ``specint2006``
+* numeric: ``eembc``, ``specfp2000``, ``specfp2006``
+
+Profiling a benchmark is the expensive step (one instrumented interpreter
+run); this module memoizes the :class:`~repro.core.framework.Loopapalooza`
+instance per benchmark so the figure harnesses and pytest benchmarks share
+profiles within a process.
+"""
+
+from __future__ import annotations
+
+from ..core.framework import Loopapalooza
+from ..errors import FrameworkError
+from .programs import eembc, specfp2000, specfp2006, specint2000, specint2006
+
+NON_NUMERIC_SUITES = ("specint2000", "specint2006")
+NUMERIC_SUITES = ("eembc", "specfp2000", "specfp2006")
+ALL_SUITES = NON_NUMERIC_SUITES + NUMERIC_SUITES
+
+_SUITE_MODULES = {
+    "eembc": eembc,
+    "specfp2000": specfp2000,
+    "specfp2006": specfp2006,
+    "specint2000": specint2000,
+    "specint2006": specint2006,
+}
+
+
+def suite_programs(suite):
+    """The :class:`BenchmarkProgram` list of one suite."""
+    try:
+        module = _SUITE_MODULES[suite]
+    except KeyError:
+        raise FrameworkError(
+            f"unknown suite {suite!r} (choose from {sorted(_SUITE_MODULES)})"
+        ) from None
+    return module.programs()
+
+
+def all_programs():
+    """Every benchmark across every suite."""
+    result = []
+    for suite in ALL_SUITES:
+        result.extend(suite_programs(suite))
+    return result
+
+
+def find_program(full_name):
+    """Look up ``suite/name``."""
+    suite, _, name = full_name.partition("/")
+    for program in suite_programs(suite):
+        if program.name == name:
+            return program
+    raise FrameworkError(f"unknown benchmark {full_name!r}")
+
+
+class SuiteRunner:
+    """Compiles, profiles, and evaluates benchmarks with caching."""
+
+    def __init__(self, fuel=50_000_000):
+        self.fuel = fuel
+        self._instances = {}
+
+    def instance(self, program):
+        """The (cached) Loopapalooza instance for one benchmark."""
+        key = program.full_name
+        lp = self._instances.get(key)
+        if lp is None:
+            lp = Loopapalooza(program.source, name=key, fuel=self.fuel)
+            lp.profile()
+            self._instances[key] = lp
+        return lp
+
+    def evaluate(self, program, config):
+        return self.instance(program).evaluate(config)
+
+    def evaluate_suite(self, suite, config):
+        """``{benchmark_name: EvaluationResult}`` for one configuration."""
+        return {
+            program.name: self.evaluate(program, config)
+            for program in suite_programs(suite)
+        }
+
+    def suite_speedups(self, suite, config):
+        return {
+            name: result.speedup
+            for name, result in self.evaluate_suite(suite, config).items()
+        }
+
+    def suite_coverages(self, suite, config):
+        return {
+            name: result.coverage
+            for name, result in self.evaluate_suite(suite, config).items()
+        }
+
+
+_DEFAULT_RUNNER = None
+
+
+def default_runner():
+    """Process-wide shared runner (profiles are expensive; share them)."""
+    global _DEFAULT_RUNNER
+    if _DEFAULT_RUNNER is None:
+        _DEFAULT_RUNNER = SuiteRunner()
+    return _DEFAULT_RUNNER

@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``run FILE``        — compile and execute a MiniC program, print result,
+  cost, and any ``print_*`` output.
+* ``census FILE``     — the Table-I view: per-loop phi and call-site
+  classification.
+* ``evaluate FILE``   — evaluate one or more configurations (``--config``,
+  repeatable; defaults to the paper's 14).
+* ``diagnose FILE``   — per-loop relaxation ladder: the first configuration
+  at which each loop parallelizes.
+* ``calltls FILE``    — function-call/continuation TLS estimate (§I
+  extension): per call site, how much callee time the continuation hides.
+* ``figures``         — regenerate the paper's figures over the bundled
+  synthetic suites (optionally ``--suite`` to restrict).
+* ``bench``           — list the bundled benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.config import LPConfig, paper_configurations
+from .core.framework import Loopapalooza
+from .core.static_info import (
+    PHI_COMPUTABLE,
+    PHI_NONCOMPUTABLE,
+    PHI_REDUCTION,
+)
+from .errors import ReproError
+
+_LADDER = [
+    ("doall:reduc0-dep0-fn0", "plain DOALL"),
+    ("doall:reduc1-dep0-fn0", "+ reduction hardware"),
+    ("pdoall:reduc1-dep0-fn0", "+ transactional restart"),
+    ("pdoall:reduc1-dep2-fn0", "+ value prediction"),
+    ("pdoall:reduc1-dep2-fn2", "+ parallel calls (fn2)"),
+    ("helix:reduc1-dep1-fn2", "+ per-LCD synchronization (HELIX)"),
+    ("pdoall:reduc0-dep3-fn3", "+ oracle prediction, all calls"),
+]
+
+_CLASS_SHORT = {
+    PHI_COMPUTABLE: "computable",
+    PHI_REDUCTION: "reduction",
+    PHI_NONCOMPUTABLE: "non-computable",
+}
+
+
+def _load(path, fuel):
+    with open(path) as handle:
+        source = handle.read()
+    return Loopapalooza(source, name=path, fuel=fuel)
+
+
+def _cmd_run(args, out):
+    lp = _load(args.file, args.fuel)
+    profile = lp.profile()
+    print(f"result: {profile.result}", file=out)
+    print(f"dynamic IR instructions: {profile.total_cost}", file=out)
+    if lp.output:
+        print("program output:", file=out)
+        for value in lp.output:
+            print(f"  {value}", file=out)
+    return 0
+
+
+def _cmd_census(args, out):
+    lp = _load(args.file, args.fuel)
+    for loop_id in lp.loop_ids():
+        static = lp.describe_loop(loop_id)
+        print(f"loop {loop_id} (depth {static.depth})", file=out)
+        if not static.trackable:
+            print("  not trackable (unsimplified form)", file=out)
+            continue
+        for key, cls in sorted(static.phi_classes.items()):
+            name = key.rsplit(":", 1)[1]
+            print(f"  phi %{name}: {_CLASS_SHORT[cls]}", file=out)
+        if static.call_classes:
+            print(f"  calls: {', '.join(sorted(static.call_classes))}",
+                  file=out)
+    return 0
+
+
+def _cmd_evaluate(args, out):
+    lp = _load(args.file, args.fuel)
+    configs = (
+        [LPConfig.parse(text) for text in args.config]
+        if args.config else paper_configurations()
+    )
+    print(f"{'configuration':30s}{'speedup':>10s}{'coverage':>10s}", file=out)
+    for config in configs:
+        result = lp.evaluate(config)
+        print(
+            f"{config.name:30s}{result.speedup:>9.2f}x"
+            f"{result.coverage * 100:>9.1f}%",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_diagnose(args, out):
+    lp = _load(args.file, args.fuel)
+    lp.profile()
+    verdicts = {loop_id: None for loop_id in lp.loop_ids()}
+    for config_name, label in _LADDER:
+        result = lp.evaluate(config_name)
+        for loop_id, summary in result.loops.items():
+            if verdicts.get(loop_id) is None and summary.is_parallel \
+                    and summary.speedup > 1.05:
+                verdicts[loop_id] = (label, summary.speedup)
+    for loop_id in lp.loop_ids():
+        verdict = verdicts.get(loop_id)
+        if verdict is None:
+            print(f"{loop_id:28s} never parallel", file=out)
+        else:
+            label, speedup = verdict
+            print(f"{loop_id:28s} unlocks at {label} ({speedup:.1f}x)",
+                  file=out)
+    return 0
+
+
+def _cmd_figures(args, out):
+    from .bench.suites import SuiteRunner
+    from .reporting import (
+        figure2_nonnumeric,
+        figure3_numeric,
+        figure5_coverage,
+        format_coverage,
+        format_speedup_figure,
+    )
+
+    runner = SuiteRunner()
+    if args.suite:
+        from .reporting.stats import geomean
+
+        print(f"{'configuration':30s}{'geomean speedup':>18s}", file=out)
+        for config in paper_configurations():
+            speedups = runner.suite_speedups(args.suite, config)
+            print(f"{config.name:30s}{geomean(speedups.values()):>17.2f}x",
+                  file=out)
+        return 0
+    print(format_speedup_figure(
+        figure2_nonnumeric(runner), "Fig. 2 — non-numeric"), file=out)
+    print(file=out)
+    print(format_speedup_figure(
+        figure3_numeric(runner), "Fig. 3 — numeric"), file=out)
+    print(file=out)
+    print(format_coverage(figure5_coverage(runner)), file=out)
+    return 0
+
+
+def _cmd_calltls(args, out):
+    from .core.call_tls import estimate_call_tls, format_call_tls
+
+    lp = _load(args.file, args.fuel)
+    report = estimate_call_tls(lp.profile())
+    print(format_call_tls(report), file=out)
+    return 0
+
+
+def _cmd_bench(args, out):
+    from .bench import all_programs
+
+    for program in all_programs():
+        print(f"{program.full_name:36s} {program.description}", file=out)
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Loopapalooza: compiler-driven loop-level parallelism "
+                    "limit study (ISPASS 2021 reproduction)",
+    )
+    parser.add_argument("--fuel", type=int, default=200_000_000,
+                        help="dynamic IR instruction budget")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, needs_file in (
+        ("run", _cmd_run, True),
+        ("census", _cmd_census, True),
+        ("evaluate", _cmd_evaluate, True),
+        ("diagnose", _cmd_diagnose, True),
+        ("calltls", _cmd_calltls, True),
+        ("figures", _cmd_figures, False),
+        ("bench", _cmd_bench, False),
+    ):
+        sub = commands.add_parser(name)
+        sub.set_defaults(handler=handler)
+        if needs_file:
+            sub.add_argument("file", help="MiniC source file")
+        if name == "evaluate":
+            sub.add_argument(
+                "--config", action="append", default=[],
+                help="configuration like helix:reduc1-dep1-fn2 (repeatable; "
+                     "default: the paper's 14)",
+            )
+        if name == "figures":
+            sub.add_argument("--suite", help="restrict to one suite")
+    return parser
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Function-call/continuation TLS estimator (the paper's §I extension).
+
+The paper focuses its experiments on loop-level TLS but notes that the
+inter-thread dependency categorization "applies also to broader techniques
+such as function-call/continuation level TLS" (Marcuello & González's CQIR
+spawning; Warg & Stenström's module-level parallelism limits). This module
+turns the call records collected by the profiling runtime into that limit
+estimate:
+
+* the continuation of a call is spawned speculatively when the call starts;
+* it can overlap the callee until its first true dependence — a use of the
+  return value or a read of a location the callee wrote;
+* the per-call saving is the independent continuation span capped by the
+  callee's duration; program-level savings sum naively (a first-order upper
+  bound, like the rest of the study — no spawn/commit costs, unbounded
+  contexts).
+"""
+
+from __future__ import annotations
+
+
+class CallTLSReport:
+    """Whole-program call/continuation TLS estimate."""
+
+    def __init__(self, total_cost, sites):
+        self.total_cost = total_cost
+        self.sites = sites  # site_id -> CallSiteSummary
+        self.total_saving = sum(s.total_saving for s in sites.values())
+
+    @property
+    def speedup(self):
+        """Estimated limit speedup from call-continuation TLS alone."""
+        if self.total_cost <= 0:
+            return 1.0
+        remaining = max(self.total_cost * 0.01, self.total_cost - self.total_saving)
+        return self.total_cost / remaining
+
+    @property
+    def call_coverage(self):
+        """Fraction of dynamic instructions spent inside tracked calls."""
+        if self.total_cost <= 0:
+            return 0.0
+        spent = sum(s.total_duration for s in self.sites.values())
+        return min(1.0, spent / self.total_cost)
+
+    def ranked_sites(self):
+        """Call sites by total saving, biggest opportunity first."""
+        return sorted(
+            self.sites.values(),
+            key=lambda summary: summary.total_saving,
+            reverse=True,
+        )
+
+    def __repr__(self):
+        return (
+            f"<CallTLSReport speedup={self.speedup:.2f} "
+            f"sites={len(self.sites)}>"
+        )
+
+
+def estimate_call_tls(profile):
+    """Build a :class:`CallTLSReport` from a profiled run."""
+    return CallTLSReport(profile.total_cost, dict(profile.call_sites))
+
+
+def format_call_tls(report, limit=12):
+    """Human-readable view of the top call sites."""
+    lines = [
+        "Function-call/continuation TLS estimate",
+        f"  estimated limit speedup : {report.speedup:.2f}x",
+        f"  time inside tracked calls: {report.call_coverage * 100:.1f}%",
+        f"{'call site':40s}{'calls':>8s}{'mean dur':>10s}"
+        f"{'hidden':>9s}{'dep calls':>11s}",
+    ]
+    for summary in report.ranked_sites()[:limit]:
+        lines.append(
+            f"{summary.site_id:40s}{summary.calls:>8d}"
+            f"{summary.mean_duration:>10.1f}"
+            f"{summary.hidden_fraction * 100:>8.1f}%"
+            f"{summary.dependent_calls:>11d}"
+        )
+    return "\n".join(lines)

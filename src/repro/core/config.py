@@ -1,0 +1,125 @@
+"""Loopapalooza configuration flags (paper Table II) and execution models.
+
+A configuration is ``(model, reduc, dep, fn)``:
+
+* ``model`` — ``doall`` | ``pdoall`` | ``helix`` (Fig. 1 execution models).
+* ``reduc0`` — reductions are treated as non-computable LCDs;
+  ``reduc1`` — reductions are considered parallel with no overheads.
+* ``dep0`` — non-computable register LCDs are not parallelizable;
+  ``dep1`` — lowered to memory (frequent memory LCDs, synchronized);
+  ``dep2`` — accelerated with realistic value prediction;
+  ``dep3`` — accelerated with perfect value prediction.
+* ``fn0`` — loops with any call are sequential;
+  ``fn1`` — only compiler-proven pure calls are parallel;
+  ``fn2`` — pure + thread-safe library + instrumented user functions;
+  ``fn3`` — all calls parallelizable.
+
+DOALL supports no non-computable register LCDs, so only ``dep0`` combines
+with it (the paper: "further relaxations of register LCDs (dep1–dep3) are
+incompatible with DOALL").
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+MODELS = ("doall", "pdoall", "helix")
+
+
+class LPConfig:
+    """One point in the configuration space, e.g.
+    ``LPConfig('helix', reduc=1, dep=1, fn=2)``."""
+
+    __slots__ = ("model", "reduc", "dep", "fn")
+
+    def __init__(self, model, reduc=0, dep=0, fn=0):
+        if model not in MODELS:
+            raise ConfigError(f"unknown model {model!r} (pick from {MODELS})")
+        if reduc not in (0, 1):
+            raise ConfigError(f"reduc must be 0 or 1, got {reduc}")
+        if dep not in (0, 1, 2, 3):
+            raise ConfigError(f"dep must be 0..3, got {dep}")
+        if fn not in (0, 1, 2, 3):
+            raise ConfigError(f"fn must be 0..3, got {fn}")
+        if model == "doall" and dep != 0:
+            raise ConfigError(
+                "DOALL does not support non-computable register LCDs: "
+                "only dep0 combines with it"
+            )
+        self.model = model
+        self.reduc = reduc
+        self.dep = dep
+        self.fn = fn
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def flags(self):
+        return f"reduc{self.reduc}-dep{self.dep}-fn{self.fn}"
+
+    @property
+    def name(self):
+        return f"{self.model}:{self.flags}"
+
+    @classmethod
+    def parse(cls, text):
+        """Parse ``"helix:reduc1-dep1-fn2"`` (model prefix optional ->
+        pdoall)."""
+        model, sep, flag_text = text.partition(":")
+        if not sep:
+            model, flag_text = "pdoall", text
+        values = {}
+        for chunk in flag_text.split("-"):
+            for prefix in ("reduc", "dep", "fn"):
+                if chunk.startswith(prefix):
+                    try:
+                        values[prefix] = int(chunk[len(prefix):])
+                    except ValueError:
+                        raise ConfigError(f"bad flag chunk {chunk!r}") from None
+                    break
+            else:
+                raise ConfigError(f"bad flag chunk {chunk!r}")
+        return cls(
+            model.strip().lower(),
+            reduc=values.get("reduc", 0),
+            dep=values.get("dep", 0),
+            fn=values.get("fn", 0),
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, LPConfig)
+            and (self.model, self.reduc, self.dep, self.fn)
+            == (other.model, other.reduc, other.dep, other.fn)
+        )
+
+    def __hash__(self):
+        return hash((self.model, self.reduc, self.dep, self.fn))
+
+    def __repr__(self):
+        return f"<LPConfig {self.name}>"
+
+
+def paper_configurations():
+    """The 14 configurations of Figures 2 & 3, in presentation order
+    (DOALL at the bottom of the chart, HELIX at the top)."""
+    return [
+        LPConfig("doall", 0, 0, 0),
+        LPConfig("doall", 1, 0, 0),
+        LPConfig("pdoall", 0, 0, 0),
+        LPConfig("pdoall", 0, 2, 0),
+        LPConfig("pdoall", 1, 2, 0),
+        LPConfig("pdoall", 0, 0, 2),
+        LPConfig("pdoall", 0, 2, 2),
+        LPConfig("pdoall", 1, 2, 2),
+        LPConfig("pdoall", 0, 3, 2),
+        LPConfig("pdoall", 0, 3, 3),
+        LPConfig("helix", 0, 0, 2),
+        LPConfig("helix", 1, 0, 2),
+        LPConfig("helix", 0, 1, 2),
+        LPConfig("helix", 1, 1, 2),
+    ]
+
+
+BEST_PDOALL = LPConfig("pdoall", 1, 2, 2)
+BEST_HELIX = LPConfig("helix", 1, 1, 2)

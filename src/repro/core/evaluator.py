@@ -1,0 +1,334 @@
+"""Configuration evaluator — turns one execution profile into the paper's
+numbers for any Table-II configuration.
+
+The evaluation walks the loop-invocation tree bottom-up:
+
+1. each invocation's *effective* iteration costs are its raw spans minus the
+   parallel savings of the child invocations nested in each iteration
+   (multi-level nested parallelism, as LP inherits from SWARM/T4);
+2. the configuration decides which register LCDs constrain the loop
+   (``reduc``/``dep`` flags), which call sites do (``fn`` flags), and the
+   execution model turns the surviving constraints into a parallel cost
+   (:mod:`repro.runtime.cost_models`);
+3. loops are *statically marked* serial the way the paper describes —
+   DOALL: any conflict ever; PDOALL: aggregate conflicting-iteration rate
+   above 80 %; HELIX: no aggregate gain — and the evaluation re-runs until
+   the marking set is stable (marking only grows, so this terminates).
+
+Producer/consumer skews were recorded against serial timestamps; when inner
+parallelism shrinks an invocation they are scaled by the invocation's
+overall shrink factor (documented approximation; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..predictors.hybrid import perfect_hybrid_flags
+from ..runtime.cost_models import (
+    PDOALL_SERIAL_THRESHOLD,
+    ModelOutcome,
+    doall_cost,
+    helix_cost,
+    pdoall_cost,
+    pdoall_phase_breaks,
+)
+from .static_info import PHI_NONCOMPUTABLE, PHI_REDUCTION
+
+
+class ProfileCache:
+    """Config-independent derived data, shared across configurations:
+    value-predictor outcomes per (invocation, phi)."""
+
+    def __init__(self, profile):
+        self.profile = profile
+        self._flags = {}
+
+    def predictor_flags(self, invocation, phi_key):
+        """Perfect-hybrid correctness flags for the phi's latch values."""
+        key = (id(invocation), phi_key)
+        flags = self._flags.get(key)
+        if flags is None:
+            values = invocation.lcd_values.get(phi_key, [])
+            flags = perfect_hybrid_flags(values)
+            self._flags[key] = flags
+        return flags
+
+    def mispredicted_iterations(self, invocation, phi_key):
+        """Iteration indices whose incoming LCD value was mispredicted.
+
+        ``values[i]`` is consumed by iteration ``i+1``; a miss on element
+        ``i`` therefore delays iteration ``i+1``.
+        """
+        flags = self.predictor_flags(invocation, phi_key)
+        return {index + 1 for index, ok in enumerate(flags) if not ok}
+
+
+class LoopSummary:
+    """Aggregate outcome for one static loop under one configuration."""
+
+    __slots__ = (
+        "loop_id", "invocations", "parallel_invocations", "serial_cost",
+        "parallel_cost", "iterations", "conflicting_iterations", "reasons",
+    )
+
+    def __init__(self, loop_id):
+        self.loop_id = loop_id
+        self.invocations = 0
+        self.parallel_invocations = 0
+        self.serial_cost = 0.0
+        self.parallel_cost = 0.0
+        self.iterations = 0
+        self.conflicting_iterations = 0
+        self.reasons = {}
+
+    @property
+    def speedup(self):
+        if self.parallel_cost <= 0:
+            return 1.0
+        return self.serial_cost / self.parallel_cost
+
+    @property
+    def is_parallel(self):
+        return self.parallel_invocations > 0
+
+    def note_reason(self, reason):
+        if reason:
+            self.reasons[reason] = self.reasons.get(reason, 0) + 1
+
+    def __repr__(self):
+        return (
+            f"<LoopSummary {self.loop_id} x{self.invocations} "
+            f"speedup={self.speedup:.2f}>"
+        )
+
+
+class EvaluationResult:
+    """Whole-program outcome for one configuration."""
+
+    def __init__(self, config, total_serial, total_parallel, coverage, loops):
+        self.config = config
+        self.total_serial = total_serial
+        self.total_parallel = total_parallel
+        self.coverage = coverage
+        self.loops = loops  # {loop_id: LoopSummary}
+
+    @property
+    def speedup(self):
+        if self.total_parallel <= 0:
+            return 1.0
+        return self.total_serial / self.total_parallel
+
+    def __repr__(self):
+        return (
+            f"<EvaluationResult {self.config.name}: speedup={self.speedup:.2f} "
+            f"coverage={self.coverage * 100:.1f}%>"
+        )
+
+
+def _register_lcd_keys(static, config):
+    """The register LCDs that constrain this loop under the configuration."""
+    keys = list(static.phis_of_class(PHI_NONCOMPUTABLE))
+    if config.reduc == 0:
+        keys.extend(static.phis_of_class(PHI_REDUCTION))
+    return keys
+
+
+def _reg_skew(invocation, phi_key, restrict_to=None):
+    """Largest producer->consumer skew of a register LCD lowered to memory.
+
+    Producer: the definition of the latch value in iteration ``i``
+    (``lcd_def_offsets``); consumer: the first use of the phi in iteration
+    ``i+1`` (``lcd_use_offsets``). Iterations without an observed use impose
+    no wait. ``restrict_to`` optionally limits to given consumer iterations
+    (the mispredicted set under ``dep2``).
+    """
+    defs = invocation.lcd_def_offsets.get(phi_key, [])
+    uses = invocation.lcd_use_offsets.get(phi_key, [])
+    best = 0.0
+    for producer_iter, def_off in enumerate(defs):
+        consumer_iter = producer_iter + 1
+        if restrict_to is not None and consumer_iter not in restrict_to:
+            continue
+        use_off = uses[consumer_iter] if consumer_iter < len(uses) else None
+        if use_off is None:
+            continue
+        skew = def_off - use_off
+        if skew > best:
+            best = float(skew)
+    return best
+
+
+def _apply_model(invocation, static, config, cache, forced_serial, eff_costs,
+                 innermost_only=False):
+    """Decide this invocation's outcome; returns (ModelOutcome, n_conflict_iters)."""
+    n = len(eff_costs)
+    serial = float(np.sum(eff_costs)) if n else 0.0
+
+    def serial_with(reason):
+        return ModelOutcome(serial, False, reason), 0
+
+    if static is None or not static.trackable:
+        return serial_with("untracked")
+    if innermost_only and invocation.children:
+        # Related-work mode (Kejariwal et al., §V): only innermost loops are
+        # candidates; outer-loop and nested parallelization are disabled.
+        return serial_with("outer-loop")
+    if static.loop_id in forced_serial:
+        return serial_with("marked")
+    if static.serial_under_fn(config.fn):
+        return serial_with("fn")
+
+    reg_keys = _register_lcd_keys(static, config)
+    if config.dep == 0 and reg_keys:
+        return serial_with("register-lcd")
+
+    # Conflict pairs: consumer iteration -> latest producer iteration.
+    pairs = dict(invocation.conflict_pairs)
+
+    def add_adjacent(consumer):
+        producer = consumer - 1
+        if pairs.get(consumer, -1) < producer:
+            pairs[consumer] = producer
+
+    reg_delta = 0.0
+    if reg_keys and config.dep == 1:
+        if config.model == "helix":
+            for key in reg_keys:
+                reg_delta = max(reg_delta, _reg_skew(invocation, key))
+        else:
+            # Lowered LCDs manifest as frequent memory conflicts.
+            for consumer in range(1, n):
+                add_adjacent(consumer)
+    elif reg_keys and config.dep == 2:
+        for key in reg_keys:
+            mispredicted = cache.mispredicted_iterations(invocation, key)
+            if config.model == "helix":
+                reg_delta = max(
+                    reg_delta, _reg_skew(invocation, key, restrict_to=mispredicted)
+                )
+            else:
+                for consumer in mispredicted:
+                    if consumer < n:
+                        add_adjacent(consumer)
+    # dep3: perfect prediction removes every register LCD.
+
+    if config.model == "doall":
+        outcome = doall_cost(eff_costs, invocation.conflict_count > 0)
+        return outcome, len(pairs)
+    if config.model == "pdoall":
+        breaks = pdoall_phase_breaks(pairs, n)
+        outcome = pdoall_cost(eff_costs, breaks)
+        return outcome, len(breaks)
+    # HELIX: scale serial-time skews by the invocation's shrink factor.
+    raw_total = invocation.serial_cost
+    scale = (serial / raw_total) if raw_total > 0 else 1.0
+    delta = max(invocation.max_mem_skew, reg_delta) * scale
+    outcome = helix_cost(eff_costs, delta)
+    return outcome, len(pairs)
+
+
+def _evaluate_once(profile, static_info, config, cache, forced_serial,
+                   innermost_only=False):
+    effective = {}
+    covered = {}
+    summaries = {}
+
+    for invocation in reversed(profile.all_invocations()):
+        eff_costs = np.asarray(invocation.iteration_costs(), dtype=float)
+        child_covered = 0.0
+        for child in invocation.children:
+            saving = child.serial_cost - effective[id(child)]
+            index = child.parent_iter
+            if 0 <= index < len(eff_costs):
+                eff_costs[index] = max(0.0, eff_costs[index] - saving)
+            child_covered += covered[id(child)]
+
+        static = static_info.loops.get(invocation.loop_id)
+        outcome, n_conflicts = _apply_model(
+            invocation, static, config, cache, forced_serial, eff_costs,
+            innermost_only=innermost_only,
+        )
+
+        summary = summaries.get(invocation.loop_id)
+        if summary is None:
+            summary = summaries[invocation.loop_id] = LoopSummary(invocation.loop_id)
+        summary.invocations += 1
+        summary.serial_cost += float(np.sum(eff_costs))
+        summary.parallel_cost += outcome.cost
+        summary.iterations += invocation.num_iterations
+        summary.conflicting_iterations += n_conflicts
+        if outcome.parallel:
+            summary.parallel_invocations += 1
+            effective[id(invocation)] = outcome.cost
+            covered[id(invocation)] = float(invocation.serial_cost)
+        else:
+            summary.note_reason(outcome.reason)
+            effective[id(invocation)] = float(np.sum(eff_costs))
+            covered[id(invocation)] = child_covered
+
+    saved = sum(
+        invocation.serial_cost - effective[id(invocation)]
+        for invocation in profile.top_level
+    )
+    total_parallel = max(1.0, profile.total_cost - saved)
+    total_covered = sum(covered[id(inv)] for inv in profile.top_level)
+    coverage = (total_covered / profile.total_cost) if profile.total_cost else 0.0
+    return EvaluationResult(
+        config, float(profile.total_cost), total_parallel, coverage, summaries
+    )
+
+
+def _violations(result, config, forced_serial):
+    """Static serial-marking rules applied to the aggregate (paper §III-B)."""
+    newly = set()
+    for loop_id, summary in result.loops.items():
+        if loop_id in forced_serial or not summary.is_parallel:
+            continue
+        if config.model == "doall":
+            # "Mark the loop as suitable for serial execution only" on the
+            # first conflict: one conflicting invocation serializes them all.
+            if summary.conflicting_iterations > 0:
+                newly.add(loop_id)
+            continue
+        if config.model == "pdoall" and summary.iterations > 0:
+            rate = summary.conflicting_iterations / summary.iterations
+            if rate > PDOALL_SERIAL_THRESHOLD:
+                newly.add(loop_id)
+                continue
+        if summary.parallel_cost >= summary.serial_cost - 1e-9:
+            newly.add(loop_id)  # no aggregate gain: mark serial
+    return newly
+
+
+def evaluate_config(profile, static_info, config, cache=None,
+                    innermost_only=False):
+    """Evaluate one configuration against a profile (fixpoint over static
+    serial marking). ``cache`` may be shared across configurations.
+
+    ``innermost_only`` reproduces the related-work baseline (Kejariwal et
+    al., paper §V): only innermost loop invocations may parallelize — no
+    outer loops, no nested parallelism.
+    """
+    if cache is None:
+        cache = ProfileCache(profile)
+    forced_serial = set()
+    for _ in range(1 + len(static_info.loops)):
+        result = _evaluate_once(
+            profile, static_info, config, cache, forced_serial,
+            innermost_only=innermost_only,
+        )
+        newly = _violations(result, config, forced_serial)
+        if not newly:
+            return result
+        forced_serial |= newly
+    return result
+
+
+def evaluate_all(profile, static_info, configs):
+    """Evaluate many configurations, sharing the predictor cache."""
+    cache = ProfileCache(profile)
+    return {
+        config.name: evaluate_config(profile, static_info, config, cache)
+        for config in configs
+    }

@@ -1,0 +1,83 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every error raised by the compiler, interpreter, runtime, or framework derives
+from :class:`ReproError` so callers can catch the whole family with one
+``except`` clause while tests can assert on the precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IRError(ReproError):
+    """Malformed IR construction or use (wrong types, detached blocks...)."""
+
+
+class VerificationError(IRError):
+    """The IR verifier found a structural or type violation.
+
+    Carries the list of individual findings so tests and tools can inspect
+    every problem at once instead of fixing them one re-run at a time.
+    """
+
+    def __init__(self, problems):
+        self.problems = list(problems)
+        super().__init__("IR verification failed:\n" + "\n".join(self.problems))
+
+
+class ParseError(ReproError):
+    """Syntax error in MiniC source or textual IR.
+
+    ``line`` and ``column`` are 1-based positions of the offending token.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", col {column}" if column is not None else "")
+        super().__init__(message + location)
+
+
+class SemanticError(ReproError):
+    """MiniC semantic analysis rejected the program (type errors, etc.)."""
+
+    def __init__(self, message, line=None):
+        self.line = line
+        suffix = f" at line {line}" if line is not None else ""
+        super().__init__(message + suffix)
+
+
+class InterpError(ReproError):
+    """Run-time fault while interpreting IR (bad memory access, traps...)."""
+
+
+class TrapError(InterpError):
+    """The interpreted program performed an operation with undefined behaviour
+
+    (out-of-bounds access, division by zero, use of a dangling frame address).
+    """
+
+
+class FuelExhausted(InterpError):
+    """The interpreter hit its dynamic instruction budget.
+
+    Used to bound runaway benchmark programs; carries the budget that was
+    exceeded.
+    """
+
+    def __init__(self, budget):
+        self.budget = budget
+        super().__init__(f"dynamic instruction budget of {budget} exhausted")
+
+
+class ConfigError(ReproError):
+    """Invalid Loopapalooza configuration (unknown flag, illegal combination)."""
+
+
+class FrameworkError(ReproError):
+    """Driver-level failure (unknown benchmark, missing profile data...)."""

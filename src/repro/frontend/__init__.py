@@ -1,0 +1,22 @@
+"""repro.frontend — the MiniC language.
+
+A small C-like language (ints, doubles, fixed arrays, element pointers,
+functions, structured control flow) with a lexer, recursive-descent parser,
+semantic analyzer, and IR code generator. The synthetic SPEC/EEMBC
+benchmark programs are written in MiniC.
+"""
+
+from .codegen import CodeGenerator, compile_source
+from .lexer import Token, tokenize
+from .parser import parse
+from .sema import SemaResult, analyze
+
+__all__ = [
+    "CodeGenerator",
+    "SemaResult",
+    "Token",
+    "analyze",
+    "compile_source",
+    "parse",
+    "tokenize",
+]

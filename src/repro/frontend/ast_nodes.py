@@ -1,0 +1,245 @@
+"""Abstract syntax tree for MiniC.
+
+Plain node classes with position info; semantic analysis annotates expression
+nodes with ``.ty`` (an IR type) which code generation then consumes.
+"""
+
+from __future__ import annotations
+
+
+class Node:
+    """Base AST node; ``line`` is the 1-based source line."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line):
+        self.line = line
+
+
+# -- top level ------------------------------------------------------------------
+
+
+class Program(Node):
+    __slots__ = ("declarations",)
+
+    def __init__(self, declarations):
+        super().__init__(1)
+        self.declarations = declarations
+
+
+class GlobalDecl(Node):
+    """``int A[100] = {...};`` or ``float x = 1.5;`` at file scope."""
+
+    __slots__ = ("base_type", "name", "array_size", "initializer")
+
+    def __init__(self, line, base_type, name, array_size, initializer):
+        super().__init__(line)
+        self.base_type = base_type      # 'int' | 'float'
+        self.name = name
+        self.array_size = array_size    # None for scalars
+        self.initializer = initializer  # scalar literal, list, or None
+
+
+class Param(Node):
+    __slots__ = ("base_type", "name", "is_pointer", "symbol")
+
+    def __init__(self, line, base_type, name, is_pointer):
+        super().__init__(line)
+        self.base_type = base_type
+        self.name = name
+        self.is_pointer = is_pointer
+        self.symbol = None  # bound by sema
+
+
+class FunctionDecl(Node):
+    __slots__ = ("return_type", "name", "params", "body")
+
+    def __init__(self, line, return_type, name, params, body):
+        super().__init__(line)
+        self.return_type = return_type  # 'int' | 'float' | 'void'
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+# -- statements ------------------------------------------------------------------
+
+
+class Block(Node):
+    __slots__ = ("statements",)
+
+    def __init__(self, line, statements):
+        super().__init__(line)
+        self.statements = statements
+
+
+class VarDecl(Node):
+    """Local declaration; arrays may not have initializers."""
+
+    __slots__ = ("base_type", "name", "array_size", "initializer", "symbol")
+
+    def __init__(self, line, base_type, name, array_size, initializer):
+        super().__init__(line)
+        self.base_type = base_type
+        self.name = name
+        self.array_size = array_size
+        self.initializer = initializer
+        self.symbol = None  # bound by sema
+
+
+class Assign(Node):
+    """``target = value;`` — target is Identifier or Index."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, line, target, value):
+        super().__init__(line)
+        self.target = target
+        self.value = value
+
+
+class ExprStatement(Node):
+    __slots__ = ("expression",)
+
+    def __init__(self, line, expression):
+        super().__init__(line)
+        self.expression = expression
+
+
+class If(Node):
+    __slots__ = ("condition", "then_body", "else_body")
+
+    def __init__(self, line, condition, then_body, else_body):
+        super().__init__(line)
+        self.condition = condition
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class While(Node):
+    __slots__ = ("condition", "body")
+
+    def __init__(self, line, condition, body):
+        super().__init__(line)
+        self.condition = condition
+        self.body = body
+
+
+class For(Node):
+    """``for (init; cond; step) body`` — init/step are statements or None."""
+
+    __slots__ = ("init", "condition", "step", "body")
+
+    def __init__(self, line, init, condition, step, body):
+        super().__init__(line)
+        self.init = init
+        self.condition = condition
+        self.step = step
+        self.body = body
+
+
+class Return(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, line, value):
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Node):
+    __slots__ = ()
+
+
+class Continue(Node):
+    __slots__ = ()
+
+
+# -- expressions ------------------------------------------------------------------
+
+
+class Expr(Node):
+    __slots__ = ("ty",)
+
+    def __init__(self, line):
+        super().__init__(line)
+        self.ty = None  # annotated by sema with an IR type
+
+
+class IntLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, line, value):
+        super().__init__(line)
+        self.value = value
+
+
+class FloatLiteral(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, line, value):
+        super().__init__(line)
+        self.value = value
+
+
+class Identifier(Expr):
+    __slots__ = ("name", "symbol")
+
+    def __init__(self, line, name):
+        super().__init__(line)
+        self.name = name
+        self.symbol = None  # bound by sema
+
+
+class Index(Expr):
+    """``base[index]`` — base is an array or pointer expression."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, line, base, index):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class Call(Expr):
+    __slots__ = ("name", "args", "callee")
+
+    def __init__(self, line, name, args):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+        self.callee = None  # bound by sema
+
+
+class Unary(Expr):
+    """``-x``, ``!x``, ``&lvalue``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, line, op, operand):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    """Arithmetic / comparison / bitwise / logical binary operators."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, line, op, lhs, rhs):
+        super().__init__(line)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class CastExpr(Expr):
+    """``(int) expr`` or ``(float) expr``."""
+
+    __slots__ = ("target", "operand")
+
+    def __init__(self, line, target, operand):
+        super().__init__(line)
+        self.target = target  # 'int' | 'float'
+        self.operand = operand

@@ -1,0 +1,113 @@
+"""Lexer for MiniC."""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+
+KEYWORDS = {
+    "int", "float", "void", "if", "else", "while", "for",
+    "return", "break", "continue",
+}
+
+# Longest-match-first punctuation table.
+PUNCTUATION = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",",
+]
+
+
+class Token:
+    __slots__ = ("kind", "text", "value", "line", "column")
+
+    def __init__(self, kind, text, value, line, column):
+        self.kind = kind      # 'int', 'float', 'ident', 'kw', 'punct', 'eof'
+        self.text = text
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def __repr__(self):
+        return f"<Token {self.kind} {self.text!r} @{self.line}:{self.column}>"
+
+
+def tokenize(source):
+    """Convert MiniC source text into a token list ending with an EOF token."""
+    tokens = []
+    position = 0
+    line = 1
+    line_start = 0
+    length = len(source)
+
+    def column():
+        return position - line_start + 1
+
+    while position < length:
+        char = source[position]
+        if char == "\n":
+            line += 1
+            position += 1
+            line_start = position
+            continue
+        if char in " \t\r":
+            position += 1
+            continue
+        if source.startswith("//", position):
+            newline = source.find("\n", position)
+            position = length if newline < 0 else newline
+            continue
+        if source.startswith("/*", position):
+            closing = source.find("*/", position + 2)
+            if closing < 0:
+                raise ParseError("unterminated block comment", line, column())
+            for offset in range(position, closing):
+                if source[offset] == "\n":
+                    line += 1
+                    line_start = offset + 1
+            position = closing + 2
+            continue
+        if char.isdigit() or (char == "." and position + 1 < length and source[position + 1].isdigit()):
+            start = position
+            start_column = column()
+            is_float = False
+            while position < length and source[position].isdigit():
+                position += 1
+            if position < length and source[position] == ".":
+                is_float = True
+                position += 1
+                while position < length and source[position].isdigit():
+                    position += 1
+            if position < length and source[position] in "eE":
+                lookahead = position + 1
+                if lookahead < length and source[lookahead] in "+-":
+                    lookahead += 1
+                if lookahead < length and source[lookahead].isdigit():
+                    is_float = True
+                    position = lookahead
+                    while position < length and source[position].isdigit():
+                        position += 1
+            text = source[start:position]
+            if is_float:
+                tokens.append(Token("float", text, float(text), line, start_column))
+            else:
+                tokens.append(Token("int", text, int(text), line, start_column))
+            continue
+        if char.isalpha() or char == "_":
+            start = position
+            start_column = column()
+            while position < length and (source[position].isalnum() or source[position] == "_"):
+                position += 1
+            text = source[start:position]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, text, line, start_column))
+            continue
+        for punct in PUNCTUATION:
+            if source.startswith(punct, position):
+                tokens.append(Token("punct", punct, punct, line, column()))
+                position += len(punct)
+                break
+        else:
+            raise ParseError(f"unexpected character {char!r}", line, column())
+
+    tokens.append(Token("eof", "", None, line, column()))
+    return tokens

@@ -1,0 +1,340 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (C-like precedence, lowest to highest)::
+
+    program     := (global_decl | function_decl)*
+    global_decl := type IDENT ('[' INT ']')? ('=' initializer)? ';'
+    function    := ('int'|'float'|'void') IDENT '(' params ')' block
+    statement   := block | var_decl | if | while | for | return
+                 | 'break' ';' | 'continue' ';' | assign_or_expr ';'
+    expr        := logical_or
+    logical_or  := logical_and ('||' logical_and)*
+    logical_and := bit_or ('&&' bit_or)*
+    bit_or      := bit_xor ('|' bit_xor)*          (and so on down to unary)
+    unary       := ('-'|'!'|'&') unary | '(' type ')' unary | postfix
+    postfix     := primary ('[' expr ']' | '(' args ')')*
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from . import ast_nodes as ast
+from .lexer import tokenize
+
+
+class Parser:
+    def __init__(self, source):
+        self.tokens = tokenize(source)
+        self.position = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def current(self):
+        return self.tokens[self.position]
+
+    def peek(self, offset=1):
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self):
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def check(self, kind, text=None):
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind, text=None):
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind, text=None):
+        if self.check(kind, text):
+            return self.advance()
+        want = text if text is not None else kind
+        raise ParseError(
+            f"expected {want!r}, found {self.current.text!r}",
+            self.current.line,
+            self.current.column,
+        )
+
+    # -- top level -------------------------------------------------------------
+
+    def parse_program(self):
+        declarations = []
+        while not self.check("eof"):
+            declarations.append(self._declaration())
+        return ast.Program(declarations)
+
+    def _declaration(self):
+        line = self.current.line
+        type_token = self.expect("kw")
+        if type_token.text not in ("int", "float", "void"):
+            raise ParseError(
+                f"expected a type, found {type_token.text!r}",
+                type_token.line, type_token.column,
+            )
+        name = self.expect("ident").text
+        if self.check("punct", "("):
+            return self._function_rest(line, type_token.text, name)
+        if type_token.text == "void":
+            raise ParseError("void is only valid as a return type", line)
+        return self._global_rest(line, type_token.text, name)
+
+    def _function_rest(self, line, return_type, name):
+        self.expect("punct", "(")
+        params = []
+        if not self.check("punct", ")"):
+            while True:
+                param_line = self.current.line
+                param_type = self.expect("kw").text
+                if param_type not in ("int", "float"):
+                    raise ParseError(
+                        f"invalid parameter type {param_type!r}", param_line
+                    )
+                is_pointer = self.accept("punct", "*") is not None
+                param_name = self.expect("ident").text
+                params.append(ast.Param(param_line, param_type, param_name, is_pointer))
+                if not self.accept("punct", ","):
+                    break
+        self.expect("punct", ")")
+        body = self._block()
+        return ast.FunctionDecl(line, return_type, name, params, body)
+
+    def _global_rest(self, line, base_type, name):
+        array_size = None
+        if self.accept("punct", "["):
+            array_size = self.expect("int").value
+            self.expect("punct", "]")
+        initializer = None
+        if self.accept("punct", "="):
+            if self.accept("punct", "{"):
+                initializer = []
+                if not self.check("punct", "}"):
+                    while True:
+                        initializer.append(self._literal_value())
+                        if not self.accept("punct", ","):
+                            break
+                self.expect("punct", "}")
+            else:
+                initializer = self._literal_value()
+        self.expect("punct", ";")
+        return ast.GlobalDecl(line, base_type, name, array_size, initializer)
+
+    def _literal_value(self):
+        negative = self.accept("punct", "-") is not None
+        token = self.advance()
+        if token.kind not in ("int", "float"):
+            raise ParseError(
+                "global initializers must be literals", token.line, token.column
+            )
+        value = token.value
+        return -value if negative else value
+
+    # -- statements -------------------------------------------------------------
+
+    def _block(self):
+        line = self.expect("punct", "{").line
+        statements = []
+        while not self.check("punct", "}"):
+            statements.append(self._statement())
+        self.expect("punct", "}")
+        return ast.Block(line, statements)
+
+    def _statement(self):
+        token = self.current
+        if token.kind == "punct" and token.text == "{":
+            return self._block()
+        if token.kind == "kw":
+            if token.text in ("int", "float"):
+                return self._var_decl()
+            if token.text == "if":
+                return self._if()
+            if token.text == "while":
+                return self._while()
+            if token.text == "for":
+                return self._for()
+            if token.text == "return":
+                self.advance()
+                value = None if self.check("punct", ";") else self._expression()
+                self.expect("punct", ";")
+                return ast.Return(token.line, value)
+            if token.text == "break":
+                self.advance()
+                self.expect("punct", ";")
+                return ast.Break(token.line)
+            if token.text == "continue":
+                self.advance()
+                self.expect("punct", ";")
+                return ast.Continue(token.line)
+        statement = self._assign_or_expr()
+        self.expect("punct", ";")
+        return statement
+
+    def _var_decl(self):
+        line = self.current.line
+        base_type = self.advance().text
+        name = self.expect("ident").text
+        array_size = None
+        if self.accept("punct", "["):
+            array_size = self.expect("int").value
+            self.expect("punct", "]")
+        initializer = None
+        if self.accept("punct", "="):
+            if array_size is not None:
+                raise ParseError("array locals cannot have initializers", line)
+            initializer = self._expression()
+        self.expect("punct", ";")
+        return ast.VarDecl(line, base_type, name, array_size, initializer)
+
+    def _if(self):
+        line = self.advance().line
+        self.expect("punct", "(")
+        condition = self._expression()
+        self.expect("punct", ")")
+        then_body = self._statement()
+        else_body = None
+        if self.accept("kw", "else"):
+            else_body = self._statement()
+        return ast.If(line, condition, then_body, else_body)
+
+    def _while(self):
+        line = self.advance().line
+        self.expect("punct", "(")
+        condition = self._expression()
+        self.expect("punct", ")")
+        body = self._statement()
+        return ast.While(line, condition, body)
+
+    def _for(self):
+        line = self.advance().line
+        self.expect("punct", "(")
+        init = None
+        if not self.check("punct", ";"):
+            if self.check("kw", "int") or self.check("kw", "float"):
+                init = self._var_decl()  # consumes the ';'
+            else:
+                init = self._assign_or_expr()
+                self.expect("punct", ";")
+        else:
+            self.expect("punct", ";")
+        condition = None
+        if not self.check("punct", ";"):
+            condition = self._expression()
+        self.expect("punct", ";")
+        step = None
+        if not self.check("punct", ")"):
+            step = self._assign_or_expr()
+        self.expect("punct", ")")
+        body = self._statement()
+        return ast.For(line, init, condition, step, body)
+
+    def _assign_or_expr(self):
+        line = self.current.line
+        expression = self._expression()
+        if self.accept("punct", "="):
+            if not isinstance(expression, (ast.Identifier, ast.Index)):
+                raise ParseError("invalid assignment target", line)
+            value = self._expression()
+            return ast.Assign(line, expression, value)
+        return ast.ExprStatement(line, expression)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expression(self):
+        return self._binary_level(0)
+
+    _LEVELS = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", "<=", ">", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def _binary_level(self, level):
+        if level >= len(self._LEVELS):
+            return self._unary()
+        operators = self._LEVELS[level]
+        node = self._binary_level(level + 1)
+        while self.current.kind == "punct" and self.current.text in operators:
+            op_token = self.advance()
+            rhs = self._binary_level(level + 1)
+            node = ast.Binary(op_token.line, op_token.text, node, rhs)
+        return node
+
+    def _unary(self):
+        token = self.current
+        if token.kind == "punct" and token.text in ("-", "!", "&"):
+            self.advance()
+            operand = self._unary()
+            return ast.Unary(token.line, token.text, operand)
+        # A cast looks like '(' type ')' — disambiguate from parenthesized expr.
+        if (
+            token.kind == "punct"
+            and token.text == "("
+            and self.peek().kind == "kw"
+            and self.peek().text in ("int", "float")
+            and self.peek(2).kind == "punct"
+            and self.peek(2).text == ")"
+        ):
+            self.advance()
+            target = self.advance().text
+            self.expect("punct", ")")
+            operand = self._unary()
+            return ast.CastExpr(token.line, target, operand)
+        return self._postfix()
+
+    def _postfix(self):
+        node = self._primary()
+        while True:
+            if self.accept("punct", "["):
+                index = self._expression()
+                self.expect("punct", "]")
+                node = ast.Index(node.line, node, index)
+            elif isinstance(node, ast.Identifier) and self.check("punct", "("):
+                self.advance()
+                args = []
+                if not self.check("punct", ")"):
+                    while True:
+                        args.append(self._expression())
+                        if not self.accept("punct", ","):
+                            break
+                self.expect("punct", ")")
+                node = ast.Call(node.line, node.name, args)
+            else:
+                return node
+
+    def _primary(self):
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLiteral(token.line, token.value)
+        if token.kind == "float":
+            self.advance()
+            return ast.FloatLiteral(token.line, token.value)
+        if token.kind == "ident":
+            self.advance()
+            return ast.Identifier(token.line, token.text)
+        if token.kind == "punct" and token.text == "(":
+            self.advance()
+            expression = self._expression()
+            self.expect("punct", ")")
+            return expression
+        raise ParseError(
+            f"unexpected token {token.text!r}", token.line, token.column
+        )
+
+
+def parse(source):
+    """Parse MiniC source text into an :class:`~ast_nodes.Program`."""
+    return Parser(source).parse_program()

@@ -1,0 +1,366 @@
+"""Semantic analysis for MiniC.
+
+Resolves names, type-checks every expression, and annotates the AST:
+
+* each ``Expr`` node gets ``.ty`` — an IR type (``I32``, ``F64``, pointer or
+  array types for address-producing expressions);
+* each ``Identifier`` gets ``.symbol``;
+* each ``Call`` gets ``.callee`` — the :class:`Signature` it resolves to.
+
+Type rules are C-flavoured: ``int`` and ``float`` mix in arithmetic with
+promotion to ``float``; comparisons and logical operators yield ``int``;
+narrowing ``float -> int`` requires an explicit ``(int)`` cast; arrays decay
+to element pointers in call arguments and indexing.
+"""
+
+from __future__ import annotations
+
+from ..errors import SemanticError
+from ..interp.intrinsics import INTRINSICS
+from ..ir.types import F64, I32, VOID, ArrayType, PointerType
+from . import ast_nodes as ast
+
+_BASE_TYPES = {"int": I32, "float": F64, "void": VOID}
+
+
+class Symbol:
+    """A named variable. ``value_type`` is the type the *name* denotes:
+    a scalar type, an ArrayType (for arrays), or a PointerType (for pointer
+    parameters)."""
+
+    __slots__ = ("name", "kind", "value_type", "line")
+
+    def __init__(self, name, kind, value_type, line):
+        self.name = name
+        self.kind = kind  # 'global' | 'local' | 'param'
+        self.value_type = value_type
+        self.line = line
+
+    def __repr__(self):
+        return f"<Symbol {self.name} ({self.kind}): {self.value_type!r}>"
+
+
+class Signature:
+    """A callable's resolved signature."""
+
+    __slots__ = ("name", "param_types", "return_type", "is_intrinsic")
+
+    def __init__(self, name, param_types, return_type, is_intrinsic):
+        self.name = name
+        self.param_types = tuple(param_types)
+        self.return_type = return_type
+        self.is_intrinsic = is_intrinsic
+
+
+class Scope:
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.symbols = {}
+
+    def declare(self, symbol):
+        if symbol.name in self.symbols:
+            raise SemanticError(
+                f"redeclaration of {symbol.name!r}", symbol.line
+            )
+        self.symbols[symbol.name] = symbol
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+class SemaResult:
+    """Annotated program plus the symbol/signature tables codegen needs."""
+
+    def __init__(self, program, globals_, signatures):
+        self.program = program
+        self.globals = globals_          # name -> Symbol (kind 'global')
+        self.signatures = signatures     # name -> Signature
+
+
+def _is_numeric(type_):
+    return type_ is I32 or type_ is F64
+
+
+class SemanticAnalyzer:
+    def __init__(self, program):
+        self.program = program
+        self.globals = {}
+        self.signatures = {}
+        self.current_return = None
+        self.loop_depth = 0
+
+    def run(self):
+        # Intrinsic signatures are always visible.
+        for info in INTRINSICS.values():
+            self.signatures[info.name] = Signature(
+                info.name, info.param_types, info.return_type, True
+            )
+        # First pass: collect globals and function signatures (so forward
+        # calls and mutual recursion type-check).
+        for declaration in self.program.declarations:
+            if isinstance(declaration, ast.GlobalDecl):
+                self._declare_global(declaration)
+            elif isinstance(declaration, ast.FunctionDecl):
+                self._declare_function(declaration)
+        # Second pass: check function bodies.
+        for declaration in self.program.declarations:
+            if isinstance(declaration, ast.FunctionDecl):
+                self._check_function(declaration)
+        if "main" not in self.signatures or self.signatures["main"].is_intrinsic:
+            raise SemanticError("program has no main() function")
+        main = self.signatures["main"]
+        if main.param_types or main.return_type is not I32:
+            raise SemanticError("main must be declared as 'int main()'")
+        return SemaResult(self.program, self.globals, self.signatures)
+
+    # -- declarations --------------------------------------------------------
+
+    def _declare_global(self, decl):
+        base = _BASE_TYPES[decl.base_type]
+        value_type = (
+            ArrayType(base, decl.array_size) if decl.array_size is not None else base
+        )
+        if decl.name in self.globals or decl.name in self.signatures:
+            raise SemanticError(f"redeclaration of {decl.name!r}", decl.line)
+        if decl.array_size is None and isinstance(decl.initializer, list):
+            raise SemanticError(
+                f"scalar global {decl.name!r} cannot take a brace initializer",
+                decl.line,
+            )
+        if decl.array_size is not None and decl.initializer is not None:
+            if not isinstance(decl.initializer, list):
+                raise SemanticError(
+                    f"array global {decl.name!r} needs a brace initializer",
+                    decl.line,
+                )
+            if len(decl.initializer) > decl.array_size:
+                raise SemanticError(
+                    f"too many initializers for {decl.name!r}", decl.line
+                )
+        self.globals[decl.name] = Symbol(decl.name, "global", value_type, decl.line)
+
+    def _declare_function(self, decl):
+        if decl.name in self.signatures or decl.name in self.globals:
+            raise SemanticError(f"redeclaration of {decl.name!r}", decl.line)
+        param_types = []
+        for param in decl.params:
+            base = _BASE_TYPES[param.base_type]
+            param_types.append(PointerType(base) if param.is_pointer else base)
+        self.signatures[decl.name] = Signature(
+            decl.name, param_types, _BASE_TYPES[decl.return_type], False
+        )
+
+    # -- functions --------------------------------------------------------------
+
+    def _check_function(self, decl):
+        self.current_return = _BASE_TYPES[decl.return_type]
+        scope = Scope()
+        for param, param_type in zip(decl.params, self.signatures[decl.name].param_types):
+            symbol = Symbol(param.name, "param", param_type, param.line)
+            scope.declare(symbol)
+            param.symbol = symbol
+        self._check_block(decl.body, Scope(scope))
+        self.current_return = None
+
+    def _check_block(self, block, scope):
+        for statement in block.statements:
+            self._check_statement(statement, scope)
+
+    def _check_statement(self, statement, scope):
+        if isinstance(statement, ast.Block):
+            self._check_block(statement, Scope(scope))
+        elif isinstance(statement, ast.VarDecl):
+            base = _BASE_TYPES[statement.base_type]
+            value_type = (
+                ArrayType(base, statement.array_size)
+                if statement.array_size is not None
+                else base
+            )
+            if statement.initializer is not None:
+                init_type = self._check_expr(statement.initializer, scope)
+                self._require_convertible(init_type, base, statement.line)
+            symbol = Symbol(statement.name, "local", value_type, statement.line)
+            scope.declare(symbol)
+            statement.symbol = symbol
+        elif isinstance(statement, ast.Assign):
+            target_type = self._check_expr(statement.target, scope)
+            if not target_type.is_scalar:
+                raise SemanticError("cannot assign to an array", statement.line)
+            value_type = self._check_expr(statement.value, scope)
+            self._require_convertible(value_type, target_type, statement.line)
+        elif isinstance(statement, ast.ExprStatement):
+            self._check_expr(statement.expression, scope)
+        elif isinstance(statement, ast.If):
+            self._require_condition(statement.condition, scope)
+            self._check_statement(statement.then_body, Scope(scope))
+            if statement.else_body is not None:
+                self._check_statement(statement.else_body, Scope(scope))
+        elif isinstance(statement, ast.While):
+            self._require_condition(statement.condition, scope)
+            self.loop_depth += 1
+            self._check_statement(statement.body, Scope(scope))
+            self.loop_depth -= 1
+        elif isinstance(statement, ast.For):
+            inner = Scope(scope)
+            if statement.init is not None:
+                self._check_statement(statement.init, inner)
+            if statement.condition is not None:
+                self._require_condition(statement.condition, inner)
+            self.loop_depth += 1
+            if statement.step is not None:
+                self._check_statement(statement.step, inner)
+            self._check_statement(statement.body, Scope(inner))
+            self.loop_depth -= 1
+        elif isinstance(statement, ast.Return):
+            if self.current_return is VOID:
+                if statement.value is not None:
+                    raise SemanticError(
+                        "void function cannot return a value", statement.line
+                    )
+            else:
+                if statement.value is None:
+                    raise SemanticError(
+                        "non-void function must return a value", statement.line
+                    )
+                value_type = self._check_expr(statement.value, scope)
+                self._require_convertible(
+                    value_type, self.current_return, statement.line
+                )
+        elif isinstance(statement, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0:
+                keyword = "break" if isinstance(statement, ast.Break) else "continue"
+                raise SemanticError(f"{keyword} outside a loop", statement.line)
+        else:
+            raise SemanticError(f"unknown statement {statement!r}")
+
+    # -- expressions --------------------------------------------------------------
+
+    def _check_expr(self, node, scope):
+        node.ty = self._type_of(node, scope)
+        return node.ty
+
+    def _type_of(self, node, scope):
+        if isinstance(node, ast.IntLiteral):
+            return I32
+        if isinstance(node, ast.FloatLiteral):
+            return F64
+        if isinstance(node, ast.Identifier):
+            symbol = scope.lookup(node.name) or self.globals.get(node.name)
+            if symbol is None:
+                raise SemanticError(f"use of undeclared name {node.name!r}", node.line)
+            node.symbol = symbol
+            return symbol.value_type
+        if isinstance(node, ast.Index):
+            base_type = self._check_expr(node.base, scope)
+            index_type = self._check_expr(node.index, scope)
+            if index_type is not I32:
+                raise SemanticError("array index must be int", node.line)
+            if base_type.is_array:
+                return base_type.element
+            if base_type.is_pointer:
+                return base_type.pointee
+            raise SemanticError("indexed value is not an array or pointer", node.line)
+        if isinstance(node, ast.Call):
+            signature = self.signatures.get(node.name)
+            if signature is None:
+                raise SemanticError(f"call to unknown function {node.name!r}", node.line)
+            if len(node.args) != len(signature.param_types):
+                raise SemanticError(
+                    f"{node.name}() expects {len(signature.param_types)} "
+                    f"arguments, got {len(node.args)}",
+                    node.line,
+                )
+            for argument, expected in zip(node.args, signature.param_types):
+                actual = self._check_expr(argument, scope)
+                if expected.is_pointer:
+                    decayed = (
+                        PointerType(actual.element) if actual.is_array else actual
+                    )
+                    if decayed is not expected:
+                        raise SemanticError(
+                            f"argument type {actual!r} does not match "
+                            f"{expected!r} in call to {node.name}()",
+                            node.line,
+                        )
+                else:
+                    self._require_convertible(actual, expected, node.line)
+            node.callee = signature
+            return signature.return_type
+        if isinstance(node, ast.Unary):
+            if node.op == "&":
+                operand_type = self._check_expr(node.operand, scope)
+                if not isinstance(node.operand, (ast.Identifier, ast.Index)):
+                    raise SemanticError("& requires an lvalue", node.line)
+                if not operand_type.is_scalar:
+                    raise SemanticError(
+                        "& applies to scalars (arrays decay implicitly)", node.line
+                    )
+                return PointerType(operand_type)
+            operand_type = self._check_expr(node.operand, scope)
+            if node.op == "-":
+                if not _is_numeric(operand_type):
+                    raise SemanticError("unary - needs a numeric operand", node.line)
+                return operand_type
+            if node.op == "!":
+                if operand_type is not I32:
+                    raise SemanticError("! needs an int operand", node.line)
+                return I32
+            raise SemanticError(f"unknown unary operator {node.op!r}", node.line)
+        if isinstance(node, ast.Binary):
+            lhs = self._check_expr(node.lhs, scope)
+            rhs = self._check_expr(node.rhs, scope)
+            op = node.op
+            if op in ("&&", "||"):
+                if lhs is not I32 or rhs is not I32:
+                    raise SemanticError(f"{op} needs int operands", node.line)
+                return I32
+            if op in ("%", "<<", ">>", "&", "|", "^"):
+                if lhs is not I32 or rhs is not I32:
+                    raise SemanticError(f"{op} needs int operands", node.line)
+                return I32
+            if op in ("==", "!=", "<", "<=", ">", ">="):
+                if not (_is_numeric(lhs) and _is_numeric(rhs)):
+                    raise SemanticError(
+                        f"{op} needs numeric operands", node.line
+                    )
+                return I32
+            if op in ("+", "-", "*", "/"):
+                if not (_is_numeric(lhs) and _is_numeric(rhs)):
+                    raise SemanticError(f"{op} needs numeric operands", node.line)
+                return F64 if (lhs is F64 or rhs is F64) else I32
+            raise SemanticError(f"unknown operator {op!r}", node.line)
+        if isinstance(node, ast.CastExpr):
+            operand_type = self._check_expr(node.operand, scope)
+            if not _is_numeric(operand_type):
+                raise SemanticError("casts apply to numeric values", node.line)
+            return _BASE_TYPES[node.target]
+        raise SemanticError(f"unknown expression {node!r}")
+
+    # -- helpers --------------------------------------------------------------
+
+    def _require_condition(self, node, scope):
+        condition_type = self._check_expr(node, scope)
+        if condition_type is not I32:
+            raise SemanticError("condition must be int", node.line)
+
+    @staticmethod
+    def _require_convertible(actual, expected, line):
+        if actual is expected:
+            return
+        if actual is I32 and expected is F64:
+            return  # implicit widening
+        raise SemanticError(
+            f"cannot convert {actual!r} to {expected!r} "
+            f"(narrowing needs an explicit cast)",
+            line,
+        )
+
+
+def analyze(program):
+    """Run semantic analysis; returns a :class:`SemaResult`."""
+    return SemanticAnalyzer(program).run()

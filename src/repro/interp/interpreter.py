@@ -1,0 +1,717 @@
+"""The IR interpreter — Loopapalooza's execution substrate.
+
+Executes a verified module, counting **dynamic IR instructions** as the time
+metric (the paper's §III-D choice: "LP always takes the dynamic LLVM IR
+instruction count as the approximation of execution time"). Cost is charged
+per basic block, matching the paper's hard-coded per-block callbacks; events
+within a block carry ``block_base + position`` timestamps.
+
+Each function is pre-compiled to closures once (operand access resolved to
+register indices), so interpretation is a tight dispatch loop. An optional
+:class:`FunctionInstrumentation` plan per function injects the Loopapalooza
+callbacks:
+
+* loop entry / iteration / exit on the corresponding CFG edges,
+* memory read/write events with timestamps,
+* register-LCD tracking: the latch value of each tracked header phi, the
+  timestamp of its producing definition, and the first in-iteration use.
+
+The runtime object (see :mod:`repro.runtime.recorder`) receives these events
+and builds the execution profile.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..errors import FuelExhausted, InterpError, TrapError
+from ..ir.instructions import (
+    GEP,
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from ..ir.values import ConstantFloat, ConstantInt, GlobalVariable
+from .memory import AddressSpace
+
+_MASK32 = 0xFFFFFFFF
+_SIGN32 = 0x80000000
+
+
+def _wrap32(value):
+    value &= _MASK32
+    return value - 0x100000000 if value & _SIGN32 else value
+
+
+_INT_OPS = {
+    "add": lambda a, b: _wrap32(a + b),
+    "sub": lambda a, b: _wrap32(a - b),
+    "mul": lambda a, b: _wrap32(a * b),
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: _wrap32(a << (b & 31)),
+    "ashr": lambda a, b: a >> (b & 31),
+}
+
+_FLOAT_OPS = {
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+}
+
+_ICMP_OPS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b,
+    "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b,
+    "sge": lambda a, b: a >= b,
+}
+
+_FCMP_OPS = {
+    "oeq": lambda a, b: a == b,
+    "one": lambda a, b: a != b,
+    "olt": lambda a, b: a < b,
+    "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b,
+    "oge": lambda a, b: a >= b,
+}
+
+
+class FunctionInstrumentation:
+    """Per-function callback plan consumed by the compiler.
+
+    Attributes (all keyed by object ids of IR entities):
+
+    * ``edge_actions`` — ``{(id(pred), id(succ)): [(kind, loop_id), ...]}``
+      with kind in ``'enter' | 'iter' | 'exit'``, fired in list order.
+    * ``latch_values`` — ``{(id(latch), id(header)): [(phi_key, value_ref)]}``
+      where ``value_ref`` is the IR value entering the phi from the latch;
+      its run-time value is shipped with the ``loop_iter`` event.
+    * ``def_hooks`` — ``{id(value): [(loop_id, phi_key)]}``: when the value is
+      (re)computed, report the timestamp as the LCD's producer definition.
+    * ``use_hooks`` — ``{id(instruction): [(loop_id, phi_key)]}``: when the
+      instruction executes, report a consumer use of the LCD.
+    * ``call_sites`` — ``{id(call): site_id}``: user calls tracked for the
+      call/continuation TLS estimator (start/end events).
+    * ``call_use_hooks`` — ``{id(instruction): [site_id]}``: the call's
+      return value is consumed here (a continuation dependence).
+    """
+
+    def __init__(self):
+        self.edge_actions = {}
+        self.latch_values = {}
+        self.def_hooks = {}
+        self.use_hooks = {}
+        # Function-call/continuation TLS (paper §I extension):
+        self.call_sites = {}      # id(Call instr) -> site_id string
+        self.call_use_hooks = {}  # id(instr) -> [site_id]: result consumed
+
+    @property
+    def is_empty(self):
+        return not (
+            self.edge_actions or self.latch_values
+            or self.def_hooks or self.use_hooks or self.call_sites
+        )
+
+
+class _CompiledBlock:
+    __slots__ = ("cost", "ops", "phi_moves", "terminator")
+
+    def __init__(self):
+        self.cost = 0
+        self.ops = []
+        self.phi_moves = {}   # id(pred) -> closure(machine, regs)
+        self.terminator = None
+
+
+_RETURN = object()
+
+
+class _CompiledFunction:
+    __slots__ = ("function", "blocks", "entry_id", "num_regs", "arg_regs",
+                 "edge_hooks", "latch_getters")
+
+    def __init__(self, function):
+        self.function = function
+        self.blocks = {}
+        self.entry_id = None
+        self.num_regs = 0
+        self.arg_regs = []
+        self.edge_hooks = {}
+        self.latch_getters = {}
+
+
+class Interpreter:
+    """Compiles and executes a module, firing runtime callbacks.
+
+    Args:
+        module: a verified IR module with a ``main`` function.
+        runtime: optional Loopapalooza runtime receiving the events.
+        instrumentation: optional ``{function_name: FunctionInstrumentation}``.
+        fuel: dynamic IR instruction budget (guards runaway programs).
+    """
+
+    def __init__(self, module, runtime=None, instrumentation=None, fuel=200_000_000):
+        self.module = module
+        self.runtime = runtime
+        self.instrumentation = instrumentation or {}
+        self.fuel = fuel
+        self.space = AddressSpace()
+        self.cost = 0
+        self.output = []
+        self.prng_state = 0x853C49E6748FEA9B
+        self.input_cursor = 0
+        self.global_bases = {}
+        self._compiled = {}
+        self._call_depth = 0
+        for variable in module.globals.values():
+            self.global_bases[variable.name] = self.space.add_global(variable)
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, function_name="main", args=()):
+        """Execute ``function_name`` and return its result."""
+        function = self.module.get_function(function_name)
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 10_000))
+        try:
+            return self._call(function, list(args))
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    # -- memory primitives (also used by intrinsic implementations) -------------
+
+    def load_slot(self, address, ts=None):
+        value = self.space.load(address)
+        if self.runtime is not None:
+            self.runtime.mem_read(address, self.cost if ts is None else ts)
+        return value
+
+    def store_slot(self, address, value, ts=None):
+        self.space.store(address, value)
+        if self.runtime is not None:
+            self.runtime.mem_write(address, self.cost if ts is None else ts)
+
+    def marks_for(self, address):
+        return self.space.marks_for(address)
+
+    # -- compilation ---------------------------------------------------------------
+
+    def _compiled_for(self, function):
+        compiled = self._compiled.get(function.name)
+        if compiled is None:
+            plan = self.instrumentation.get(function.name)
+            compiled = self._compile_function(function, plan)
+            self._compiled[function.name] = compiled
+        return compiled
+
+    def _compile_function(self, function, plan):
+        compiled = _CompiledFunction(function)
+        reg_index = {}
+
+        def reg_for(value):
+            key = id(value)
+            slot = reg_index.get(key)
+            if slot is None:
+                slot = len(reg_index)
+                reg_index[key] = slot
+            return slot
+
+        for argument in function.arguments:
+            compiled.arg_regs.append(reg_for(argument))
+
+        # First pass: assign registers to every value-producing instruction
+        # so forward references (phis) resolve.
+        for block in function.blocks:
+            for instruction in block.instructions:
+                if not instruction.type.is_void:
+                    reg_for(instruction)
+
+        def getter(value):
+            """Return a closure fetching the operand's runtime value."""
+            if isinstance(value, ConstantInt):
+                constant = value.value
+                return lambda regs: constant
+            if isinstance(value, ConstantFloat):
+                constant = value.value
+                return lambda regs: constant
+            if isinstance(value, GlobalVariable):
+                base = self.global_bases[value.name]
+                return lambda regs: base
+            from ..ir.function import Function as IRFunction
+
+            if isinstance(value, IRFunction):
+                raise InterpError("function values cannot be operands here")
+            slot = reg_index[id(value)]
+            return lambda regs: regs[slot]
+
+        for block in function.blocks:
+            compiled_block = _CompiledBlock()
+            compiled.blocks[id(block)] = compiled_block
+            compiled_block.cost = len(block.instructions)
+            position = 0
+            phis = []
+            for instruction in block.instructions:
+                if isinstance(instruction, Phi):
+                    phis.append(instruction)
+                    position += 1
+                    continue
+                if instruction.is_terminator:
+                    terminator = self._compile_terminator(
+                        instruction, getter, reg_index
+                    )
+                    if plan is not None:
+                        use_entries = plan.use_hooks.get(id(instruction))
+                        if use_entries:
+                            terminator = self._wrap_terminator_uses(
+                                terminator, use_entries, position
+                            )
+                    compiled_block.terminator = terminator
+                else:
+                    op = self._compile_op(
+                        instruction, getter, reg_index, position, plan
+                    )
+                    if op is not None:
+                        compiled_block.ops.append(op)
+                position += 1
+            if compiled_block.terminator is None:
+                raise InterpError(
+                    f"block {block.name} in @{function.name} lacks a terminator"
+                )
+            if phis:
+                self._compile_phi_moves(
+                    compiled_block, block, phis, getter, reg_index, plan
+                )
+
+        compiled.entry_id = id(function.entry_block)
+        compiled.num_regs = len(reg_index)
+        if plan is not None:
+            compiled.edge_hooks = dict(plan.edge_actions)
+            self._attach_latch_values(compiled, function, plan, getter)
+        return compiled
+
+    def _attach_latch_values(self, compiled, function, plan, getter):
+        """Resolve latch-value references into reg getters, stored alongside
+        the edge key for the dispatch loop to ship with ``loop_iter``."""
+        resolved = {}
+        for edge_key, specs in plan.latch_values.items():
+            resolved[edge_key] = [
+                (phi_key, getter(value_ref)) for phi_key, value_ref in specs
+            ]
+        compiled.latch_getters = resolved
+
+    def _compile_phi_moves(self, compiled_block, block, phis, getter, reg_index, plan):
+        """Parallel phi assignment per incoming edge (gather then scatter)."""
+        predecessors = set()
+        for phi in phis:
+            predecessors.update(id(b) for b in phi.incoming_blocks)
+        runtime = self  # machine reference for hooks
+        for pred_id in predecessors:
+            moves = []
+            hooks = []
+            for phi in phis:
+                for value, pred in phi.incoming():
+                    if id(pred) == pred_id:
+                        moves.append((reg_index[id(phi)], getter(value)))
+                        break
+            if plan is not None:
+                for phi in phis:
+                    for entry in plan.def_hooks.get(id(phi), ()):
+                        hooks.append(("def", entry, reg_index[id(phi)]))
+                    for entry in plan.use_hooks.get(id(phi), ()):
+                        hooks.append(("use", entry, reg_index[id(phi)]))
+            if not hooks:
+                def move(machine, regs, base, moves=moves):
+                    values = [get(regs) for _, get in moves]
+                    for (dst, _), value in zip(moves, values):
+                        regs[dst] = value
+            else:
+                def move(machine, regs, base, moves=moves, hooks=hooks):
+                    values = [get(regs) for _, get in moves]
+                    for (dst, _), value in zip(moves, values):
+                        regs[dst] = value
+                    rt = machine.runtime
+                    if rt is not None:
+                        for kind, (loop_id, phi_key), _ in hooks:
+                            if kind == "def":
+                                rt.lcd_def(loop_id, phi_key, machine.cost)
+                            else:
+                                rt.lcd_use(loop_id, phi_key, machine.cost)
+            compiled_block.phi_moves[pred_id] = move
+
+    # -- per-instruction compilation -----------------------------------------------
+
+    def _compile_op(self, instruction, getter, reg_index, position, plan):
+        op = self._compile_op_core(instruction, getter, reg_index, position, plan)
+        if plan is None:
+            return op
+        def_entries = plan.def_hooks.get(id(instruction), ())
+        use_entries = plan.use_hooks.get(id(instruction), ())
+        call_uses = plan.call_use_hooks.get(id(instruction), ())
+        if not def_entries and not use_entries and not call_uses:
+            return op
+        entries = [("def", e) for e in def_entries] + [("use", e) for e in use_entries]
+
+        def hooked(machine, regs, base, op=op, entries=entries,
+                   call_uses=call_uses, position=position):
+            rt = machine.runtime
+            if rt is not None and call_uses:
+                # Result-use hooks fire before the consumer executes.
+                ts = base + position
+                for site_id in call_uses:
+                    rt.call_result_use(site_id, ts)
+            if op is not None:
+                op(machine, regs, base)
+            if rt is not None:
+                ts = base + position
+                for kind, (loop_id, phi_key) in entries:
+                    if kind == "def":
+                        rt.lcd_def(loop_id, phi_key, ts)
+                    else:
+                        rt.lcd_use(loop_id, phi_key, ts)
+
+        return hooked
+
+    def _compile_op_core(self, instruction, getter, reg_index, position, plan=None):
+        if isinstance(instruction, BinaryOp):
+            dst = reg_index[id(instruction)]
+            lhs = getter(instruction.lhs)
+            rhs = getter(instruction.rhs)
+            opcode = instruction.opcode
+            if opcode in _INT_OPS and instruction.type.is_integer:
+                fn = _INT_OPS[opcode]
+                if instruction.type.width != 32:
+                    # i1/i64 arithmetic: plain Python semantics suffice.
+                    fn = {"add": lambda a, b: a + b, "sub": lambda a, b: a - b,
+                          "mul": lambda a, b: a * b, "and": lambda a, b: a & b,
+                          "or": lambda a, b: a | b, "xor": lambda a, b: a ^ b,
+                          "shl": lambda a, b: a << b, "ashr": lambda a, b: a >> b,
+                          }.get(opcode, fn)
+
+                def op(machine, regs, base, dst=dst, lhs=lhs, rhs=rhs, fn=fn):
+                    regs[dst] = fn(lhs(regs), rhs(regs))
+                return op
+            if opcode == "sdiv":
+                def op(machine, regs, base, dst=dst, lhs=lhs, rhs=rhs):
+                    divisor = rhs(regs)
+                    if divisor == 0:
+                        raise TrapError("integer division by zero")
+                    regs[dst] = _wrap32(int(lhs(regs) / divisor))
+                return op
+            if opcode == "srem":
+                def op(machine, regs, base, dst=dst, lhs=lhs, rhs=rhs):
+                    divisor = rhs(regs)
+                    if divisor == 0:
+                        raise TrapError("integer remainder by zero")
+                    dividend = lhs(regs)
+                    regs[dst] = dividend - int(dividend / divisor) * divisor
+                return op
+            if opcode in _FLOAT_OPS:
+                fn = _FLOAT_OPS[opcode]
+
+                def op(machine, regs, base, dst=dst, lhs=lhs, rhs=rhs, fn=fn):
+                    regs[dst] = fn(lhs(regs), rhs(regs))
+                return op
+            if opcode == "fdiv":
+                def op(machine, regs, base, dst=dst, lhs=lhs, rhs=rhs):
+                    divisor = rhs(regs)
+                    if divisor == 0.0:
+                        raise TrapError("float division by zero")
+                    regs[dst] = lhs(regs) / divisor
+                return op
+            raise InterpError(f"unsupported binary opcode {opcode}")
+
+        if isinstance(instruction, ICmp):
+            dst = reg_index[id(instruction)]
+            lhs = getter(instruction.lhs)
+            rhs = getter(instruction.rhs)
+            fn = _ICMP_OPS[instruction.predicate]
+
+            def op(machine, regs, base, dst=dst, lhs=lhs, rhs=rhs, fn=fn):
+                regs[dst] = 1 if fn(lhs(regs), rhs(regs)) else 0
+            return op
+
+        if isinstance(instruction, FCmp):
+            dst = reg_index[id(instruction)]
+            lhs = getter(instruction.lhs)
+            rhs = getter(instruction.rhs)
+            fn = _FCMP_OPS[instruction.predicate]
+
+            def op(machine, regs, base, dst=dst, lhs=lhs, rhs=rhs, fn=fn):
+                regs[dst] = 1 if fn(lhs(regs), rhs(regs)) else 0
+            return op
+
+        if isinstance(instruction, Alloca):
+            dst = reg_index[id(instruction)]
+            size = instruction.allocated_type.size_in_slots()
+            zero = 0.0 if _alloc_zero_is_float(instruction.allocated_type) else 0
+
+            def op(machine, regs, base, dst=dst, size=size, zero=zero):
+                marks = (
+                    machine.runtime.current_marks()
+                    if machine.runtime is not None else None
+                )
+                regs[dst] = machine.space.allocate(size, zero, marks)
+            return op
+
+        if isinstance(instruction, Load):
+            dst = reg_index[id(instruction)]
+            pointer = getter(instruction.pointer)
+
+            def op(machine, regs, base, dst=dst, pointer=pointer, position=position):
+                regs[dst] = machine.load_slot(pointer(regs), base + position)
+            return op
+
+        if isinstance(instruction, Store):
+            pointer = getter(instruction.pointer)
+            value = getter(instruction.value)
+
+            def op(machine, regs, base, pointer=pointer, value=value, position=position):
+                machine.store_slot(pointer(regs), value(regs), base + position)
+            return op
+
+        if isinstance(instruction, GEP):
+            dst = reg_index[id(instruction)]
+            pointer = getter(instruction.pointer)
+            scales = []
+            element = instruction.pointer.type.pointee
+            for index in instruction.indices:
+                if element.is_array:
+                    scales.append((element.element.size_in_slots(), getter(index)))
+                    element = element.element
+                else:
+                    scales.append((element.size_in_slots(), getter(index)))
+            if len(scales) == 1:
+                scale, index_get = scales[0]
+
+                def op(machine, regs, base, dst=dst, pointer=pointer,
+                       scale=scale, index_get=index_get):
+                    regs[dst] = pointer(regs) + scale * index_get(regs)
+                return op
+
+            def op(machine, regs, base, dst=dst, pointer=pointer, scales=scales):
+                address = pointer(regs)
+                for scale, index_get in scales:
+                    address += scale * index_get(regs)
+                regs[dst] = address
+            return op
+
+        if isinstance(instruction, Call):
+            callee = instruction.callee
+            arg_getters = [getter(a) for a in instruction.args]
+            dst = reg_index.get(id(instruction))
+            if callee.is_intrinsic:
+                info = callee.intrinsic
+                extra_cost = max(0, info.cost - 1)
+                impl = info.implementation
+
+                def op(machine, regs, base, dst=dst, impl=impl,
+                       arg_getters=arg_getters, extra_cost=extra_cost):
+                    machine.cost += extra_cost
+                    if machine.cost > machine.fuel:
+                        raise FuelExhausted(machine.fuel)
+                    result = impl(machine, [g(regs) for g in arg_getters])
+                    if dst is not None:
+                        regs[dst] = result
+                return op
+
+            site_id = plan.call_sites.get(id(instruction)) if plan else None
+            if site_id is None:
+                def op(machine, regs, base, dst=dst, callee=callee,
+                       arg_getters=arg_getters):
+                    result = machine._call(callee, [g(regs) for g in arg_getters])
+                    if dst is not None:
+                        regs[dst] = result
+                return op
+
+            def op(machine, regs, base, dst=dst, callee=callee,
+                   arg_getters=arg_getters, site_id=site_id):
+                rt = machine.runtime
+                if rt is not None:
+                    rt.call_start(site_id, machine.cost)
+                result = machine._call(callee, [g(regs) for g in arg_getters])
+                if rt is not None:
+                    rt.call_end(site_id, machine.cost)
+                if dst is not None:
+                    regs[dst] = result
+            return op
+
+        if isinstance(instruction, Select):
+            dst = reg_index[id(instruction)]
+            condition = getter(instruction.condition)
+            true_get = getter(instruction.true_value)
+            false_get = getter(instruction.false_value)
+
+            def op(machine, regs, base, dst=dst, condition=condition,
+                   true_get=true_get, false_get=false_get):
+                regs[dst] = true_get(regs) if condition(regs) else false_get(regs)
+            return op
+
+        if isinstance(instruction, Cast):
+            dst = reg_index[id(instruction)]
+            value = getter(instruction.value)
+            opcode = instruction.opcode
+            if opcode == "sitofp":
+                def op(machine, regs, base, dst=dst, value=value):
+                    regs[dst] = float(value(regs))
+                return op
+            if opcode == "fptosi":
+                def op(machine, regs, base, dst=dst, value=value):
+                    regs[dst] = _wrap32(int(value(regs)))
+                return op
+            if opcode == "zext":
+                def op(machine, regs, base, dst=dst, value=value):
+                    regs[dst] = value(regs)
+                return op
+            if opcode == "trunc":
+                width = instruction.type.width
+
+                def op(machine, regs, base, dst=dst, value=value, width=width):
+                    raw = value(regs) & ((1 << width) - 1)
+                    if width > 1 and raw >= (1 << (width - 1)):
+                        raw -= 1 << width
+                    regs[dst] = raw
+                return op
+
+        raise InterpError(f"cannot compile {instruction!r}")
+
+    @staticmethod
+    def _wrap_terminator_uses(terminator, use_entries, position):
+        """Fire LCD-use hooks when an instrumented phi feeds a terminator."""
+
+        def wrapped(machine, regs, base, terminator=terminator,
+                    use_entries=use_entries, position=position):
+            rt = machine.runtime
+            if rt is not None:
+                ts = base + position
+                for loop_id, phi_key in use_entries:
+                    rt.lcd_use(loop_id, phi_key, ts)
+            return terminator(machine, regs, base)
+
+        return wrapped
+
+    def _compile_terminator(self, instruction, getter, reg_index):
+        if isinstance(instruction, Br):
+            target_id = id(instruction.target)
+
+            def term(machine, regs, base, target_id=target_id):
+                return target_id
+            return term
+        if isinstance(instruction, CondBr):
+            condition = getter(instruction.condition)
+            then_id = id(instruction.then_block)
+            else_id = id(instruction.else_block)
+
+            def term(machine, regs, base, condition=condition,
+                     then_id=then_id, else_id=else_id):
+                return then_id if condition(regs) else else_id
+            return term
+        if isinstance(instruction, Ret):
+            if instruction.value is None:
+                def term(machine, regs, base):
+                    machine._return_value = None
+                    return _RETURN
+                return term
+            value = getter(instruction.value)
+
+            def term(machine, regs, base, value=value):
+                machine._return_value = value(regs)
+                return _RETURN
+            return term
+        raise InterpError(f"unknown terminator {instruction!r}")
+
+    # -- execution ------------------------------------------------------------------
+
+    def _call(self, function, args):
+        if function.is_intrinsic:
+            return function.intrinsic.implementation(self, args)
+        if function.is_declaration:
+            raise InterpError(f"call to undefined function @{function.name}")
+        self._call_depth += 1
+        if self._call_depth > 2000:
+            self._call_depth -= 1
+            raise TrapError("call stack depth limit exceeded")
+        compiled = self._compiled_for(function)
+        regs = [None] * compiled.num_regs
+        for slot, value in zip(compiled.arg_regs, args):
+            regs[slot] = value
+
+        runtime = self.runtime
+        frame_base = self.space.frame_base()
+        if runtime is not None:
+            runtime.func_enter(function)
+
+        blocks = compiled.blocks
+        edge_hooks = compiled.edge_hooks
+        latch_getters = getattr(compiled, "latch_getters", {})
+        block_id = compiled.entry_id
+        pred_id = None
+        try:
+            while True:
+                if runtime is not None and pred_id is not None:
+                    edge_key = (pred_id, block_id)
+                    actions = edge_hooks.get(edge_key)
+                    if actions is not None:
+                        ts = self.cost
+                        for kind, loop_id in actions:
+                            if kind == "iter":
+                                specs = latch_getters.get(edge_key, ())
+                                values = [
+                                    (phi_key, get(regs)) for phi_key, get in specs
+                                ]
+                                runtime.loop_iter(loop_id, ts, values)
+                            elif kind == "enter":
+                                runtime.loop_enter(loop_id, ts)
+                            else:
+                                runtime.loop_exit(loop_id, ts)
+                block = blocks[block_id]
+                move = block.phi_moves.get(pred_id)
+                if move is not None:
+                    move(self, regs, self.cost)
+                base = self.cost
+                self.cost = base + block.cost
+                if self.cost > self.fuel:
+                    raise FuelExhausted(self.fuel)
+                for op in block.ops:
+                    op(self, regs, base)
+                next_id = block.terminator(self, regs, base)
+                if next_id is _RETURN:
+                    return self._return_value
+                pred_id = block_id
+                block_id = next_id
+        finally:
+            self._call_depth -= 1
+            self.space.release_to(frame_base)
+            if runtime is not None:
+                runtime.func_exit(function)
+
+    @property
+    def fuel_left(self):
+        return self.fuel - self.cost
+
+
+def _alloc_zero_is_float(type_):
+    while type_.is_array:
+        type_ = type_.element
+    return type_.is_float
+
+
+def run_module(module, function_name="main", args=(), runtime=None,
+               instrumentation=None, fuel=200_000_000):
+    """Convenience: build an interpreter, run, and return
+    ``(result, interpreter)``."""
+    interpreter = Interpreter(module, runtime, instrumentation, fuel)
+    result = interpreter.run(function_name, args)
+    return result, interpreter

@@ -1,0 +1,228 @@
+"""Library intrinsics: the "pre-compiled C library" of the study.
+
+The paper classifies library calls for the ``fn`` flags (Table II):
+
+* **pure** — read-only, no side effects (``sqrt``, ``fabs``...): callable in
+  parallel loops from ``fn1`` up.
+* **thread-safe** — re-entrant, touching memory only through pointer
+  arguments (``memcpy``-style helpers): callable from ``fn2`` up. Unlike the
+  paper (which cannot instrument pre-compiled libraries) our interpreter
+  *does* observe their memory traffic, so conflict tracking through them is
+  sound.
+* **unsafe** — hidden global state or I/O (``rand``, ``print_*``): loops
+  containing them serialize below ``fn3``.
+
+Each intrinsic provides a native implementation plus a cost in abstract IR
+instructions, so the sequential-time metric stays meaningful across calls.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import TrapError
+from ..ir.types import F64, I32, VOID, PointerType
+
+
+class IntrinsicInfo:
+    """Declaration + semantics of one library intrinsic.
+
+    ``implementation`` receives ``(machine, args)`` — ``machine`` is the
+    interpreter (giving access to memory and the I/O / PRNG state) — and
+    returns the result value (or ``None`` for void).
+    """
+
+    def __init__(
+        self,
+        name,
+        param_types,
+        return_type,
+        implementation,
+        *,
+        cost=1,
+        reads_memory=False,
+        writes_memory=False,
+        side_effects=False,
+        global_state=False,
+    ):
+        self.name = name
+        self.param_types = tuple(param_types)
+        self.return_type = return_type
+        self.implementation = implementation
+        self.cost = cost
+        self.reads_memory = reads_memory
+        self.writes_memory = writes_memory
+        self.side_effects = side_effects
+        self.global_state = global_state
+
+    @property
+    def is_pure(self):
+        return not (
+            self.writes_memory or self.side_effects or self.global_state
+        )
+
+    @property
+    def is_thread_safe(self):
+        """Re-entrant: no hidden state, memory only via pointer arguments."""
+        return not (self.side_effects or self.global_state)
+
+    def __repr__(self):
+        kind = (
+            "pure" if self.is_pure
+            else "thread_safe" if self.is_thread_safe
+            else "unsafe"
+        )
+        return f"<Intrinsic {self.name} ({kind})>"
+
+
+def _guarded(fn, *args):
+    try:
+        result = fn(*args)
+    except (ValueError, OverflowError) as exc:
+        raise TrapError(f"math domain error: {exc}") from exc
+    return result
+
+
+def _hash32(x):
+    """xorshift-style avalanche hash — pure, deterministic data generator."""
+    x &= 0xFFFFFFFF
+    x ^= x >> 16
+    x = (x * 0x7FEB352D) & 0xFFFFFFFF
+    x ^= x >> 15
+    x = (x * 0x846CA68B) & 0xFFFFFFFF
+    x ^= x >> 16
+    return x
+
+
+def _wrap_i32(value):
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+# -- implementations needing machine access -------------------------------------
+
+
+def _impl_rand(machine, args):
+    state = (machine.prng_state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+    machine.prng_state = state
+    return _wrap_i32((state >> 33) & 0x7FFFFFFF)
+
+
+def _impl_srand(machine, args):
+    machine.prng_state = args[0] & 0xFFFFFFFFFFFFFFFF
+    return None
+
+
+def _impl_print_int(machine, args):
+    machine.output.append(int(args[0]))
+    return None
+
+
+def _impl_print_float(machine, args):
+    machine.output.append(float(args[0]))
+    return None
+
+
+def _impl_getchar(machine, args):
+    value = machine.input_cursor
+    machine.input_cursor += 1
+    return _wrap_i32(_hash32(value) % 256)
+
+
+def _impl_memset_i32(machine, args):
+    base, value, count = int(args[0]), int(args[1]), int(args[2])
+    for offset in range(count):
+        machine.store_slot(base + offset, value)
+    return None
+
+
+def _impl_memcpy_i32(machine, args):
+    dst, src, count = int(args[0]), int(args[1]), int(args[2])
+    values = [machine.load_slot(src + offset) for offset in range(count)]
+    for offset, value in enumerate(values):
+        machine.store_slot(dst + offset, value)
+    return None
+
+
+def _impl_memset_f64(machine, args):
+    base, value, count = int(args[0]), float(args[1]), int(args[2])
+    for offset in range(count):
+        machine.store_slot(base + offset, value)
+    return None
+
+
+def _impl_memcpy_f64(machine, args):
+    dst, src, count = int(args[0]), int(args[1]), int(args[2])
+    values = [machine.load_slot(src + offset) for offset in range(count)]
+    for offset, value in enumerate(values):
+        machine.store_slot(dst + offset, value)
+    return None
+
+
+def _registry():
+    i32p = PointerType(I32)
+    f64p = PointerType(F64)
+    table = {}
+
+    def add(info):
+        table[info.name] = info
+
+    # Pure math (float).
+    add(IntrinsicInfo("sqrt", [F64], F64, lambda m, a: _guarded(math.sqrt, a[0]), cost=4))
+    add(IntrinsicInfo("sin", [F64], F64, lambda m, a: math.sin(a[0]), cost=6))
+    add(IntrinsicInfo("cos", [F64], F64, lambda m, a: math.cos(a[0]), cost=6))
+    add(IntrinsicInfo("exp", [F64], F64, lambda m, a: _guarded(math.exp, min(a[0], 700.0)), cost=6))
+    add(IntrinsicInfo("log", [F64], F64,
+                      lambda m, a: _guarded(math.log, a[0]) if a[0] > 0 else -745.0, cost=6))
+    add(IntrinsicInfo("pow", [F64, F64], F64,
+                      lambda m, a: _guarded(pow, a[0], a[1]), cost=8))
+    add(IntrinsicInfo("fabs", [F64], F64, lambda m, a: abs(a[0]), cost=1))
+    add(IntrinsicInfo("floor", [F64], F64, lambda m, a: float(math.floor(a[0])), cost=1))
+    add(IntrinsicInfo("fmin", [F64, F64], F64, lambda m, a: min(a[0], a[1]), cost=1))
+    add(IntrinsicInfo("fmax", [F64, F64], F64, lambda m, a: max(a[0], a[1]), cost=1))
+
+    # Pure integer helpers.
+    add(IntrinsicInfo("iabs", [I32], I32, lambda m, a: _wrap_i32(abs(a[0])), cost=1))
+    add(IntrinsicInfo("imin", [I32, I32], I32, lambda m, a: min(a[0], a[1]), cost=1))
+    add(IntrinsicInfo("imax", [I32, I32], I32, lambda m, a: max(a[0], a[1]), cost=1))
+    # Deterministic pure data generators (replace rand() in parallel-friendly
+    # initialization; see DESIGN.md on workload synthesis).
+    add(IntrinsicInfo("hash_i32", [I32], I32,
+                      lambda m, a: _wrap_i32(_hash32(a[0])), cost=6))
+    add(IntrinsicInfo("noise_f64", [I32], F64,
+                      lambda m, a: (_hash32(a[0]) & 0xFFFFFF) / float(0x1000000), cost=8))
+
+    # Unsafe: hidden global state or I/O.
+    add(IntrinsicInfo("rand", [], I32, _impl_rand, cost=4,
+                      global_state=True))
+    add(IntrinsicInfo("srand", [I32], VOID, _impl_srand, cost=1,
+                      global_state=True))
+    add(IntrinsicInfo("print_int", [I32], VOID, _impl_print_int, cost=10,
+                      side_effects=True))
+    add(IntrinsicInfo("print_float", [F64], VOID, _impl_print_float, cost=10,
+                      side_effects=True))
+    add(IntrinsicInfo("getchar", [], I32, _impl_getchar, cost=4,
+                      side_effects=True, global_state=True))
+
+    # Thread-safe library helpers (memory through pointer args only).
+    add(IntrinsicInfo("memset_i32", [i32p, I32, I32], VOID, _impl_memset_i32,
+                      cost=1, writes_memory=True))
+    add(IntrinsicInfo("memcpy_i32", [i32p, i32p, I32], VOID, _impl_memcpy_i32,
+                      cost=1, reads_memory=True, writes_memory=True))
+    add(IntrinsicInfo("memset_f64", [f64p, F64, I32], VOID, _impl_memset_f64,
+                      cost=1, writes_memory=True))
+    add(IntrinsicInfo("memcpy_f64", [f64p, f64p, I32], VOID, _impl_memcpy_f64,
+                      cost=1, reads_memory=True, writes_memory=True))
+    return table
+
+
+INTRINSICS = _registry()
+
+
+def declare_intrinsics(module):
+    """Add every intrinsic declaration to ``module`` (idempotent)."""
+    for info in INTRINSICS.values():
+        if info.name not in module.functions:
+            module.add_function(
+                info.name, info.return_type, info.param_types, intrinsic=info
+            )

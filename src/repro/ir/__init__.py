@@ -1,0 +1,67 @@
+"""repro.ir — the SSA intermediate representation.
+
+A compact LLVM-like IR: typed values, instructions with def-use chains,
+basic blocks, functions, modules, an IRBuilder, a textual printer/parser,
+and a verifier. See DESIGN.md for how this substitutes for LLVM IR in the
+Loopapalooza reproduction.
+"""
+
+from .basic_block import BasicBlock
+from .builder import IRBuilder
+from .function import Function
+from .instructions import (
+    GEP,
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from .module import Module
+from .parser import parse_module
+from .printer import print_function, print_instruction, print_module
+from .types import (
+    F64,
+    I1,
+    I8,
+    I32,
+    I64,
+    VOID,
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    Type,
+    VoidType,
+    parse_type,
+)
+from .values import (
+    Argument,
+    Constant,
+    ConstantFloat,
+    ConstantInt,
+    GlobalVariable,
+    Value,
+)
+from .verifier import verify_module
+
+__all__ = [
+    "Alloca", "Argument", "ArrayType", "BasicBlock", "BinaryOp", "Br",
+    "Call", "Cast", "CondBr", "Constant", "ConstantFloat", "ConstantInt",
+    "F64", "FCmp", "FloatType", "Function", "FunctionType", "GEP",
+    "GlobalVariable", "I1", "I32", "I64", "I8", "ICmp", "IRBuilder",
+    "Instruction", "IntType", "Load", "Module", "Phi", "PointerType",
+    "Ret", "Select", "Store", "Type", "VOID", "Value", "VoidType",
+    "parse_module", "parse_type", "print_function", "print_instruction",
+    "print_module", "verify_module",
+]

@@ -1,0 +1,147 @@
+"""IRBuilder: convenience layer for emitting instructions.
+
+Keeps an insertion point (a basic block) and provides one method per
+instruction kind, mirroring ``llvm::IRBuilder``. The MiniC code generator and
+most unit tests construct IR exclusively through this class.
+"""
+
+from __future__ import annotations
+
+from ..errors import IRError
+from . import instructions as insts
+from .types import F64, I1, I32
+from .values import ConstantFloat, ConstantInt
+
+
+class IRBuilder:
+    """Appends instructions to the end of a chosen basic block."""
+
+    def __init__(self, block=None):
+        self.block = block
+
+    def position_at_end(self, block):
+        self.block = block
+        return self
+
+    def _insert(self, instruction):
+        if self.block is None:
+            raise IRError("builder has no insertion block")
+        return self.block.append(instruction)
+
+    # -- constants --------------------------------------------------------------
+
+    @staticmethod
+    def const_int(value, type_=I32):
+        return ConstantInt(type_, value)
+
+    @staticmethod
+    def const_float(value):
+        return ConstantFloat(value)
+
+    @staticmethod
+    def const_bool(value):
+        return ConstantInt(I1, 1 if value else 0)
+
+    # -- arithmetic ----------------------------------------------------------------
+
+    def binop(self, opcode, lhs, rhs, name=""):
+        return self._insert(insts.BinaryOp(opcode, lhs, rhs, name))
+
+    def add(self, lhs, rhs, name=""):
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs, rhs, name=""):
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs, rhs, name=""):
+        return self.binop("mul", lhs, rhs, name)
+
+    def sdiv(self, lhs, rhs, name=""):
+        return self.binop("sdiv", lhs, rhs, name)
+
+    def srem(self, lhs, rhs, name=""):
+        return self.binop("srem", lhs, rhs, name)
+
+    def and_(self, lhs, rhs, name=""):
+        return self.binop("and", lhs, rhs, name)
+
+    def or_(self, lhs, rhs, name=""):
+        return self.binop("or", lhs, rhs, name)
+
+    def xor(self, lhs, rhs, name=""):
+        return self.binop("xor", lhs, rhs, name)
+
+    def shl(self, lhs, rhs, name=""):
+        return self.binop("shl", lhs, rhs, name)
+
+    def ashr(self, lhs, rhs, name=""):
+        return self.binop("ashr", lhs, rhs, name)
+
+    def fadd(self, lhs, rhs, name=""):
+        return self.binop("fadd", lhs, rhs, name)
+
+    def fsub(self, lhs, rhs, name=""):
+        return self.binop("fsub", lhs, rhs, name)
+
+    def fmul(self, lhs, rhs, name=""):
+        return self.binop("fmul", lhs, rhs, name)
+
+    def fdiv(self, lhs, rhs, name=""):
+        return self.binop("fdiv", lhs, rhs, name)
+
+    # -- comparisons ----------------------------------------------------------------
+
+    def icmp(self, predicate, lhs, rhs, name=""):
+        return self._insert(insts.ICmp(predicate, lhs, rhs, name))
+
+    def fcmp(self, predicate, lhs, rhs, name=""):
+        return self._insert(insts.FCmp(predicate, lhs, rhs, name))
+
+    # -- memory ----------------------------------------------------------------
+
+    def alloca(self, allocated_type, name=""):
+        return self._insert(insts.Alloca(allocated_type, name))
+
+    def load(self, pointer, name=""):
+        return self._insert(insts.Load(pointer, name))
+
+    def store(self, value, pointer):
+        return self._insert(insts.Store(value, pointer))
+
+    def gep(self, pointer, indices, name=""):
+        return self._insert(insts.GEP(pointer, indices, name))
+
+    # -- control flow ----------------------------------------------------------------
+
+    def br(self, target):
+        return self._insert(insts.Br(target))
+
+    def condbr(self, condition, then_block, else_block):
+        return self._insert(insts.CondBr(condition, then_block, else_block))
+
+    def ret(self, value=None):
+        return self._insert(insts.Ret(value))
+
+    # -- other ----------------------------------------------------------------
+
+    def phi(self, type_, name=""):
+        """Create a phi at the top of the current block."""
+        node = insts.Phi(type_, name)
+        if self.block is None:
+            raise IRError("builder has no insertion block")
+        return self.block.insert_phi(node)
+
+    def call(self, callee, args, name=""):
+        return self._insert(insts.Call(callee, list(args), name))
+
+    def select(self, condition, true_value, false_value, name=""):
+        return self._insert(insts.Select(condition, true_value, false_value, name))
+
+    def cast(self, opcode, value, target_type, name=""):
+        return self._insert(insts.Cast(opcode, value, target_type, name))
+
+    def sitofp(self, value, name=""):
+        return self.cast("sitofp", value, F64, name)
+
+    def fptosi(self, value, target_type=I32, name=""):
+        return self.cast("fptosi", value, target_type, name)

@@ -1,0 +1,62 @@
+"""Modules: the top-level IR container (globals + functions)."""
+
+from __future__ import annotations
+
+from ..errors import IRError
+from .function import Function
+from .types import FunctionType
+from .values import GlobalVariable
+
+
+class Module:
+    """A compilation unit: named globals and functions.
+
+    Names are unique within their namespace; redefinition raises
+    :class:`~repro.errors.IRError`.
+    """
+
+    def __init__(self, name="module"):
+        self.name = name
+        self.globals = {}
+        self.functions = {}
+
+    # -- globals ---------------------------------------------------------------
+
+    def add_global(self, allocated_type, name, initializer=None):
+        if name in self.globals:
+            raise IRError(f"duplicate global @{name}")
+        variable = GlobalVariable(allocated_type, name, initializer, module=self)
+        self.globals[name] = variable
+        return variable
+
+    def get_global(self, name):
+        try:
+            return self.globals[name]
+        except KeyError:
+            raise IRError(f"unknown global @{name}") from None
+
+    # -- functions ---------------------------------------------------------------
+
+    def add_function(self, name, return_type, param_types, intrinsic=None):
+        if name in self.functions:
+            raise IRError(f"duplicate function @{name}")
+        function_type = FunctionType(return_type, param_types)
+        function = Function(function_type, name, module=self, intrinsic=intrinsic)
+        self.functions[name] = function
+        return function
+
+    def get_function(self, name):
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"unknown function @{name}") from None
+
+    def defined_functions(self):
+        """Functions with bodies, in insertion order."""
+        return [f for f in self.functions.values() if f.blocks]
+
+    def __repr__(self):
+        return (
+            f"<Module {self.name}: {len(self.globals)} globals, "
+            f"{len(self.functions)} functions>"
+        )

@@ -1,0 +1,413 @@
+"""Parser for the textual IR syntax produced by :mod:`repro.ir.printer`.
+
+Supports round-tripping modules: globals, function declarations, intrinsic
+declarations (bound back to the registry), and function bodies with every
+instruction kind. Forward references to blocks and values are resolved with
+a two-pass scheme per function.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ParseError
+from .instructions import (
+    CAST_OPS,
+    FCMP_PREDICATES,
+    FLOAT_BINOPS,
+    GEP,
+    ICMP_PREDICATES,
+    INT_BINOPS,
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from .module import Module
+from .types import parse_type
+from .values import ConstantFloat, ConstantInt
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>;[^\n]*)
+  | (?P<arrow>->)
+  | (?P<punct>[()\[\]{},=:*])
+  | (?P<float>-?\d+\.\d*(?:e[+-]?\d+)?|-?\d+e[+-]?\d+|-?inf|nan)
+  | (?P<int>-?\d+)
+  | (?P<global>@[A-Za-z_][\w.]*)
+  | (?P<local>%[A-Za-z_][\w.]*)
+  | (?P<word>[A-Za-z_][\w.]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text):
+    tokens = []
+    position = 0
+    line = 1
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"bad character {text[position]!r} in IR", line)
+        line += text[position:match.end()].count("\n")
+        position = match.end()
+        kind = match.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append((kind, match.group(), line))
+    tokens.append(("eof", "", line))
+    return tokens
+
+
+class _Stream:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.position = 0
+
+    @property
+    def current(self):
+        return self.tokens[self.position]
+
+    def advance(self):
+        token = self.current
+        if token[0] != "eof":
+            self.position += 1
+        return token
+
+    def accept(self, kind, text=None):
+        token = self.current
+        if token[0] == kind and (text is None or token[1] == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind, text=None):
+        token = self.accept(kind, text)
+        if token is None:
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {self.current[1]!r}", self.current[2]
+            )
+        return token
+
+    def peek_is(self, kind, text=None):
+        token = self.current
+        return token[0] == kind and (text is None or token[1] == text)
+
+
+def _parse_type_tokens(stream):
+    """Parse a type, which may span several tokens (arrays, pointers)."""
+    if stream.accept("punct", "["):
+        count = int(stream.expect("int")[1])
+        stream.expect("word", "x")
+        element = _parse_type_tokens(stream)
+        stream.expect("punct", "]")
+        type_text = f"[{count} x {element!r}]"
+        result = parse_type(type_text)
+    else:
+        word = stream.expect("word")[1]
+        result = parse_type(word)
+    while stream.accept("punct", "*"):
+        from .types import PointerType
+
+        result = PointerType(result)
+    return result
+
+
+class _FunctionBodyParser:
+    """Two-pass body parser: collect block labels, then build instructions."""
+
+    def __init__(self, function, module, stream):
+        self.function = function
+        self.module = module
+        self.stream = stream
+        self.blocks = {}
+        self.values = {}
+        self.pending = []  # (phi, [(value_name_or_const, block_name)])
+
+    def run(self):
+        for argument in self.function.arguments:
+            self.values[argument.name] = argument
+        # Pre-scan for labels so forward branches resolve.
+        start = self.stream.position
+        depth = 1
+        while depth > 0:
+            kind, text, _ = self.stream.advance()
+            if kind == "punct" and text == "{":
+                depth += 1
+            elif kind == "punct" and text == "}":
+                depth -= 1
+            elif kind == "word" and self.stream.peek_is("punct", ":"):
+                self.blocks[text] = self.function.append_block(text)
+        self.stream.position = start
+
+        current = None
+        while True:
+            if self.stream.accept("punct", "}"):
+                break
+            if self.stream.peek_is("word") and self.stream.tokens[
+                self.stream.position + 1
+            ][:2] == ("punct", ":"):
+                label = self.stream.advance()[1]
+                self.stream.advance()  # ':'
+                current = self.blocks[label]
+                continue
+            if current is None:
+                raise ParseError("instruction before first label", self.stream.current[2])
+            self._parse_instruction(current)
+
+        for phi, incomings in self.pending:
+            for value_token, block_name in incomings:
+                phi.add_incoming(self._resolve(value_token, phi.type), self.blocks[block_name])
+        return self.function
+
+    # -- helpers -------------------------------------------------------------
+
+    def _resolve(self, token, type_):
+        kind, text = token
+        if kind == "int":
+            if type_.is_float:
+                return ConstantFloat(float(text))
+            return ConstantInt(type_, int(text))
+        if kind == "float":
+            return ConstantFloat(float(text))
+        if kind == "global":
+            name = text[1:]
+            if name in self.module.functions:
+                return self.module.functions[name]
+            return self.module.get_global(name)
+        if kind == "local":
+            name = text[1:]
+            if name not in self.values:
+                raise ParseError(f"use of undefined value %{name}")
+            return self.values[name]
+        raise ParseError(f"cannot resolve operand {text!r}")
+
+    def _operand_token(self):
+        token = self.stream.advance()
+        if token[0] not in ("int", "float", "global", "local"):
+            raise ParseError(f"expected an operand, found {token[1]!r}", token[2])
+        return (token[0], token[1])
+
+    def _typed_operand(self):
+        type_ = _parse_type_tokens(self.stream)
+        return self._resolve(self._operand_token(), type_), type_
+
+    def _define(self, name, value):
+        value.name = name
+        self.values[name] = value
+
+    def _block_ref(self):
+        self.stream.expect("word", "label")
+        token = self.stream.expect("local")
+        return self.blocks[token[1][1:]]
+
+    # -- instructions ------------------------------------------------------------
+
+    def _parse_instruction(self, block):
+        stream = self.stream
+        if stream.peek_is("local"):
+            result_name = stream.advance()[1][1:]
+            stream.expect("punct", "=")
+            opcode = stream.expect("word")[1]
+            instruction = self._parse_valued(opcode, block)
+            self._define(result_name, instruction)
+            return
+        opcode = stream.expect("word")[1]
+        if opcode == "store":
+            value, _ = self._typed_operand()
+            stream.expect("punct", ",")
+            pointer, _ = self._typed_operand()
+            block.append(Store(value, pointer))
+            return
+        if opcode == "br":
+            block.append(Br(self._block_ref()))
+            return
+        if opcode == "condbr":
+            condition, _ = self._typed_operand()
+            stream.expect("punct", ",")
+            then_block = self._block_ref()
+            stream.expect("punct", ",")
+            else_block = self._block_ref()
+            block.append(CondBr(condition, then_block, else_block))
+            return
+        if opcode == "ret":
+            if stream.accept("word", "void"):
+                block.append(Ret())
+            else:
+                value, _ = self._typed_operand()
+                block.append(Ret(value))
+            return
+        if opcode == "call":
+            self._parse_call(block, void=True)
+            return
+        raise ParseError(f"unknown instruction {opcode!r}")
+
+    def _parse_call(self, block, void):
+        stream = self.stream
+        _parse_type_tokens(stream)  # return type (informational)
+        callee_token = stream.expect("global")
+        callee = self.module.get_function(callee_token[1][1:])
+        stream.expect("punct", "(")
+        args = []
+        if not stream.peek_is("punct", ")"):
+            while True:
+                value, _ = self._typed_operand()
+                args.append(value)
+                if not stream.accept("punct", ","):
+                    break
+        stream.expect("punct", ")")
+        instruction = Call(callee, args)
+        block.append(instruction)
+        return instruction
+
+    def _parse_valued(self, opcode, block):
+        stream = self.stream
+        if opcode in INT_BINOPS or opcode in FLOAT_BINOPS:
+            type_ = _parse_type_tokens(stream)
+            lhs = self._resolve(self._operand_token(), type_)
+            stream.expect("punct", ",")
+            rhs = self._resolve(self._operand_token(), type_)
+            return block.append(BinaryOp(opcode, lhs, rhs))
+        if opcode == "icmp":
+            predicate = stream.expect("word")[1]
+            if predicate not in ICMP_PREDICATES:
+                raise ParseError(f"bad icmp predicate {predicate!r}")
+            type_ = _parse_type_tokens(stream)
+            lhs = self._resolve(self._operand_token(), type_)
+            stream.expect("punct", ",")
+            rhs = self._resolve(self._operand_token(), type_)
+            return block.append(ICmp(predicate, lhs, rhs))
+        if opcode == "fcmp":
+            predicate = stream.expect("word")[1]
+            if predicate not in FCMP_PREDICATES:
+                raise ParseError(f"bad fcmp predicate {predicate!r}")
+            type_ = _parse_type_tokens(stream)
+            lhs = self._resolve(self._operand_token(), type_)
+            stream.expect("punct", ",")
+            rhs = self._resolve(self._operand_token(), type_)
+            return block.append(FCmp(predicate, lhs, rhs))
+        if opcode == "alloca":
+            allocated = _parse_type_tokens(stream)
+            return block.append(Alloca(allocated))
+        if opcode == "load":
+            _parse_type_tokens(stream)  # result type
+            stream.expect("punct", ",")
+            pointer, _ = self._typed_operand()
+            return block.append(Load(pointer))
+        if opcode == "gep":
+            pointer, _ = self._typed_operand()
+            indices = []
+            while stream.accept("punct", ","):
+                index, _ = self._typed_operand()
+                indices.append(index)
+            return block.append(GEP(pointer, indices))
+        if opcode == "phi":
+            type_ = _parse_type_tokens(stream)
+            phi = Phi(type_)
+            block.insert_phi(phi)
+            incomings = []
+            while True:
+                stream.expect("punct", "[")
+                value_token = self._operand_token()
+                stream.expect("punct", ",")
+                pred = stream.expect("local")[1][1:]
+                stream.expect("punct", "]")
+                incomings.append((value_token, pred))
+                if not stream.accept("punct", ","):
+                    break
+            self.pending.append((phi, incomings))
+            return phi
+        if opcode == "call":
+            return self._parse_call(block, void=False)
+        if opcode == "select":
+            _parse_type_tokens(stream)  # i1
+            condition = self._resolve(self._operand_token(), parse_type("i1"))
+            stream.expect("punct", ",")
+            true_value, _ = self._typed_operand()
+            stream.expect("punct", ",")
+            false_value, _ = self._typed_operand()
+            return block.append(Select(condition, true_value, false_value))
+        if opcode in CAST_OPS:
+            value, _ = self._typed_operand()
+            stream.expect("word", "to")
+            target = _parse_type_tokens(stream)
+            return block.append(Cast(opcode, value, target))
+        raise ParseError(f"unknown instruction {opcode!r}")
+
+
+def parse_module(text, name="parsed"):
+    """Parse printed IR text back into a :class:`Module`."""
+    from ..interp.intrinsics import INTRINSICS
+
+    stream = _Stream(_tokenize(text))
+    module = Module(name)
+    pending_bodies = []
+    while not stream.peek_is("eof"):
+        if stream.accept("word", "global"):
+            global_name = stream.expect("global")[1][1:]
+            stream.expect("punct", ":")
+            allocated = _parse_type_tokens(stream)
+            initializer = None
+            if stream.accept("punct", "="):
+                if stream.accept("punct", "["):
+                    initializer = []
+                    while not stream.peek_is("punct", "]"):
+                        token = stream.advance()
+                        initializer.append(
+                            float(token[1]) if token[0] == "float" else int(token[1])
+                        )
+                        stream.accept("punct", ",")
+                    stream.expect("punct", "]")
+                else:
+                    token = stream.advance()
+                    initializer = (
+                        float(token[1]) if token[0] == "float" else int(token[1])
+                    )
+            module.add_global(allocated, global_name, initializer)
+            continue
+        if stream.accept("word", "declare"):
+            stream.accept("word", "intrinsic")
+            name_token, param_types, return_type, param_names = _parse_signature(stream)
+            info = INTRINSICS.get(name_token)
+            module.add_function(name_token, return_type, param_types, intrinsic=info)
+            continue
+        if stream.accept("word", "func"):
+            name_token, param_types, return_type, param_names = _parse_signature(stream)
+            function = module.add_function(name_token, return_type, param_types)
+            for argument, arg_name in zip(function.arguments, param_names):
+                argument.name = arg_name
+            stream.expect("punct", "{")
+            _FunctionBodyParser(function, module, stream).run()
+            continue
+        raise ParseError(
+            f"unexpected top-level token {stream.current[1]!r}", stream.current[2]
+        )
+    return module
+
+
+def _parse_signature(stream):
+    name = stream.expect("global")[1][1:]
+    stream.expect("punct", "(")
+    param_types = []
+    param_names = []
+    if not stream.peek_is("punct", ")"):
+        while True:
+            param_types.append(_parse_type_tokens(stream))
+            param_names.append(stream.expect("local")[1][1:])
+            if not stream.accept("punct", ","):
+                break
+    stream.expect("punct", ")")
+    stream.expect("arrow")
+    return_type = _parse_type_tokens(stream)
+    return name, param_types, return_type, param_names

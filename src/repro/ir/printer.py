@@ -1,0 +1,212 @@
+"""Textual printer for the repro IR.
+
+The syntax is a compact LLVM dialect, e.g.::
+
+    func @saxpy(f64 %arg0) -> void {
+    entry:
+      %i0 = alloca i32
+      store i32 0, i32* %i0
+      br label %loop
+    loop:
+      %i = phi i32 [0, %entry], [%inext, %loop]
+      ...
+    }
+
+Names: every unnamed value receives ``%tN`` and every unnamed block ``bbN``
+during printing (the objects themselves are not renamed). The printed form
+round-trips through :mod:`repro.ir.parser`.
+"""
+
+from __future__ import annotations
+
+from .instructions import (
+    GEP,
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from .values import ConstantFloat, ConstantInt, GlobalVariable
+
+
+class _NameScope:
+    """Assigns stable printable names to values and blocks of one function."""
+
+    def __init__(self, function):
+        self.value_names = {}
+        self.block_names = {}
+        used_values = set()
+        used_blocks = set()
+        counter = 0
+        for argument in function.arguments:
+            name = argument.name or f"t{counter}"
+            counter += 1
+            self.value_names[id(argument)] = name
+            used_values.add(name)
+        for index, block in enumerate(function.blocks):
+            base = block.name or f"bb{index}"
+            name = base
+            suffix = 1
+            while name in used_blocks:
+                name = f"{base}.{suffix}"
+                suffix += 1
+            used_blocks.add(name)
+            self.block_names[id(block)] = name
+        for block in function.blocks:
+            for instruction in block.instructions:
+                if instruction.type.is_void:
+                    continue
+                base = instruction.name or f"t{counter}"
+                counter += 1
+                name = base
+                suffix = 1
+                while name in used_values:
+                    name = f"{base}.{suffix}"
+                    suffix += 1
+                used_values.add(name)
+                self.value_names[id(instruction)] = name
+
+    def value(self, value):
+        if isinstance(value, ConstantInt):
+            return str(value.value)
+        if isinstance(value, ConstantFloat):
+            return _format_float(value.value)
+        if isinstance(value, GlobalVariable):
+            return f"@{value.name}"
+        from .function import Function
+
+        if isinstance(value, Function):
+            return f"@{value.name}"
+        return f"%{self.value_names[id(value)]}"
+
+    def typed(self, value):
+        return f"{value.type!r} {self.value(value)}"
+
+    def block(self, block):
+        return f"%{self.block_names[id(block)]}"
+
+
+def _format_float(value):
+    text = repr(float(value))
+    return text if ("." in text or "e" in text or "inf" in text or "nan" in text) else text + ".0"
+
+
+def print_instruction(instruction, scope):
+    """Render one instruction in the textual syntax."""
+    def result_prefix():
+        return f"%{scope.value_names[id(instruction)]} = "
+
+    if isinstance(instruction, BinaryOp):
+        return (
+            f"{result_prefix()}{instruction.opcode} {instruction.type!r} "
+            f"{scope.value(instruction.lhs)}, {scope.value(instruction.rhs)}"
+        )
+    if isinstance(instruction, ICmp):
+        return (
+            f"{result_prefix()}icmp {instruction.predicate} "
+            f"{instruction.lhs.type!r} {scope.value(instruction.lhs)}, "
+            f"{scope.value(instruction.rhs)}"
+        )
+    if isinstance(instruction, FCmp):
+        return (
+            f"{result_prefix()}fcmp {instruction.predicate} "
+            f"{instruction.lhs.type!r} {scope.value(instruction.lhs)}, "
+            f"{scope.value(instruction.rhs)}"
+        )
+    if isinstance(instruction, Alloca):
+        return f"{result_prefix()}alloca {instruction.allocated_type!r}"
+    if isinstance(instruction, Load):
+        return (
+            f"{result_prefix()}load {instruction.type!r}, "
+            f"{scope.typed(instruction.pointer)}"
+        )
+    if isinstance(instruction, Store):
+        return f"store {scope.typed(instruction.value)}, {scope.typed(instruction.pointer)}"
+    if isinstance(instruction, GEP):
+        indices = ", ".join(scope.typed(index) for index in instruction.indices)
+        return f"{result_prefix()}gep {scope.typed(instruction.pointer)}, {indices}"
+    if isinstance(instruction, Phi):
+        pairs = ", ".join(
+            f"[{scope.value(value)}, {scope.block(block)}]"
+            for value, block in instruction.incoming()
+        )
+        return f"{result_prefix()}phi {instruction.type!r} {pairs}"
+    if isinstance(instruction, Br):
+        return f"br label {scope.block(instruction.target)}"
+    if isinstance(instruction, CondBr):
+        return (
+            f"condbr i1 {scope.value(instruction.condition)}, "
+            f"label {scope.block(instruction.then_block)}, "
+            f"label {scope.block(instruction.else_block)}"
+        )
+    if isinstance(instruction, Ret):
+        if instruction.value is None:
+            return "ret void"
+        return f"ret {scope.typed(instruction.value)}"
+    if isinstance(instruction, Call):
+        args = ", ".join(scope.typed(arg) for arg in instruction.args)
+        callee = f"@{instruction.callee.name}"
+        if instruction.type.is_void:
+            return f"call void {callee}({args})"
+        return f"{result_prefix()}call {instruction.type!r} {callee}({args})"
+    if isinstance(instruction, Select):
+        return (
+            f"{result_prefix()}select i1 {scope.value(instruction.condition)}, "
+            f"{scope.typed(instruction.true_value)}, "
+            f"{scope.typed(instruction.false_value)}"
+        )
+    if isinstance(instruction, Cast):
+        return (
+            f"{result_prefix()}{instruction.opcode} "
+            f"{scope.typed(instruction.value)} to {instruction.type!r}"
+        )
+    raise TypeError(f"cannot print {instruction!r}")
+
+
+def print_function(function):
+    """Render a function definition or declaration."""
+    params = ", ".join(
+        f"{arg.type!r} %{arg.name}" for arg in function.arguments
+    )
+    header = f"func @{function.name}({params}) -> {function.function_type.return_type!r}"
+    if function.is_intrinsic:
+        return f"declare intrinsic {header[5:]}"
+    if function.is_declaration:
+        return f"declare {header[5:]}"
+    scope = _NameScope(function)
+    lines = [header + " {"]
+    for block in function.blocks:
+        lines.append(f"{scope.block_names[id(block)]}:")
+        for instruction in block.instructions:
+            lines.append("  " + print_instruction(instruction, scope))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_global(variable):
+    init = variable.initializer
+    if init is None:
+        return f"global @{variable.name} : {variable.allocated_type!r}"
+    if isinstance(init, (int, float)):
+        return f"global @{variable.name} : {variable.allocated_type!r} = {init}"
+    rendered = ", ".join(str(v) for v in init)
+    return f"global @{variable.name} : {variable.allocated_type!r} = [{rendered}]"
+
+
+def print_module(module):
+    """Render a whole module (globals first, then functions)."""
+    chunks = [f"; module {module.name}"]
+    for variable in module.globals.values():
+        chunks.append(print_global(variable))
+    for function in module.functions.values():
+        chunks.append(print_function(function))
+    return "\n\n".join(chunks) + "\n"

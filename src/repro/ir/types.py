@@ -1,0 +1,256 @@
+"""Type system for the repro IR.
+
+A deliberately small subset of LLVM's type system — just enough to express the
+programs the Loopapalooza study instruments:
+
+* ``IntType(width)`` — two's-complement integers (``i1``, ``i8``, ``i32``,
+  ``i64`` are the widths the frontend emits).
+* ``FloatType()`` — a single ``double`` floating-point type (spelled ``f64``).
+* ``PointerType(pointee)`` — typed pointers, used for arrays, by-reference
+  parameters, and stack slots.
+* ``ArrayType(element, count)`` — fixed-length aggregates, used for global and
+  stack arrays.
+* ``VoidType()`` — function return type only.
+* ``FunctionType(return_type, param_types)`` — signatures.
+
+Types are interned value objects: constructing ``IntType(32)`` twice yields
+the same instance, so identity comparison (``is``) and equality agree, and
+types can be used freely as dict keys.
+"""
+
+from __future__ import annotations
+
+
+class Type:
+    """Base class for all IR types. Instances are immutable and interned."""
+
+    __slots__ = ()
+
+    def __eq__(self, other):
+        return self is other
+
+    def __hash__(self):
+        return id(self)
+
+    @property
+    def is_integer(self):
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self):
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self):
+        return isinstance(self, PointerType)
+
+    @property
+    def is_array(self):
+        return isinstance(self, ArrayType)
+
+    @property
+    def is_void(self):
+        return isinstance(self, VoidType)
+
+    @property
+    def is_scalar(self):
+        """True for values that fit in one abstract machine register."""
+        return self.is_integer or self.is_float or self.is_pointer
+
+    def size_in_slots(self):
+        """Abstract size: the number of scalar memory slots a value occupies.
+
+        The interpreter's memory model is slot-addressed (one address per
+        scalar), so every scalar type occupies exactly one slot and arrays
+        occupy ``count * element_slots``.
+        """
+        raise NotImplementedError
+
+
+class IntType(Type):
+    """An integer type of a fixed bit width."""
+
+    __slots__ = ("width",)
+    _cache: dict = {}
+
+    def __new__(cls, width):
+        cached = cls._cache.get(width)
+        if cached is not None:
+            return cached
+        if width <= 0:
+            raise ValueError(f"integer width must be positive, got {width}")
+        instance = super().__new__(cls)
+        instance.width = width
+        cls._cache[width] = instance
+        return instance
+
+    def size_in_slots(self):
+        return 1
+
+    def min_value(self):
+        return -(1 << (self.width - 1)) if self.width > 1 else 0
+
+    def max_value(self):
+        return (1 << (self.width - 1)) - 1 if self.width > 1 else 1
+
+    def wrap(self, value):
+        """Reduce a Python int into this type's two's-complement range."""
+        mask = (1 << self.width) - 1
+        value &= mask
+        if self.width > 1 and value >= (1 << (self.width - 1)):
+            value -= 1 << self.width
+        return value
+
+    def __repr__(self):
+        return f"i{self.width}"
+
+
+class FloatType(Type):
+    """The IR's single floating-point type (IEEE double)."""
+
+    __slots__ = ()
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def size_in_slots(self):
+        return 1
+
+    def __repr__(self):
+        return "f64"
+
+
+class VoidType(Type):
+    """Return type of functions producing no value."""
+
+    __slots__ = ()
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def size_in_slots(self):
+        raise TypeError("void has no size")
+
+    def __repr__(self):
+        return "void"
+
+
+class PointerType(Type):
+    """A pointer to a value of type ``pointee``."""
+
+    __slots__ = ("pointee",)
+    _cache: dict = {}
+
+    def __new__(cls, pointee):
+        cached = cls._cache.get(pointee)
+        if cached is not None:
+            return cached
+        if not isinstance(pointee, Type) or pointee.is_void:
+            raise ValueError(f"invalid pointee type: {pointee!r}")
+        instance = super().__new__(cls)
+        instance.pointee = pointee
+        cls._cache[pointee] = instance
+        return instance
+
+    def size_in_slots(self):
+        return 1
+
+    def __repr__(self):
+        return f"{self.pointee!r}*"
+
+
+class ArrayType(Type):
+    """A fixed-length array of ``count`` elements of type ``element``."""
+
+    __slots__ = ("element", "count")
+    _cache: dict = {}
+
+    def __new__(cls, element, count):
+        key = (element, count)
+        cached = cls._cache.get(key)
+        if cached is not None:
+            return cached
+        if not isinstance(element, Type) or not (element.is_scalar or element.is_array):
+            raise ValueError(f"invalid array element type: {element!r}")
+        if count <= 0:
+            raise ValueError(f"array count must be positive, got {count}")
+        instance = super().__new__(cls)
+        instance.element = element
+        instance.count = count
+        cls._cache[key] = instance
+        return instance
+
+    def size_in_slots(self):
+        return self.count * self.element.size_in_slots()
+
+    def __repr__(self):
+        return f"[{self.count} x {self.element!r}]"
+
+
+class FunctionType(Type):
+    """A function signature: return type plus an ordered parameter list."""
+
+    __slots__ = ("return_type", "param_types")
+    _cache: dict = {}
+
+    def __new__(cls, return_type, param_types):
+        param_types = tuple(param_types)
+        key = (return_type, param_types)
+        cached = cls._cache.get(key)
+        if cached is not None:
+            return cached
+        if not (return_type.is_scalar or return_type.is_void):
+            raise ValueError(f"invalid return type: {return_type!r}")
+        for param in param_types:
+            if not param.is_scalar:
+                raise ValueError(f"invalid parameter type: {param!r}")
+        instance = super().__new__(cls)
+        instance.return_type = return_type
+        instance.param_types = param_types
+        cls._cache[key] = instance
+        return instance
+
+    def size_in_slots(self):
+        raise TypeError("function types have no size")
+
+    def __repr__(self):
+        params = ", ".join(repr(p) for p in self.param_types)
+        return f"{self.return_type!r} ({params})"
+
+
+# Interned singletons used throughout the compiler.
+I1 = IntType(1)
+I8 = IntType(8)
+I32 = IntType(32)
+I64 = IntType(64)
+F64 = FloatType()
+VOID = VoidType()
+
+
+def parse_type(text):
+    """Parse a type written in the textual IR syntax (``i32``, ``f64*``,
+    ``[8 x i32]``...). Raises ``ValueError`` on malformed input."""
+    text = text.strip()
+    if text.endswith("*"):
+        return PointerType(parse_type(text[:-1]))
+    if text == "f64":
+        return F64
+    if text == "void":
+        return VOID
+    if text.startswith("i"):
+        try:
+            return IntType(int(text[1:]))
+        except ValueError:
+            pass
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1]
+        count_text, sep, element_text = inner.partition(" x ")
+        if sep:
+            return ArrayType(parse_type(element_text), int(count_text))
+    raise ValueError(f"unparsable type: {text!r}")

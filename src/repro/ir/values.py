@@ -1,0 +1,171 @@
+"""Value hierarchy for the repro IR.
+
+Mirrors LLVM's design: everything an instruction can consume is a
+:class:`Value` with a type; instructions are themselves values (their result).
+Every value keeps a *use list* so transformation passes (mem2reg, DCE,
+constant folding) can rewrite users in O(uses) via
+:meth:`Value.replace_all_uses_with`.
+"""
+
+from __future__ import annotations
+
+from .types import F64, I1, PointerType, Type
+
+
+class Value:
+    """Anything that can appear as an instruction operand.
+
+    Attributes:
+        type: the :class:`~repro.ir.types.Type` of the value.
+        name: optional printable name (SSA names are assigned by the printer
+            when absent).
+        uses: list of ``(user_instruction, operand_index)`` pairs, maintained
+            by :class:`~repro.ir.instructions.Instruction` operand plumbing.
+    """
+
+    __slots__ = ("type", "name", "uses")
+
+    def __init__(self, type_, name=""):
+        if not isinstance(type_, Type):
+            raise TypeError(f"expected a Type, got {type_!r}")
+        self.type = type_
+        self.name = name
+        self.uses = []
+
+    # -- use-list plumbing -------------------------------------------------
+
+    def add_use(self, user, index):
+        self.uses.append((user, index))
+
+    def remove_use(self, user, index):
+        try:
+            self.uses.remove((user, index))
+        except ValueError:
+            pass  # already detached; tolerated so passes can be idempotent
+
+    @property
+    def num_uses(self):
+        return len(self.uses)
+
+    def users(self):
+        """Iterate over the distinct instructions using this value."""
+        seen = set()
+        for user, _ in self.uses:
+            if id(user) not in seen:
+                seen.add(id(user))
+                yield user
+
+    def replace_all_uses_with(self, replacement):
+        """Rewrite every user to consume ``replacement`` instead of ``self``."""
+        if replacement is self:
+            return
+        for user, index in list(self.uses):
+            user.set_operand(index, replacement)
+
+    # -- printing helpers --------------------------------------------------
+
+    def short_name(self):
+        return f"%{self.name}" if self.name else "%<anon>"
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.short_name()}: {self.type!r}>"
+
+
+class Constant(Value):
+    """Base class for immediate values."""
+
+    __slots__ = ()
+
+
+class ConstantInt(Constant):
+    """An integer immediate, stored wrapped to its type's range."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, type_, value):
+        super().__init__(type_)
+        self.value = type_.wrap(int(value))
+
+    def short_name(self):
+        return str(self.value)
+
+    def __repr__(self):
+        return f"<ConstantInt {self.value}: {self.type!r}>"
+
+
+class ConstantFloat(Constant):
+    """A floating-point immediate."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        super().__init__(F64)
+        self.value = float(value)
+
+    def short_name(self):
+        return repr(self.value)
+
+    def __repr__(self):
+        return f"<ConstantFloat {self.value}>"
+
+
+TRUE = ConstantInt(I1, 1)
+FALSE = ConstantInt(I1, 0)
+
+
+def const_bool(flag):
+    return TRUE if flag else FALSE
+
+
+class Argument(Value):
+    """A formal parameter of a function."""
+
+    __slots__ = ("function", "index")
+
+    def __init__(self, type_, name, function, index):
+        super().__init__(type_, name)
+        self.function = function
+        self.index = index
+
+
+class GlobalVariable(Value):
+    """A module-level variable.
+
+    The value's *type* is a pointer to ``allocated_type`` (like LLVM: globals
+    are addresses). ``initializer`` is a Python scalar, a flat list of scalars
+    for arrays, or ``None`` for zero-initialization.
+    """
+
+    __slots__ = ("allocated_type", "initializer", "module")
+
+    def __init__(self, allocated_type, name, initializer=None, module=None):
+        super().__init__(PointerType(allocated_type), name)
+        self.allocated_type = allocated_type
+        self.initializer = initializer
+        self.module = module
+
+    def short_name(self):
+        return f"@{self.name}"
+
+    def flat_initializer(self):
+        """Return the initializer as a flat list of ``size_in_slots`` scalars."""
+        size = self.allocated_type.size_in_slots()
+        zero = 0.0 if _element_is_float(self.allocated_type) else 0
+        if self.initializer is None:
+            return [zero] * size
+        if isinstance(self.initializer, (int, float)):
+            values = [self.initializer]
+        else:
+            values = list(self.initializer)
+        if len(values) > size:
+            raise ValueError(
+                f"initializer for @{self.name} has {len(values)} elements, "
+                f"but the type holds {size}"
+            )
+        return values + [zero] * (size - len(values))
+
+
+def _element_is_float(type_):
+    while type_.is_array:
+        type_ = type_.element
+    return type_.is_float

@@ -1,0 +1,143 @@
+"""Structural and type verifier for the repro IR.
+
+Checks the invariants the analyses and the interpreter rely on:
+
+* every block ends in exactly one terminator, and only in last position;
+* phi nodes appear only at block tops and have one incoming per predecessor;
+* branch targets belong to the same function;
+* every SSA use is dominated by its definition;
+* def-use chains are consistent (each operand lists the user).
+
+``verify_module`` raises :class:`~repro.errors.VerificationError` listing all
+problems found.
+"""
+
+from __future__ import annotations
+
+from ..analysis.cfg import CFG
+from ..analysis.dominators import DominatorTree
+from ..errors import VerificationError
+from .instructions import Instruction, Phi
+from .values import Argument, Constant, GlobalVariable
+
+
+def verify_function(function, problems):
+    if function.is_declaration or function.is_intrinsic:
+        return
+    blocks = set(function.blocks)
+
+    for block in function.blocks:
+        if block.parent is not function:
+            problems.append(f"@{function.name}/{block.name}: wrong parent")
+        if block.terminator is None:
+            problems.append(f"@{function.name}/{block.name}: missing terminator")
+            continue
+        seen_non_phi = False
+        for position, instruction in enumerate(block.instructions):
+            if instruction.parent is not block:
+                problems.append(
+                    f"@{function.name}/{block.name}: instruction with wrong parent"
+                )
+            if instruction.is_terminator and position != len(block.instructions) - 1:
+                problems.append(
+                    f"@{function.name}/{block.name}: terminator not last"
+                )
+            if isinstance(instruction, Phi):
+                if seen_non_phi:
+                    problems.append(
+                        f"@{function.name}/{block.name}: phi after non-phi"
+                    )
+            else:
+                seen_non_phi = True
+            for index, operand in enumerate(instruction.operands):
+                if (instruction, index) not in operand.uses:
+                    problems.append(
+                        f"@{function.name}/{block.name}: broken def-use link "
+                        f"for operand {index} of a {instruction.opcode}"
+                    )
+        for successor in block.successors():
+            if successor not in blocks:
+                problems.append(
+                    f"@{function.name}/{block.name}: branch to foreign block "
+                    f"{successor.name}"
+                )
+
+    if any(f"@{function.name}" in p for p in problems):
+        # Structural damage (missing terminators, foreign targets) makes the
+        # CFG-based checks below meaningless or crash-prone; report early.
+        return
+
+    cfg = CFG(function)
+    for block in function.blocks:
+        predecessors = set(cfg.predecessors(block))
+        for phi in block.phis():
+            incoming_blocks = set(phi.incoming_blocks)
+            if incoming_blocks != predecessors:
+                problems.append(
+                    f"@{function.name}/{block.name}: phi incoming blocks "
+                    f"{sorted(b.name for b in incoming_blocks)} do not match "
+                    f"predecessors {sorted(b.name for b in predecessors)}"
+                )
+
+    _verify_dominance(function, cfg, problems)
+
+
+def _verify_dominance(function, cfg, problems):
+    domtree = DominatorTree(function, cfg)
+    positions = {}
+    for block in function.blocks:
+        for index, instruction in enumerate(block.instructions):
+            positions[id(instruction)] = (block, index)
+
+    def dominates_use(definition, user, operand_index):
+        def_block, def_index = positions[id(definition)]
+        if isinstance(user, Phi):
+            # A phi use must be dominated at the end of the incoming block.
+            incoming = user.incoming_blocks[operand_index]
+            return domtree.dominates(def_block, incoming)
+        use_block, use_index = positions[id(user)]
+        if def_block is use_block:
+            return def_index < use_index
+        return domtree.dominates(def_block, use_block)
+
+    for block in function.blocks:
+        if not cfg.is_reachable(block):
+            continue  # unreachable code is exempt, like LLVM
+        for instruction in block.instructions:
+            for index, operand in enumerate(instruction.operands):
+                if isinstance(operand, (Constant, Argument, GlobalVariable)):
+                    continue
+                from .function import Function
+
+                if isinstance(operand, Function):
+                    continue
+                if not isinstance(operand, Instruction):
+                    problems.append(
+                        f"@{function.name}: operand of unexpected kind {operand!r}"
+                    )
+                    continue
+                if id(operand) not in positions:
+                    problems.append(
+                        f"@{function.name}/{block.name}: use of an instruction "
+                        f"not in this function"
+                    )
+                    continue
+                if not isinstance(instruction, Phi) and not cfg.is_reachable(
+                    positions[id(operand)][0]
+                ):
+                    continue
+                if not dominates_use(operand, instruction, index):
+                    problems.append(
+                        f"@{function.name}/{block.name}: use of "
+                        f"{operand.short_name()} not dominated by its definition"
+                    )
+
+
+def verify_module(module):
+    """Raise :class:`VerificationError` if any function is malformed."""
+    problems = []
+    for function in module.functions.values():
+        verify_function(function, problems)
+    if problems:
+        raise VerificationError(problems)
+    return True

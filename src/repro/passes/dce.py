@@ -1,0 +1,39 @@
+"""Dead code elimination: remove unused, side-effect-free instructions."""
+
+from __future__ import annotations
+
+from ..ir.instructions import Phi
+
+
+def run_dce(function):
+    """Iteratively delete trivially dead instructions.
+
+    An instruction is dead when it has no uses and no side effects
+    (arithmetic, comparisons, loads, GEPs, casts, selects, phis, allocas
+    whose address is unused). Returns the number of deletions.
+    """
+    if function.is_declaration or function.is_intrinsic:
+        return 0
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            for instruction in list(block.instructions):
+                if instruction.is_terminator or instruction.has_side_effects():
+                    continue
+                if instruction.num_uses == 0:
+                    instruction.erase_from_parent()
+                    removed += 1
+                    changed = True
+                elif isinstance(instruction, Phi) and all(
+                    user is instruction for user in instruction.users()
+                ):
+                    instruction.erase_from_parent()
+                    removed += 1
+                    changed = True
+    return removed
+
+
+def run_dce_module(module):
+    return sum(run_dce(function) for function in module.defined_functions())

@@ -1,0 +1,233 @@
+"""GVN-lite: dominance-scoped CSE of pure operations plus conservative
+redundant-load elimination.
+
+Two steps, mirroring what ``-Ofast`` (EarlyCSE + GVN) does to the IR the
+paper analyzes:
+
+1. **Pure-op CSE** — a dominator-tree walk with scoped hash tables unifies
+   structurally identical side-effect-free instructions (arithmetic,
+   comparisons, GEPs, casts, selects).
+2. **Dominating-load elimination** — a load ``L2`` is replaced by an earlier
+   load ``L1`` from the *same pointer SSA value* when ``L1`` dominates ``L2``
+   and no store or call can execute between them on any path. The
+   may-intervene check is purely CFG-based (every block that lies on some
+   ``L1 -> L2`` path is scanned), so it is conservative but sound.
+
+Both steps matter to the study: without them, frontend-duplicated loads make
+values look unrelated (e.g. the compare and the kept value of a conditional
+min/max), distorting the register-LCD classification.
+"""
+
+from __future__ import annotations
+
+from ..analysis.cfg import CFG
+from ..analysis.dominators import DominatorTree
+from ..ir.instructions import (
+    GEP,
+    BinaryOp,
+    Call,
+    Cast,
+    FCmp,
+    ICmp,
+    Load,
+    Select,
+    Store,
+)
+
+
+def _operand_key(value):
+    """Key an operand by value for constants/globals, by identity otherwise."""
+    from ..ir.values import ConstantFloat, ConstantInt, GlobalVariable
+
+    if isinstance(value, ConstantInt):
+        return ("ci", repr(value.type), value.value)
+    if isinstance(value, ConstantFloat):
+        return ("cf", repr(value.value))
+    if isinstance(value, GlobalVariable):
+        return ("gv", value.name)
+    return ("id", id(value))
+
+
+def _value_key(instruction):
+    """Structural hash key for pure instructions (None if not CSE-able)."""
+    if isinstance(instruction, BinaryOp):
+        operand_keys = [_operand_key(instruction.lhs), _operand_key(instruction.rhs)]
+        if instruction.is_commutative:
+            operand_keys.sort()
+        return ("bin", instruction.opcode, tuple(operand_keys))
+    if isinstance(instruction, ICmp):
+        return ("icmp", instruction.predicate,
+                _operand_key(instruction.lhs), _operand_key(instruction.rhs))
+    if isinstance(instruction, FCmp):
+        return ("fcmp", instruction.predicate,
+                _operand_key(instruction.lhs), _operand_key(instruction.rhs))
+    if isinstance(instruction, GEP):
+        return ("gep", tuple(_operand_key(op) for op in instruction.operands))
+    if isinstance(instruction, Cast):
+        return ("cast", instruction.opcode,
+                _operand_key(instruction.value), instruction.type)
+    if isinstance(instruction, Select):
+        return ("select", tuple(_operand_key(op) for op in instruction.operands))
+    return None
+
+
+def _cse_pure(function, domtree):
+    """Dominator-scoped common-subexpression elimination. Returns removals."""
+    removed = 0
+    available = {}
+    stack = [("enter", function.entry_block)]
+    while stack:
+        action, payload = stack.pop()
+        if action == "enter":
+            added = []
+            for instruction in list(payload.instructions):
+                key = _value_key(instruction)
+                if key is None:
+                    continue
+                existing = available.get(key)
+                if existing is not None:
+                    instruction.replace_all_uses_with(existing)
+                    instruction.erase_from_parent()
+                    removed += 1
+                else:
+                    available[key] = instruction
+                    added.append(key)
+            stack.append(("exit", added))
+            for child in domtree.children(payload):
+                stack.append(("enter", child))
+        else:
+            for key in payload:
+                del available[key]
+    return removed
+
+
+def _blocks_on_paths(cfg, source, target):
+    """Blocks B such that some non-empty path source ->* B ->* target exists
+    (i.e. B may execute strictly between an instruction in ``source`` and one
+    in ``target``). ``source``/``target`` themselves are included only when a
+    cycle passes through them."""
+    # Forward reachability from source via at least one edge.
+    forward = set()
+    worklist = list(cfg.successors(source))
+    while worklist:
+        block = worklist.pop()
+        if block in forward:
+            continue
+        forward.add(block)
+        worklist.extend(cfg.successors(block))
+    # Backward reachability from target via at least one edge.
+    backward = set()
+    worklist = list(cfg.predecessors(target))
+    while worklist:
+        block = worklist.pop()
+        if block in backward:
+            continue
+        backward.add(block)
+        worklist.extend(cfg.predecessors(block))
+    return forward & backward
+
+
+def _may_clobber(instruction):
+    if isinstance(instruction, Store):
+        return True
+    if isinstance(instruction, Call):
+        callee = instruction.callee
+        if callee.is_intrinsic:
+            return callee.intrinsic.writes_memory or callee.intrinsic.global_state
+        return True  # user calls may write anything (no mod-ref analysis)
+    return False
+
+
+def _eliminate_loads(function, cfg, domtree):
+    """Replace loads with dominating same-pointer loads when safe."""
+    removed = 0
+
+    def compute_positions():
+        table = {}
+        for block in function.blocks:
+            for index, instruction in enumerate(block.instructions):
+                table[id(instruction)] = index
+        return table
+
+    positions = compute_positions()
+    loads_by_pointer = {}
+    for block in function.blocks:
+        for instruction in block.instructions:
+            if isinstance(instruction, Load):
+                loads_by_pointer.setdefault(id(instruction.pointer), []).append(
+                    instruction
+                )
+
+    for candidates in loads_by_pointer.values():
+        if len(candidates) < 2:
+            continue
+        for later in list(candidates):
+            if later.parent is None:
+                continue
+            for earlier in candidates:
+                if earlier is later or earlier.parent is None:
+                    continue
+                if not _safe_pair(earlier, later, cfg, domtree, positions):
+                    continue
+                later.replace_all_uses_with(earlier)
+                later.erase_from_parent()
+                removed += 1
+                positions = compute_positions()  # indices shifted
+                break
+    return removed
+
+
+def _safe_pair(earlier, later, cfg, domtree, positions):
+    block_a, block_b = earlier.parent, later.parent
+    if not domtree.dominates(block_a, block_b):
+        return False
+    if block_a is block_b:
+        start = positions[id(earlier)]
+        end = positions[id(later)]
+        if start > end:
+            return False
+        segment = block_a.instructions[start + 1 : end]
+        if any(_may_clobber(instruction) for instruction in segment):
+            return False
+        # A cycle through this block would re-execute intervening code.
+        middle = _blocks_on_paths(cfg, block_a, block_b)
+        if block_a in middle:
+            return not any(_may_clobber(i) for i in block_a.instructions)
+        return True
+    middle = _blocks_on_paths(cfg, block_a, block_b)
+    for block in middle:
+        if block is block_a or block is block_b:
+            if any(_may_clobber(i) for i in block.instructions):
+                return False
+            continue
+        if any(_may_clobber(i) for i in block.instructions):
+            return False
+    tail_a = block_a.instructions[positions[id(earlier)] + 1 :]
+    if any(_may_clobber(i) for i in tail_a):
+        return False
+    head_b = block_b.instructions[: positions[id(later)]]
+    if any(_may_clobber(i) for i in head_b):
+        return False
+    return True
+
+
+def run_gvn(function):
+    """Run both GVN steps to fixpoint; returns instructions removed."""
+    if function.is_declaration or function.is_intrinsic:
+        return 0
+    total = 0
+    changed = True
+    while changed:
+        changed = False
+        cfg = CFG(function)
+        domtree = DominatorTree(function, cfg)
+        removed = _cse_pure(function, domtree)
+        removed += _eliminate_loads(function, cfg, domtree)
+        if removed:
+            total += removed
+            changed = True
+    return total
+
+
+def run_gvn_module(module):
+    return sum(run_gvn(function) for function in module.defined_functions())

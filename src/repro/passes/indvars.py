@@ -1,0 +1,101 @@
+"""Induction-variable canonicalization (a focused ``indvars``).
+
+For every loop in simplified form this pass guarantees a *canonical IV*: an
+integer header phi with SCEV ``{0,+,1}``. If one exists it is reused;
+otherwise — provided the loop already has some computable affine IV to sync
+with — a fresh ``civ`` phi and latch increment are inserted. The canonical
+IV is what lets the Loopapalooza instrumentation "uniquely identify loops
+within arbitrarily complex loop nests" and index per-iteration records.
+
+Returns an :class:`IndVarsResult` mapping each loop id to its canonical phi
+(if any) and the constant trip count when SCEV can prove one.
+"""
+
+from __future__ import annotations
+
+from ..analysis.loop_info import LoopInfo
+from ..analysis.scev import SCEVAddRec, SCEVConstant, ScalarEvolution
+from ..ir.instructions import BinaryOp, Phi
+from ..ir.types import I32
+from ..ir.values import ConstantInt
+
+
+class IndVarsResult:
+    """Per-function canonicalization summary."""
+
+    def __init__(self):
+        self.canonical_iv = {}   # loop_id -> Phi
+        self.trip_counts = {}    # loop_id -> int
+        self.inserted = 0
+
+    def __repr__(self):
+        return (
+            f"<IndVarsResult {len(self.canonical_iv)} canonical IVs, "
+            f"{self.inserted} inserted>"
+        )
+
+
+def _find_canonical(loop, scev):
+    for phi in loop.header.phis():
+        if not phi.type.is_integer:
+            continue
+        expr = scev.get(phi)
+        if (
+            isinstance(expr, SCEVAddRec)
+            and expr.loop is loop
+            and expr.start == SCEVConstant(0)
+            and expr.step == SCEVConstant(1)
+        ):
+            return phi
+    return None
+
+
+def _has_affine_iv(loop, scev):
+    for phi in loop.header.phis():
+        expr = scev.get(phi)
+        if isinstance(expr, SCEVAddRec) and expr.loop is loop and expr.is_affine():
+            return True
+    return False
+
+
+def _insert_canonical(loop, cfg):
+    preheader = loop.preheader(cfg)
+    latch = loop.single_latch()
+    if preheader is None or latch is None:
+        return None
+    civ = Phi(I32, "civ")
+    loop.header.insert_phi(civ)
+    increment = BinaryOp("add", civ, ConstantInt(I32, 1), "civ.next")
+    latch.insert_before(latch.terminator, increment)
+    civ.add_incoming(ConstantInt(I32, 0), preheader)
+    civ.add_incoming(increment, latch)
+    return civ
+
+
+def run_indvars(function):
+    """Canonicalize IVs in one function; returns an :class:`IndVarsResult`."""
+    result = IndVarsResult()
+    if function.is_declaration or function.is_intrinsic:
+        return result
+    loop_info = LoopInfo(function)
+    scev = ScalarEvolution(function, loop_info)
+    for loop in loop_info.all_loops():
+        canonical = _find_canonical(loop, scev)
+        if canonical is None and _has_affine_iv(loop, scev):
+            canonical = _insert_canonical(loop, loop_info.cfg)
+            if canonical is not None:
+                result.inserted += 1
+        if canonical is not None:
+            result.canonical_iv[loop.loop_id] = canonical
+        trip = scev.trip_count(loop)
+        if trip is not None:
+            result.trip_counts[loop.loop_id] = trip
+    return result
+
+
+def run_indvars_module(module):
+    """Run on every defined function; returns ``{function_name: result}``."""
+    return {
+        function.name: run_indvars(function)
+        for function in module.defined_functions()
+    }

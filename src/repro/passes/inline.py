@@ -1,0 +1,218 @@
+"""Function inlining (optional pass — NOT part of the study pipeline).
+
+The study keeps calls visible on purpose: the whole ``fnX`` axis of Table II
+exists because real compilers cannot inline everything. This pass exists for
+the complementary ablation (``benchmarks/test_inline_ablation.py``): inlining
+a helper turns a call-blocked loop into plain loop body, dissolving its
+``fn`` constraint — quantifying how much of the ``fn0 -> fn2`` gap is "just
+inlining" versus genuinely parallel calls.
+
+Criteria: direct call to a defined, non-recursive user function whose body
+is at most ``size_limit`` instructions. Mechanics: split the call block,
+clone the callee's blocks with a value map, rewire returns into the
+continuation (a phi when the callee has several), and let the verifier
+check the result.
+"""
+
+from __future__ import annotations
+
+from ..analysis.callgraph import CallGraph
+from ..ir.basic_block import BasicBlock
+from ..ir.instructions import (
+    GEP,
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+
+DEFAULT_SIZE_LIMIT = 40
+
+
+def _clone_instruction(instruction, value_map, block_map):
+    """Clone one instruction, resolving operands through ``value_map``."""
+
+    def v(operand):
+        return value_map.get(id(operand), operand)
+
+    if isinstance(instruction, BinaryOp):
+        return BinaryOp(instruction.opcode, v(instruction.lhs),
+                        v(instruction.rhs), instruction.name)
+    if isinstance(instruction, ICmp):
+        return ICmp(instruction.predicate, v(instruction.lhs),
+                    v(instruction.rhs), instruction.name)
+    if isinstance(instruction, FCmp):
+        return FCmp(instruction.predicate, v(instruction.lhs),
+                    v(instruction.rhs), instruction.name)
+    if isinstance(instruction, Alloca):
+        return Alloca(instruction.allocated_type, instruction.name)
+    if isinstance(instruction, Load):
+        return Load(v(instruction.pointer), instruction.name)
+    if isinstance(instruction, Store):
+        return Store(v(instruction.value), v(instruction.pointer))
+    if isinstance(instruction, GEP):
+        return GEP(v(instruction.pointer),
+                   [v(index) for index in instruction.indices],
+                   instruction.name)
+    if isinstance(instruction, Call):
+        return Call(instruction.callee, [v(a) for a in instruction.args],
+                    instruction.name)
+    if isinstance(instruction, Select):
+        return Select(v(instruction.condition), v(instruction.true_value),
+                      v(instruction.false_value), instruction.name)
+    if isinstance(instruction, Cast):
+        return Cast(instruction.opcode, v(instruction.value),
+                    instruction.type, instruction.name)
+    if isinstance(instruction, Br):
+        return Br(block_map[id(instruction.target)])
+    if isinstance(instruction, CondBr):
+        return CondBr(v(instruction.condition),
+                      block_map[id(instruction.then_block)],
+                      block_map[id(instruction.else_block)])
+    raise TypeError(f"cannot clone {instruction!r}")
+
+
+_INLINE_COUNTER = [0]
+
+
+def inline_call(call):
+    """Inline one call site in place. The caller must ensure legality
+    (defined, non-recursive callee)."""
+    callee = call.callee
+    caller = call.function
+    call_block = call.parent
+    position = call_block.instructions.index(call)
+    # Unique per-site suffix: inlining the same callee twice must not create
+    # duplicate block names (loop ids are derived from them).
+    _INLINE_COUNTER[0] += 1
+    site_tag = f"{callee.name}.i{_INLINE_COUNTER[0]}"
+
+    # 1. Split the call block: everything after the call moves to `after`.
+    after = caller.insert_block_after(call_block, f"{call_block.name}.split")
+    for instruction in list(call_block.instructions[position + 1:]):
+        call_block.remove_instruction(instruction)
+        after.instructions.append(instruction)
+        instruction.parent = after
+    # Successor phis that referenced call_block now come from `after`.
+    for successor in after.successors():
+        for phi in successor.phis():
+            for index, pred in enumerate(phi.incoming_blocks):
+                if pred is call_block:
+                    phi.incoming_blocks[index] = after
+
+    # 2. Clone the callee body.
+    block_map = {}
+    insert_after = call_block
+    for block in callee.blocks:
+        clone = caller.insert_block_after(
+            insert_after, f"{site_tag}.{block.name}"
+        )
+        insert_after = clone
+        block_map[id(block)] = clone
+
+    value_map = {}
+    for argument, actual in zip(callee.arguments, call.args):
+        value_map[id(argument)] = actual
+
+    returns = []  # (cloned block, return value or None)
+    pending_phis = []
+    for block in callee.blocks:
+        clone = block_map[id(block)]
+        for instruction in block.instructions:
+            if isinstance(instruction, Ret):
+                returns.append((
+                    clone,
+                    value_map.get(id(instruction.value), instruction.value)
+                    if instruction.value is not None else None,
+                ))
+                clone.append(Br(after))
+                continue
+            if isinstance(instruction, Phi):
+                new_phi = Phi(instruction.type, instruction.name)
+                clone.insert_phi(new_phi)
+                value_map[id(instruction)] = new_phi
+                pending_phis.append((instruction, new_phi))
+                continue
+            new_instruction = _clone_instruction(
+                instruction, value_map, block_map
+            )
+            clone.append(new_instruction)
+            value_map[id(instruction)] = new_instruction
+    for original, new_phi in pending_phis:
+        for value, pred in original.incoming():
+            new_phi.add_incoming(
+                value_map.get(id(value), value), block_map[id(pred)]
+            )
+
+    # 3. Jump into the inlined entry; merge return values.
+    call_block.append(Br(block_map[id(callee.entry_block)]))
+
+    if not call.type.is_void:
+        if len(returns) == 1:
+            call.replace_all_uses_with(returns[0][1])
+        else:
+            merged = Phi(call.type, f"{callee.name}.ret")
+            after.insert_phi(merged)
+            for ret_block, value in returns:
+                merged.add_incoming(value, ret_block)
+            call.replace_all_uses_with(merged)
+    call.erase_from_parent()
+
+
+def _inlinable(call, size_limit, recursive):
+    callee = call.callee
+    if callee.is_intrinsic or callee.is_declaration:
+        return False
+    if callee in recursive:
+        return False
+    if callee is call.function:
+        return False
+    return sum(len(block) for block in callee.blocks) <= size_limit
+
+
+def run_inline_module(module, size_limit=DEFAULT_SIZE_LIMIT):
+    """Inline every eligible call site; returns the number of inlines.
+
+    Bottom-up over the call graph (callees first), so helper-of-helper
+    chains collapse fully.
+    """
+    callgraph = CallGraph(module)
+    recursive = set()
+    for component in callgraph.sccs_bottom_up():
+        if len(component) > 1:
+            recursive.update(component)
+        elif component[0] in callgraph.callees_of(component[0]):
+            recursive.add(component[0])
+
+    inlined = 0
+    order = [
+        function
+        for component in callgraph.sccs_bottom_up()
+        for function in component
+        if function.blocks
+    ]
+    for function in order:
+        changed = True
+        while changed:
+            changed = False
+            for block in list(function.blocks):
+                for instruction in list(block.instructions):
+                    if isinstance(instruction, Call) and _inlinable(
+                        instruction, size_limit, recursive
+                    ):
+                        inline_call(instruction)
+                        inlined += 1
+                        changed = True
+                        break
+                if changed:
+                    break
+    return inlined

@@ -1,0 +1,138 @@
+"""Loop-invariant code motion (conservative LICM).
+
+Hoists into the preheader:
+
+* pure, non-trapping scalar computation (add/sub/mul/bitwise, compares,
+  GEPs, casts, selects) whose operands are loop-invariant — division and
+  remainder are excluded because speculating them can introduce traps;
+* loads from loop-invariant addresses, when no store or memory-writing call
+  inside the loop may alias the loaded location (base-object alias test:
+  two distinct globals never alias; anything involving pointer arguments,
+  loaded pointers, or escaping allocas conservatively may).
+
+This matters to the study's baseline: without LICM, the bound re-load
+(``i < N`` with global ``N``) charges one memory read per iteration that
+``-Ofast`` would have hoisted, slightly inflating sequential cost and
+injecting spurious per-iteration consumer events.
+"""
+
+from __future__ import annotations
+
+from ..analysis.loop_info import LoopInfo
+from ..ir.instructions import (
+    GEP,
+    BinaryOp,
+    Call,
+    Cast,
+    FCmp,
+    ICmp,
+    Load,
+    Select,
+    Store,
+)
+from ..ir.values import GlobalVariable
+
+_NON_TRAPPING_BINOPS = frozenset({
+    "add", "sub", "mul", "and", "or", "xor", "shl", "ashr",
+    "fadd", "fsub", "fmul",
+})
+
+
+def _base_object(pointer):
+    """Trace a pointer to its base object (global / alloca / other)."""
+    while isinstance(pointer, GEP):
+        pointer = pointer.pointer
+    return pointer
+
+
+def _may_alias(base_a, base_b):
+    """Base-object alias test: distinct globals are disjoint; everything
+    else conservatively aliases."""
+    if base_a is base_b:
+        return True
+    if isinstance(base_a, GlobalVariable) and isinstance(base_b, GlobalVariable):
+        return False
+    return True
+
+
+def _loop_memory_writes(loop, purity_classes):
+    """All store bases in the loop, plus a flag for opaque writers (calls
+    that may write memory)."""
+    bases = []
+    opaque = False
+    for block in loop.blocks:
+        for instruction in block.instructions:
+            if isinstance(instruction, Store):
+                bases.append(_base_object(instruction.pointer))
+            elif isinstance(instruction, Call):
+                callee = instruction.callee
+                if callee.is_intrinsic:
+                    info = callee.intrinsic
+                    if info.writes_memory or info.global_state:
+                        opaque = True
+                else:
+                    # User calls may write anything without mod-ref analysis.
+                    opaque = True
+    return bases, opaque
+
+
+def _hoist_loop(loop, cfg, purity_classes):
+    preheader = loop.preheader(cfg)
+    if preheader is None:
+        return 0
+    store_bases, opaque_writes = _loop_memory_writes(loop, purity_classes)
+    hoisted = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in list(loop.blocks):
+            for instruction in list(block.instructions):
+                if not _hoistable(
+                    instruction, loop, store_bases, opaque_writes
+                ):
+                    continue
+                block.remove_instruction(instruction)
+                preheader.insert_before(preheader.terminator, instruction)
+                hoisted += 1
+                changed = True
+    return hoisted
+
+
+def _hoistable(instruction, loop, store_bases, opaque_writes):
+    if isinstance(instruction, BinaryOp):
+        if instruction.opcode not in _NON_TRAPPING_BINOPS:
+            return False
+    elif isinstance(instruction, (ICmp, FCmp, GEP, Cast, Select)):
+        pass
+    elif isinstance(instruction, Load):
+        if opaque_writes:
+            return False
+        # Only loads in the header are guaranteed to execute on every trip;
+        # hoisting a conditionally-executed load could speculate a trap
+        # (e.g. a guarded out-of-bounds access).
+        if instruction.parent is not loop.header:
+            return False
+        base = _base_object(instruction.pointer)
+        if any(_may_alias(base, store_base) for store_base in store_bases):
+            return False
+    else:
+        return False
+    return all(loop.is_invariant(operand) for operand in instruction.operands)
+
+
+def run_licm(function):
+    """Hoist invariant code in every loop (innermost first, so hoisted
+    values can cascade outward); returns the number of hoists."""
+    if function.is_declaration or function.is_intrinsic:
+        return 0
+    total = 0
+    # Hoisting moves instructions between existing blocks only, so the CFG
+    # and loop structure stay valid across the whole pass.
+    loop_info = LoopInfo(function)
+    for loop in loop_info.loops_in_postorder():
+        total += _hoist_loop(loop, loop_info.cfg, None)
+    return total
+
+
+def run_licm_module(module):
+    return sum(run_licm(function) for function in module.defined_functions())

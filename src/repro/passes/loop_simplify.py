@@ -1,0 +1,175 @@
+"""Loop canonicalization (LLVM's ``loopsimplify``).
+
+The paper (§III-A): *"loops and induction variables are canonicalized using
+the loopsimplify and indvars passes; the canonicalization of loops is
+important to be able to uniquely identify loops within arbitrarily complex
+loop nests."*
+
+After this pass every natural loop has:
+
+* a **preheader** — a unique out-of-loop predecessor of the header with a
+  single successor (gives the instrumentation an unambiguous loop-entry
+  edge);
+* a **single latch** — one back edge (gives an unambiguous iteration edge,
+  and is what the SCEV recurrence solver requires);
+* **dedicated exits** — every exit block is reached only from inside the
+  loop (gives unambiguous loop-exit edges).
+"""
+
+from __future__ import annotations
+
+from ..analysis.loop_info import LoopInfo
+from ..ir.instructions import Br, Phi
+
+
+def _insert_preheader(function, loop, cfg):
+    header = loop.header
+    outside_preds = [
+        pred for pred in cfg.predecessors(header) if pred not in loop.blocks
+    ]
+    if len(outside_preds) == 1 and len(cfg.successors(outside_preds[0])) == 1:
+        return False
+    if not outside_preds:
+        return False  # header is the function entry of an infinite loop
+
+    preheader = function.insert_block_after(outside_preds[0], f"{header.name}.ph")
+    for phi in header.phis():
+        outside_pairs = [
+            (value, block)
+            for value, block in phi.incoming()
+            if block not in loop.blocks
+        ]
+        distinct = {id(value) for value, _ in outside_pairs}
+        if len(distinct) == 1:
+            merged = outside_pairs[0][0]
+        else:
+            merged_phi = Phi(phi.type, (phi.name or "v") + ".ph")
+            preheader.insert_phi(merged_phi)
+            for value, block in outside_pairs:
+                merged_phi.add_incoming(value, block)
+            merged = merged_phi
+        for _, block in outside_pairs:
+            phi.remove_incoming_for_block(block)
+        phi.add_incoming(merged, preheader)
+    preheader.append(Br(header))
+    for pred in outside_preds:
+        pred.terminator.replace_successor(header, preheader)
+    return True
+
+
+def _insert_single_latch(function, loop, cfg):
+    header = loop.header
+    latch_preds = [
+        pred for pred in cfg.predecessors(header) if pred in loop.blocks
+    ]
+    if len(latch_preds) <= 1:
+        return False
+
+    latch = function.insert_block_after(latch_preds[-1], f"{header.name}.latch")
+    for phi in header.phis():
+        inside_pairs = [
+            (value, block)
+            for value, block in phi.incoming()
+            if block in loop.blocks
+        ]
+        distinct = {id(value) for value, _ in inside_pairs}
+        if len(distinct) == 1:
+            merged = inside_pairs[0][0]
+        else:
+            merged_phi = Phi(phi.type, (phi.name or "v") + ".lcssa")
+            latch.insert_phi(merged_phi)
+            for value, block in inside_pairs:
+                merged_phi.add_incoming(value, block)
+            merged = merged_phi
+        for _, block in inside_pairs:
+            phi.remove_incoming_for_block(block)
+        phi.add_incoming(merged, latch)
+    latch.append(Br(header))
+    for pred in latch_preds:
+        pred.terminator.replace_successor(header, latch)
+    return True
+
+
+def _insert_dedicated_exits(function, loop, cfg):
+    changed = False
+    for exit_block in loop.exit_blocks(cfg):
+        outside_preds = [
+            pred
+            for pred in cfg.predecessors(exit_block)
+            if pred not in loop.blocks
+        ]
+        if not outside_preds:
+            continue
+        inside_preds = [
+            pred for pred in cfg.predecessors(exit_block) if pred in loop.blocks
+        ]
+        trampoline = function.insert_block_after(
+            inside_preds[0], f"{exit_block.name}.loopexit"
+        )
+        for phi in exit_block.phis():
+            inside_pairs = [
+                (value, block)
+                for value, block in phi.incoming()
+                if block in loop.blocks
+            ]
+            distinct = {id(value) for value, _ in inside_pairs}
+            if len(distinct) == 1:
+                merged = inside_pairs[0][0]
+            else:
+                merged_phi = Phi(phi.type, (phi.name or "v") + ".le")
+                trampoline.insert_phi(merged_phi)
+                for value, block in inside_pairs:
+                    merged_phi.add_incoming(value, block)
+                merged = merged_phi
+            for _, block in inside_pairs:
+                phi.remove_incoming_for_block(block)
+            phi.add_incoming(merged, trampoline)
+        trampoline.append(Br(exit_block))
+        for pred in inside_preds:
+            pred.terminator.replace_successor(exit_block, trampoline)
+        changed = True
+    return changed
+
+
+def run_loop_simplify(function):
+    """Canonicalize every loop; returns the number of CFG edits."""
+    if function.is_declaration or function.is_intrinsic:
+        return 0
+    edits = 0
+    # Each transform invalidates LoopInfo; restart until a clean sweep.
+    for _ in range(10 * max(1, len(function.blocks))):
+        loop_info = LoopInfo(function)
+        cfg = loop_info.cfg
+        changed = False
+        for loop in loop_info.all_loops():
+            if _insert_preheader(function, loop, cfg):
+                changed = True
+                break
+            if _insert_single_latch(function, loop, cfg):
+                changed = True
+                break
+            if _insert_dedicated_exits(function, loop, cfg):
+                changed = True
+                break
+        if not changed:
+            return edits
+        edits += 1
+    return edits
+
+
+def run_loop_simplify_module(module):
+    return sum(run_loop_simplify(function) for function in module.defined_functions())
+
+
+def is_loop_simplified(loop, cfg):
+    """Check the three canonical-form properties for one loop."""
+    if loop.preheader(cfg) is None:
+        return False
+    if loop.single_latch() is None:
+        return False
+    for exit_block in loop.exit_blocks(cfg):
+        if any(
+            pred not in loop.blocks for pred in cfg.predecessors(exit_block)
+        ):
+            return False
+    return True

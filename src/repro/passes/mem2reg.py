@@ -1,0 +1,158 @@
+"""mem2reg — promote scalar stack slots to SSA registers.
+
+The MiniC frontend emits one ``alloca`` per local variable with explicit
+``load``/``store`` traffic, like clang at ``-O0``. This pass rebuilds pruned
+SSA form using iterated dominance frontiers (Cytron et al.), which is the
+step that turns loop-carried scalar state into *header phi nodes* — the
+objects the Loopapalooza classification (SCEV / reduction / value-predictable
+/ unpredictable) operates on. Without it every scalar LCD would look like a
+memory LCD and the whole Table-I taxonomy would collapse.
+
+Promotion criteria (same as LLVM): the alloca holds a scalar and its address
+is only ever used as the pointer operand of loads and stores (no GEPs, no
+call arguments, no stores *of* the address).
+
+After renaming, phis that are transitively unused (including cycles of dead
+phis) are deleted so no artificial register LCDs survive at loop headers.
+"""
+
+from __future__ import annotations
+
+from ..analysis.cfg import CFG
+from ..analysis.dominators import DominatorTree
+from ..ir.instructions import Alloca, Load, Phi, Store
+from ..ir.types import I64
+from ..ir.values import ConstantFloat, ConstantInt
+
+
+def _promotable(alloca):
+    if not alloca.allocated_type.is_scalar:
+        return False
+    for user, index in alloca.uses:
+        if isinstance(user, Load):
+            continue
+        if isinstance(user, Store) and user.pointer is alloca and index == 1:
+            continue
+        return False
+    return True
+
+
+def _undef_for(type_):
+    """Value observed when loading before any store (frontends initialize
+    every variable, so this only appears on genuinely dead paths)."""
+    if type_.is_float:
+        return ConstantFloat(0.0)
+    if type_.is_integer:
+        return ConstantInt(type_, 0)
+    return ConstantInt(I64, 0)  # pointer: a null-ish placeholder
+
+
+def run_mem2reg(function):
+    """Promote allocas in ``function``; returns the number promoted."""
+    if function.is_declaration or function.is_intrinsic:
+        return 0
+    allocas = [
+        instruction
+        for instruction in function.instructions()
+        if isinstance(instruction, Alloca) and _promotable(instruction)
+    ]
+    if not allocas:
+        return 0
+
+    cfg = CFG(function)
+    domtree = DominatorTree(function, cfg)
+
+    # 1. Place phi nodes at the iterated dominance frontier of each alloca's
+    #    defining (store) blocks.
+    phi_slots = {}  # id(phi) -> alloca
+    slot_phis = {id(a): {} for a in allocas}  # id(alloca) -> {id(block): phi}
+    for alloca in allocas:
+        store_blocks = {
+            user.parent for user in alloca.users() if isinstance(user, Store)
+        }
+        for block in domtree.iterated_dominance_frontier(store_blocks):
+            phi = Phi(alloca.allocated_type, alloca.name or "mem")
+            block.insert_phi(phi)
+            phi_slots[id(phi)] = alloca
+            slot_phis[id(alloca)][id(block)] = phi
+
+    # 2. Rename along the dominator tree with a value stack per alloca.
+    current = {id(a): [] for a in allocas}
+    alloca_ids = {id(a) for a in allocas}
+    to_erase = []
+
+    def value_for(alloca):
+        stack = current[id(alloca)]
+        return stack[-1] if stack else _undef_for(alloca.allocated_type)
+
+    def process_block(block):
+        pushed = []
+        for instruction in list(block.instructions):
+            if isinstance(instruction, Phi) and id(instruction) in phi_slots:
+                alloca = phi_slots[id(instruction)]
+                current[id(alloca)].append(instruction)
+                pushed.append(alloca)
+            elif isinstance(instruction, Load) and id(instruction.pointer) in alloca_ids:
+                instruction.replace_all_uses_with(value_for(instruction.pointer))
+                to_erase.append(instruction)
+            elif isinstance(instruction, Store) and id(instruction.pointer) in alloca_ids:
+                current[id(instruction.pointer)].append(instruction.value)
+                pushed.append(instruction.pointer)
+                to_erase.append(instruction)
+        for successor in cfg.successors(block):
+            for alloca in allocas:
+                phi = slot_phis[id(alloca)].get(id(successor))
+                if phi is not None:
+                    phi.add_incoming(value_for(alloca), block)
+        return pushed
+
+    # Dominator-tree DFS with explicit enter/exit events (no recursion).
+    stack = [("enter", function.entry_block)]
+    while stack:
+        action, payload = stack.pop()
+        if action == "enter":
+            pushed = process_block(payload)
+            stack.append(("exit", pushed))
+            for child in domtree.children(payload):
+                stack.append(("enter", child))
+        else:
+            for alloca in reversed(payload):
+                current[id(alloca)].pop()
+
+    # 3. Erase the rewritten loads/stores and the allocas themselves.
+    for instruction in to_erase:
+        instruction.erase_from_parent()
+    for alloca in allocas:
+        alloca.erase_from_parent()
+
+    # 4. Prune transitively-dead phis.
+    _prune_unused_phis(function)
+    return len(allocas)
+
+
+def _prune_unused_phis(function):
+    """Delete phis reachable only from other dead phis (mark-and-sweep, so
+    mutually-referencing dead phi cycles are removed too)."""
+    all_phis = [phi for block in function.blocks for phi in block.phis()]
+    if not all_phis:
+        return
+    live = set()
+    worklist = []
+    for phi in all_phis:
+        if any(not isinstance(user, Phi) for user in phi.users()):
+            live.add(id(phi))
+            worklist.append(phi)
+    while worklist:
+        phi = worklist.pop()
+        for operand in phi.operands:
+            if isinstance(operand, Phi) and id(operand) not in live:
+                live.add(id(operand))
+                worklist.append(operand)
+    for phi in all_phis:
+        if id(phi) not in live:
+            phi.erase_from_parent()
+
+
+def run_mem2reg_module(module):
+    """Run mem2reg on every defined function; returns total promotions."""
+    return sum(run_mem2reg(function) for function in module.defined_functions())

@@ -1,0 +1,73 @@
+"""Pass manager: the fixed optimization pipeline the study compiles with.
+
+The paper feeds LP the IR "after [it has] been optimized (using -Ofast)" and
+then canonicalizes with loopsimplify/indvars. Our equivalent pipeline is:
+
+    simplify-cfg -> mem2reg -> constfold -> gvn -> dce -> simplify-cfg
+    -> loop-simplify -> licm -> indvars
+
+with verification after every stage when ``verify_each`` is set (the default
+in tests; off by default for speed in large sweeps).
+"""
+
+from __future__ import annotations
+
+from ..ir.verifier import verify_module
+from .constfold import run_constfold_module
+from .dce import run_dce_module
+from .gvn import run_gvn_module
+from .indvars import run_indvars_module
+from .licm import run_licm_module
+from .loop_simplify import run_loop_simplify_module
+from .mem2reg import run_mem2reg_module
+from .simplify_cfg import run_simplify_cfg_module
+
+
+class PipelineResult:
+    """What the standard pipeline did to a module."""
+
+    def __init__(self):
+        self.promoted_allocas = 0
+        self.folded_constants = 0
+        self.gvn_removed = 0
+        self.removed_instructions = 0
+        self.cfg_edits = 0
+        self.loop_edits = 0
+        self.hoisted = 0
+        self.indvars = {}
+
+    def __repr__(self):
+        return (
+            f"<PipelineResult promoted={self.promoted_allocas} "
+            f"folded={self.folded_constants} dce={self.removed_instructions} "
+            f"cfg={self.cfg_edits} loops={self.loop_edits}>"
+        )
+
+
+def run_standard_pipeline(module, verify_each=False):
+    """Run the study's compilation pipeline on ``module`` in place."""
+    result = PipelineResult()
+
+    def checkpoint():
+        if verify_each:
+            verify_module(module)
+
+    result.cfg_edits += run_simplify_cfg_module(module)
+    checkpoint()
+    result.promoted_allocas = run_mem2reg_module(module)
+    checkpoint()
+    result.folded_constants = run_constfold_module(module)
+    checkpoint()
+    result.gvn_removed = run_gvn_module(module)
+    checkpoint()
+    result.removed_instructions = run_dce_module(module)
+    checkpoint()
+    result.cfg_edits += run_simplify_cfg_module(module)
+    checkpoint()
+    result.loop_edits = run_loop_simplify_module(module)
+    checkpoint()
+    result.hoisted = run_licm_module(module)
+    checkpoint()
+    result.indvars = run_indvars_module(module)
+    verify_module(module)
+    return result

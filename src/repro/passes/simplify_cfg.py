@@ -1,0 +1,121 @@
+"""CFG simplification: unreachable-block removal, constant-branch folding,
+and linear block merging.
+
+Run before loop analysis so the natural-loop detector sees a clean graph
+(frontend lowering of short-circuit expressions and breaks leaves empty
+forwarding blocks behind).
+"""
+
+from __future__ import annotations
+
+from ..analysis.cfg import CFG
+from ..ir.instructions import Br, CondBr
+from ..ir.values import ConstantInt
+
+
+def _remove_unreachable(function):
+    cfg = CFG(function)
+    dead = [b for b in function.blocks if not cfg.is_reachable(b)]
+    if not dead:
+        return 0
+    dead_set = set(dead)
+    # Remove phi incomings that arrive from dead blocks.
+    for block in function.blocks:
+        if block in dead_set:
+            continue
+        for phi in list(block.phis()):
+            for pred in list(phi.incoming_blocks):
+                if pred in dead_set:
+                    phi.remove_incoming_for_block(pred)
+    for block in dead:
+        block.erase_from_parent()
+    return len(dead)
+
+
+def _fold_constant_branches(function):
+    folded = 0
+    for block in function.blocks:
+        terminator = block.terminator
+        if isinstance(terminator, CondBr) and isinstance(
+            terminator.condition, ConstantInt
+        ):
+            taken = (
+                terminator.then_block
+                if terminator.condition.value
+                else terminator.else_block
+            )
+            not_taken = (
+                terminator.else_block
+                if terminator.condition.value
+                else terminator.then_block
+            )
+            if not_taken is not taken:
+                for phi in not_taken.phis():
+                    if block in phi.incoming_blocks:
+                        phi.remove_incoming_for_block(block)
+            terminator.erase_from_parent()
+            block.append(Br(taken))
+            folded += 1
+    return folded
+
+
+def _merge_linear_blocks(function):
+    """Merge B into A when A ends in ``br B`` and B has A as its only
+    predecessor (and B has no phis referencing other blocks — with a single
+    predecessor any phis are trivially replaceable)."""
+    merged = 0
+    changed = True
+    while changed:
+        changed = False
+        cfg = CFG(function)
+        for block in list(function.blocks):
+            terminator = block.terminator
+            if not isinstance(terminator, Br):
+                continue
+            target = terminator.target
+            if target is block or target is function.entry_block:
+                continue
+            if len(cfg.predecessors(target)) != 1:
+                continue
+            # Replace target's trivial phis (single incoming).
+            for phi in list(target.phis()):
+                phi_value = phi.incoming_for_block(block)
+                phi.replace_all_uses_with(phi_value)
+                phi.erase_from_parent()
+            # Splice target's instructions into block.
+            terminator.erase_from_parent()
+            for instruction in list(target.instructions):
+                target.remove_instruction(instruction)
+                block.append(instruction)
+            # Successor phis referring to `target` must now refer to `block`.
+            for successor in block.successors():
+                for phi in successor.phis():
+                    for position, pred in enumerate(phi.incoming_blocks):
+                        if pred is target:
+                            phi.incoming_blocks[position] = block
+            function.remove_block(target)
+            merged += 1
+            changed = True
+            break  # CFG changed; rebuild and restart
+    return merged
+
+
+def run_simplify_cfg(function):
+    """Apply all simplifications to fixpoint; returns total edits."""
+    if function.is_declaration or function.is_intrinsic:
+        return 0
+    total = 0
+    changed = True
+    while changed:
+        edits = (
+            _fold_constant_branches(function)
+            + _remove_unreachable(function)
+            + _merge_linear_blocks(function)
+        )
+        total += edits
+        changed = edits > 0
+    return total
+
+
+def run_simplify_cfg_module(module):
+    return sum(run_simplify_cfg(function) for function in module.defined_functions())

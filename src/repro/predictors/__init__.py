@@ -1,0 +1,32 @@
+"""repro.predictors — value prediction for non-computable register LCDs.
+
+The paper's four schemes (last-value, stride, 2-delta stride, FCM) with
+perfect hybridization, plus a realistic confidence-counter hybrid for the
+predictor-ablation study.
+"""
+
+from .base import ValuePredictor, accuracy, simulate
+from .fcm import FCMPredictor
+from .hybrid import (
+    ConfidenceHybridPredictor,
+    default_predictors,
+    perfect_hybrid_accuracy,
+    perfect_hybrid_flags,
+)
+from .last_value import LastValuePredictor
+from .stride import StridePredictor
+from .two_delta import TwoDeltaStridePredictor
+
+__all__ = [
+    "ConfidenceHybridPredictor",
+    "FCMPredictor",
+    "LastValuePredictor",
+    "StridePredictor",
+    "TwoDeltaStridePredictor",
+    "ValuePredictor",
+    "accuracy",
+    "default_predictors",
+    "perfect_hybrid_accuracy",
+    "perfect_hybrid_flags",
+    "simulate",
+]

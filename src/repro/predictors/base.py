@@ -1,0 +1,52 @@
+"""Value-predictor interface (paper §III-C).
+
+Predictors consume the per-iteration latch values of a register LCD and are
+queried *before* seeing each value, exactly as hardware would be: predict,
+compare against the actual, then train.
+
+Float values are compared exactly — a prediction either rematerializes the
+bit pattern or it does not; near-misses still force synchronization.
+"""
+
+from __future__ import annotations
+
+
+class ValuePredictor:
+    """Base class: stateful, trained online."""
+
+    name = "base"
+
+    def predict(self):
+        """Predicted next value, or None when not confident / warmed up."""
+        raise NotImplementedError
+
+    def train(self, actual):
+        """Observe the actual value (called after every predict)."""
+        raise NotImplementedError
+
+    def reset(self):
+        """Forget all state (new loop invocation)."""
+        raise NotImplementedError
+
+
+def simulate(predictor, values):
+    """Run one predictor over a value sequence.
+
+    Returns a list of booleans, one per element: ``True`` when the predictor
+    had already produced exactly that value before observing it.
+    """
+    predictor.reset()
+    correct = []
+    for value in values:
+        prediction = predictor.predict()
+        correct.append(prediction is not None and prediction == value)
+        predictor.train(value)
+    return correct
+
+
+def accuracy(predictor, values):
+    """Fraction of values predicted correctly (0.0 for empty sequences)."""
+    if not values:
+        return 0.0
+    flags = simulate(predictor, values)
+    return sum(flags) / len(flags)

@@ -1,0 +1,50 @@
+"""Finite Context Method predictor (Sazeides & Smith, MICRO-30).
+
+A two-level scheme: the recent value history (the *context*, here the last
+``order`` values) indexes a table whose entry remembers the value that
+followed that context last time. Captures arbitrary repeating patterns —
+periodic flags, values walked around a small cycle, alternating states —
+that stride-family predictors miss.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .base import ValuePredictor
+
+
+class FCMPredictor(ValuePredictor):
+    """Order-``order`` FCM with an unbounded (dict) second-level table.
+
+    A real implementation hashes the context into a finite table; the
+    unbounded dict is the idealization appropriate for a limit study (the
+    paper assumes perfect hybridization anyway). ``max_table`` bounds memory
+    against pathological value streams.
+    """
+
+    name = "fcm"
+
+    def __init__(self, order=2, max_table=65536):
+        self.order = order
+        self.max_table = max_table
+        self._history = deque(maxlen=order)
+        self._table = {}
+
+    def _context(self):
+        return tuple(self._history)
+
+    def predict(self):
+        if len(self._history) < self.order:
+            return None
+        return self._table.get(self._context())
+
+    def train(self, actual):
+        if len(self._history) == self.order:
+            if len(self._table) < self.max_table or self._context() in self._table:
+                self._table[self._context()] = actual
+        self._history.append(actual)
+
+    def reset(self):
+        self._history.clear()
+        self._table.clear()

@@ -1,0 +1,27 @@
+"""Last-value predictor: predicts the previous value repeats."""
+
+from __future__ import annotations
+
+from .base import ValuePredictor
+
+
+class LastValuePredictor(ValuePredictor):
+    """Predicts v(t+1) = v(t). Catches quasi-invariant LCDs — flags,
+    slowly-changing state, values that only update on rare paths."""
+
+    name = "last-value"
+
+    def __init__(self):
+        self._last = None
+        self._seen = False
+
+    def predict(self):
+        return self._last if self._seen else None
+
+    def train(self, actual):
+        self._last = actual
+        self._seen = True
+
+    def reset(self):
+        self._last = None
+        self._seen = False

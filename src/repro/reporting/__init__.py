@@ -1,0 +1,45 @@
+"""repro.reporting — experiment harness regenerating the paper's figures."""
+
+from .dynamic_census import (
+    FREQUENT_RATE,
+    PREDICTABLE_ACCURACY,
+    LoopDynamicCensus,
+    dynamic_census_of,
+    format_dynamic_census,
+    suite_dynamic_census,
+)
+from .experiments import (
+    COVERAGE_CONFIGS,
+    figure2_nonnumeric,
+    figure3_numeric,
+    figure4_per_benchmark,
+    figure5_coverage,
+    format_census,
+    format_coverage,
+    format_figure4,
+    format_speedup_figure,
+    table1_census,
+)
+from .stats import arith_mean, geomean, speedup_percent
+
+__all__ = [
+    "COVERAGE_CONFIGS",
+    "FREQUENT_RATE",
+    "LoopDynamicCensus",
+    "PREDICTABLE_ACCURACY",
+    "dynamic_census_of",
+    "format_dynamic_census",
+    "suite_dynamic_census",
+    "arith_mean",
+    "figure2_nonnumeric",
+    "figure3_numeric",
+    "figure4_per_benchmark",
+    "figure5_coverage",
+    "format_census",
+    "format_coverage",
+    "format_figure4",
+    "format_speedup_figure",
+    "geomean",
+    "speedup_percent",
+    "table1_census",
+]

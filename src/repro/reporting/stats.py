@@ -1,0 +1,28 @@
+"""Statistics helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+
+
+def geomean(values):
+    """Geometric mean. Empty input -> 1.0; values must be positive."""
+    values = list(values)
+    if not values:
+        return 1.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arith_mean(values):
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def speedup_percent(speedup):
+    """Express a speedup factor the way Kejariwal et al. do (e.g. 1.18x ->
+    18.18 %)."""
+    return (speedup - 1.0) * 100.0

@@ -1,0 +1,47 @@
+"""repro.runtime — the Loopapalooza run-time component.
+
+Profile data structures (the loop-invocation tree), the profiling runtime
+that implements the instrumentation callbacks (conflict tracking, register
+LCD recording, cactus-stack privatization), and the DOALL / Partial-DOALL /
+HELIX cost models.
+"""
+
+from .cost_models import (
+    PDOALL_SERIAL_THRESHOLD,
+    ModelOutcome,
+    doacross_cost,
+    doall_cost,
+    helix_cost,
+    pdoall_cost,
+    pdoall_phase_breaks,
+    serial_outcome,
+)
+from .call_records import CallRecord, CallSiteSummary
+from .profile import LoopInvocation, ProgramProfile
+from .serialize import (
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+from .recorder import ProfilingRuntime
+
+__all__ = [
+    "CallRecord",
+    "CallSiteSummary",
+    "LoopInvocation",
+    "ModelOutcome",
+    "PDOALL_SERIAL_THRESHOLD",
+    "ProfilingRuntime",
+    "ProgramProfile",
+    "doacross_cost",
+    "doall_cost",
+    "helix_cost",
+    "load_profile",
+    "pdoall_cost",
+    "pdoall_phase_breaks",
+    "profile_from_dict",
+    "profile_to_dict",
+    "save_profile",
+    "serial_outcome",
+]

@@ -1,0 +1,85 @@
+"""Call-site records for function-call/continuation TLS (paper §I).
+
+The paper notes its dependency categorization "applies also to broader
+techniques such as function-call/continuation level TLS". This module holds
+the profile side of that extension: for every dynamic call to a user
+function we record when it ran and when its *continuation* (the code after
+the call, in the caller) first truly depended on it — either by using the
+return value or by reading a memory location the callee wrote.
+
+Under call-continuation TLS the continuation is spawned speculatively when
+the call starts; it can overlap the callee until that first dependence. The
+per-call saving is therefore ``min(dep_ts - t_end, duration)`` — the
+independent continuation span, capped by the callee time it can hide.
+"""
+
+from __future__ import annotations
+
+
+class CallRecord:
+    """One dynamic call to a user function, as seen by its continuation."""
+
+    __slots__ = ("site_id", "start_ts", "end_ts", "first_dep_ts", "write_set")
+
+    def __init__(self, site_id, start_ts):
+        self.site_id = site_id
+        self.start_ts = start_ts
+        self.end_ts = start_ts
+        self.first_dep_ts = None
+        self.write_set = set()
+
+    @property
+    def duration(self):
+        return self.end_ts - self.start_ts
+
+    def note_dependence(self, ts):
+        if self.first_dep_ts is None:
+            self.first_dep_ts = ts
+
+    def finalize(self, horizon_ts):
+        """Close the continuation window (next call at this depth, or the
+        caller returning); returns the saving this call contributes."""
+        dep_ts = self.first_dep_ts if self.first_dep_ts is not None else horizon_ts
+        independent_span = max(0, dep_ts - self.end_ts)
+        return min(independent_span, self.duration)
+
+    def __repr__(self):
+        return f"<CallRecord {self.site_id} dur={self.duration}>"
+
+
+class CallSiteSummary:
+    """Aggregate over all dynamic calls from one static call site."""
+
+    __slots__ = ("site_id", "calls", "total_duration", "total_saving",
+                 "dependent_calls")
+
+    def __init__(self, site_id):
+        self.site_id = site_id
+        self.calls = 0
+        self.total_duration = 0
+        self.total_saving = 0.0
+        self.dependent_calls = 0
+
+    def absorb(self, record, saving):
+        self.calls += 1
+        self.total_duration += record.duration
+        self.total_saving += saving
+        if record.first_dep_ts is not None:
+            self.dependent_calls += 1
+
+    @property
+    def mean_duration(self):
+        return self.total_duration / self.calls if self.calls else 0.0
+
+    @property
+    def hidden_fraction(self):
+        """How much of the callee time the continuation could hide."""
+        if self.total_duration == 0:
+            return 0.0
+        return self.total_saving / self.total_duration
+
+    def __repr__(self):
+        return (
+            f"<CallSiteSummary {self.site_id} x{self.calls} "
+            f"hidden={self.hidden_fraction * 100:.0f}%>"
+        )

@@ -1,0 +1,122 @@
+"""Profile serialization: save/load execution profiles as JSON.
+
+Profiling is the expensive step (an instrumented interpreter run); the
+evaluation of Table-II configurations is cheap. Serializing profiles lets a
+study run once and be re-analyzed offline — the same reason the paper
+separates its compile-time and run-time components.
+
+The format is versioned and self-contained; invocation trees round-trip
+exactly (tests assert evaluation results are identical before and after).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import FrameworkError
+from .call_records import CallSiteSummary
+from .profile import LoopInvocation, ProgramProfile
+
+FORMAT_VERSION = 1
+
+
+def _invocation_to_dict(invocation):
+    return {
+        "loop_id": invocation.loop_id,
+        "parent_iter": invocation.parent_iter,
+        "iter_starts": invocation.iter_starts,
+        "end_ts": invocation.end_ts,
+        "conflict_pairs": sorted(invocation.conflict_pairs.items()),
+        "max_mem_skew": invocation.max_mem_skew,
+        "conflict_count": invocation.conflict_count,
+        "lcd_values": invocation.lcd_values,
+        "lcd_def_offsets": invocation.lcd_def_offsets,
+        "lcd_use_offsets": invocation.lcd_use_offsets,
+        "exited": invocation.exited,
+        "children": [
+            _invocation_to_dict(child) for child in invocation.children
+        ],
+    }
+
+
+def _invocation_from_dict(data, parent):
+    invocation = LoopInvocation(
+        data["loop_id"], parent, data["parent_iter"], data["iter_starts"][0]
+    )
+    invocation.iter_starts = list(data["iter_starts"])
+    invocation.end_ts = data["end_ts"]
+    invocation.conflict_pairs = {
+        int(consumer): int(producer)
+        for consumer, producer in data["conflict_pairs"]
+    }
+    invocation.max_mem_skew = data["max_mem_skew"]
+    invocation.conflict_count = data["conflict_count"]
+    invocation.lcd_values = dict(data["lcd_values"])
+    invocation.lcd_def_offsets = dict(data["lcd_def_offsets"])
+    invocation.lcd_use_offsets = dict(data["lcd_use_offsets"])
+    invocation.exited = data["exited"]
+    invocation.children = [
+        _invocation_from_dict(child, invocation)
+        for child in data["children"]
+    ]
+    return invocation
+
+
+def profile_to_dict(profile):
+    """Convert a :class:`ProgramProfile` to a JSON-safe dictionary."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": profile.name,
+        "total_cost": profile.total_cost,
+        "result": profile.result,
+        "top_level": [
+            _invocation_to_dict(invocation)
+            for invocation in profile.top_level
+        ],
+        "call_sites": {
+            site_id: {
+                "calls": summary.calls,
+                "total_duration": summary.total_duration,
+                "total_saving": summary.total_saving,
+                "dependent_calls": summary.dependent_calls,
+            }
+            for site_id, summary in profile.call_sites.items()
+        },
+    }
+
+
+def profile_from_dict(data):
+    """Rebuild a :class:`ProgramProfile` from :func:`profile_to_dict`
+    output."""
+    version = data.get("format")
+    if version != FORMAT_VERSION:
+        raise FrameworkError(
+            f"unsupported profile format {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    profile = ProgramProfile(data["name"])
+    profile.total_cost = data["total_cost"]
+    profile.result = data["result"]
+    profile.top_level = [
+        _invocation_from_dict(entry, None) for entry in data["top_level"]
+    ]
+    for site_id, entry in data.get("call_sites", {}).items():
+        summary = CallSiteSummary(site_id)
+        summary.calls = entry["calls"]
+        summary.total_duration = entry["total_duration"]
+        summary.total_saving = entry["total_saving"]
+        summary.dependent_calls = entry["dependent_calls"]
+        profile.call_sites[site_id] = summary
+    return profile
+
+
+def save_profile(profile, path):
+    """Write a profile to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        json.dump(profile_to_dict(profile), handle)
+
+
+def load_profile(path):
+    """Read a profile previously written by :func:`save_profile`."""
+    with open(path) as handle:
+        return profile_from_dict(json.load(handle))

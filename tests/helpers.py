@@ -1,0 +1,42 @@
+"""Shared non-fixture helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.frontend import compile_source
+from repro.ir import I32, IRBuilder, Module
+
+
+def build_counting_loop(trip=10):
+    """IR module: ``for (i = 0; i < trip; ++i);`` returning ``trip``.
+
+    A minimal hand-built loop used by IR-level tests.
+    """
+    module = Module("counting")
+    function = module.add_function("f", I32, [])
+    entry = function.append_block("entry")
+    header = function.append_block("header")
+    body = function.append_block("body")
+    exit_block = function.append_block("exit")
+    b = IRBuilder(entry)
+    b.br(header)
+    b.position_at_end(header)
+    iv = b.phi(I32, "i")
+    cond = b.icmp("slt", iv, b.const_int(trip), "cond")
+    b.condbr(cond, body, exit_block)
+    b.position_at_end(body)
+    nxt = b.add(iv, b.const_int(1), "inext")
+    b.br(header)
+    iv.add_incoming(b.const_int(0), entry)
+    iv.add_incoming(nxt, body)
+    b.position_at_end(exit_block)
+    b.ret(iv)
+    return module, function
+
+
+def run_minic(source, fuel=20_000_000):
+    """Compile and execute a MiniC program; returns (result, cost, output)."""
+    from repro.interp.interpreter import run_module
+
+    module = compile_source(source)
+    result, machine = run_module(module, fuel=fuel)
+    return result, machine.cost, machine.output

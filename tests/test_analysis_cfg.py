@@ -1,0 +1,128 @@
+"""CFG, dominator tree, and dominance frontier tests."""
+
+from repro.analysis import CFG, DominatorTree
+from repro.ir import I32, IRBuilder, Module
+from repro.ir.values import ConstantInt
+
+from helpers import build_counting_loop
+
+
+def build_diamond():
+    """entry -> (left | right) -> merge -> ret."""
+    module = Module("d")
+    f = module.add_function("f", I32, [])
+    entry = f.append_block("entry")
+    left = f.append_block("left")
+    right = f.append_block("right")
+    merge = f.append_block("merge")
+    b = IRBuilder(entry)
+    cond = b.icmp("eq", b.const_int(0), b.const_int(1))
+    b.condbr(cond, left, right)
+    IRBuilder(left).br(merge)
+    IRBuilder(right).br(merge)
+    IRBuilder(merge).ret(ConstantInt(I32, 0))
+    return f, entry, left, right, merge
+
+
+class TestCFG:
+    def test_successors_predecessors(self):
+        f, entry, left, right, merge = build_diamond()
+        cfg = CFG(f)
+        assert cfg.successors(entry) == [left, right]
+        assert set(cfg.predecessors(merge)) == {left, right}
+        assert cfg.predecessors(entry) == []
+
+    def test_reachability(self):
+        f, entry, left, right, merge = build_diamond()
+        dead = f.append_block("dead")
+        IRBuilder(dead).ret(ConstantInt(I32, 9))
+        cfg = CFG(f)
+        assert cfg.is_reachable(merge)
+        assert not cfg.is_reachable(dead)
+        assert dead not in cfg.reachable_blocks()
+
+    def test_rpo_entry_first_merge_last(self):
+        f, entry, left, right, merge = build_diamond()
+        rpo = CFG(f).reverse_post_order()
+        assert rpo[0] is entry
+        assert rpo[-1] is merge
+        assert rpo.index(left) < rpo.index(merge)
+        assert rpo.index(right) < rpo.index(merge)
+
+    def test_rpo_with_loop(self):
+        module, f = build_counting_loop()
+        rpo = CFG(f).reverse_post_order()
+        names = [b.name for b in rpo]
+        assert names.index("entry") < names.index("header")
+        assert names.index("header") < names.index("body")
+
+    def test_deep_cfg_no_recursion_error(self):
+        module = Module("deep")
+        f = module.add_function("f", I32, [])
+        blocks = [f.append_block(f"b{i}") for i in range(3000)]
+        for a, b in zip(blocks, blocks[1:]):
+            IRBuilder(a).br(b)
+        IRBuilder(blocks[-1]).ret(ConstantInt(I32, 0))
+        rpo = CFG(f).reverse_post_order()
+        assert len(rpo) == 3000
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        f, entry, left, right, merge = build_diamond()
+        dom = DominatorTree(f)
+        assert dom.immediate_dominator(left) is entry
+        assert dom.immediate_dominator(right) is entry
+        assert dom.immediate_dominator(merge) is entry
+        assert dom.immediate_dominator(entry) is None
+
+    def test_dominates_is_reflexive_and_transitive(self):
+        f, entry, left, right, merge = build_diamond()
+        dom = DominatorTree(f)
+        assert dom.dominates(entry, entry)
+        assert dom.dominates(entry, merge)
+        assert not dom.dominates(left, merge)
+        assert not dom.strictly_dominates(entry, entry)
+
+    def test_loop_header_dominates_body(self):
+        module, f = build_counting_loop()
+        dom = DominatorTree(f)
+        by_name = {b.name: b for b in f.blocks}
+        assert dom.dominates(by_name["header"], by_name["body"])
+        assert dom.dominates(by_name["header"], by_name["exit"])
+        assert not dom.dominates(by_name["body"], by_name["header"])
+
+    def test_children_partition(self):
+        f, entry, left, right, merge = build_diamond()
+        dom = DominatorTree(f)
+        assert set(dom.children(entry)) == {left, right, merge}
+
+    def test_preorder_starts_at_entry(self):
+        f, entry, *_ = build_diamond()
+        dom = DominatorTree(f)
+        order = dom.dom_tree_preorder()
+        assert order[0] is entry
+        assert len(order) == 4
+
+    def test_diamond_frontiers(self):
+        f, entry, left, right, merge = build_diamond()
+        dom = DominatorTree(f)
+        frontiers = dom.dominance_frontiers()
+        assert frontiers[left] == {merge}
+        assert frontiers[right] == {merge}
+        assert frontiers[entry] == set()
+
+    def test_loop_frontier_contains_header(self):
+        module, f = build_counting_loop()
+        dom = DominatorTree(f)
+        by_name = {b.name: b for b in f.blocks}
+        frontiers = dom.dominance_frontiers()
+        # the body's frontier is the header (back edge join point)
+        assert by_name["header"] in frontiers[by_name["body"]]
+
+    def test_iterated_frontier(self):
+        f, entry, left, right, merge = build_diamond()
+        dom = DominatorTree(f)
+        idf = dom.iterated_dominance_frontier({left})
+        assert idf == {merge}
+        assert dom.iterated_dominance_frontier({entry}) == set()

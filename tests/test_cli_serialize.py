@@ -1,0 +1,160 @@
+"""CLI and profile-serialization tests."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import Loopapalooza, paper_configurations
+from repro.errors import FrameworkError
+from repro.runtime.serialize import (
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+
+DEMO = """
+int A[64];
+float S = 0.0;
+int main() {
+  int i;
+  float acc = 0.0;
+  A[0] = 3;
+  for (i = 1; i < 64; i = i + 1) { A[i] = (A[i-1] * 5 + i) & 1023; }
+  for (i = 0; i < 64; i = i + 1) { acc = acc + (float)A[i]; }
+  S = acc;
+  print_int((int)acc);
+  return (int)acc & 32767;
+}
+"""
+
+
+@pytest.fixture()
+def demo_file(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(DEMO)
+    return str(path)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCLI:
+    def test_run(self, demo_file):
+        code, text = run_cli("run", demo_file)
+        assert code == 0
+        assert "result:" in text
+        assert "dynamic IR instructions:" in text
+        assert "program output:" in text
+
+    def test_census(self, demo_file):
+        code, text = run_cli("census", demo_file)
+        assert code == 0
+        assert "computable" in text
+        assert "reduction" in text
+
+    def test_evaluate_default_configs(self, demo_file):
+        code, text = run_cli("evaluate", demo_file)
+        assert code == 0
+        for config in paper_configurations():
+            assert config.name in text
+
+    def test_evaluate_specific_config(self, demo_file):
+        code, text = run_cli(
+            "evaluate", demo_file, "--config", "helix:reduc1-dep1-fn2"
+        )
+        assert code == 0
+        assert text.count("helix:") == 1
+        assert "doall:" not in text
+
+    def test_diagnose(self, demo_file):
+        code, text = run_cli("diagnose", demo_file)
+        assert code == 0
+        assert "unlocks at" in text
+
+    def test_bench_lists_programs(self):
+        code, text = run_cli("bench")
+        assert code == 0
+        assert "specint2000/gzip_like" in text
+        assert text.count("\n") >= 48
+
+    def test_missing_file_is_an_error(self):
+        code, _ = run_cli("run", "/nonexistent/never.c")
+        assert code == 1
+
+    def test_bad_config_is_an_error(self, demo_file):
+        code, _ = run_cli("evaluate", demo_file, "--config", "warp9")
+        assert code == 1
+
+    def test_bad_program_is_an_error(self, tmp_path):
+        path = tmp_path / "broken.c"
+        path.write_text("int main() { return ; }")
+        code, _ = run_cli("run", str(path))
+        assert code == 1
+
+
+class TestSerialization:
+    def test_round_trip_dict(self):
+        lp = Loopapalooza(DEMO, "serialize_demo")
+        profile = lp.profile()
+        data = profile_to_dict(profile)
+        json.dumps(data)  # must be JSON-safe
+        rebuilt = profile_from_dict(data)
+        assert rebuilt.total_cost == profile.total_cost
+        assert rebuilt.result == profile.result
+        assert len(rebuilt.all_invocations()) == len(profile.all_invocations())
+        for original, copy in zip(
+            profile.all_invocations(), rebuilt.all_invocations()
+        ):
+            assert original.loop_id == copy.loop_id
+            assert original.iter_starts == copy.iter_starts
+            assert original.conflict_pairs == copy.conflict_pairs
+            assert original.lcd_values == copy.lcd_values
+
+    def test_round_trip_preserves_evaluation(self):
+        from repro.core.evaluator import evaluate_config
+        from repro.core.config import LPConfig
+
+        lp = Loopapalooza(DEMO, "serialize_eval")
+        profile = lp.profile()
+        rebuilt = profile_from_dict(profile_to_dict(profile))
+        for config in (LPConfig("helix", 1, 1, 2), LPConfig("pdoall", 1, 2, 2)):
+            original = evaluate_config(profile, lp.static_info, config)
+            copied = evaluate_config(rebuilt, lp.static_info, config)
+            assert copied.speedup == pytest.approx(original.speedup)
+            assert copied.coverage == pytest.approx(original.coverage)
+
+    def test_save_and_load_file(self, tmp_path):
+        lp = Loopapalooza(DEMO, "serialize_file")
+        profile = lp.profile()
+        path = tmp_path / "profile.json"
+        save_profile(profile, path)
+        loaded = load_profile(path)
+        assert loaded.total_cost == profile.total_cost
+
+    def test_version_check(self):
+        with pytest.raises(FrameworkError, match="format"):
+            profile_from_dict({"format": 999})
+
+    def test_parent_links_rebuilt(self):
+        lp = Loopapalooza(
+            """
+            int A[64];
+            int main() {
+              int i; int j;
+              for (i = 0; i < 4; i = i + 1) {
+                for (j = 0; j < 4; j = j + 1) { A[i*4+j] = i; }
+              }
+              return 0;
+            }
+            """,
+            "nested_ser",
+        )
+        rebuilt = profile_from_dict(profile_to_dict(lp.profile()))
+        outer = rebuilt.top_level[0]
+        assert all(child.parent is outer for child in outer.children)

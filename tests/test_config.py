@@ -1,0 +1,81 @@
+"""Configuration (Table II) tests."""
+
+import pytest
+
+from repro.core import BEST_HELIX, BEST_PDOALL, LPConfig, paper_configurations
+from repro.errors import ConfigError
+
+
+class TestConstruction:
+    def test_defaults(self):
+        config = LPConfig("pdoall")
+        assert (config.reduc, config.dep, config.fn) == (0, 0, 0)
+
+    def test_name_format(self):
+        assert LPConfig("helix", 1, 1, 2).name == "helix:reduc1-dep1-fn2"
+        assert LPConfig("doall", 0, 0, 0).flags == "reduc0-dep0-fn0"
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(model="banana"),
+        dict(model="pdoall", reduc=2),
+        dict(model="pdoall", dep=4),
+        dict(model="pdoall", fn=5),
+    ])
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(ConfigError):
+            LPConfig(**kwargs)
+
+    @pytest.mark.parametrize("dep", [1, 2, 3])
+    def test_doall_rejects_register_lcd_relaxations(self, dep):
+        """Paper: dep1-dep3 are incompatible with DOALL."""
+        with pytest.raises(ConfigError):
+            LPConfig("doall", dep=dep)
+
+    def test_equality_and_hash(self):
+        a = LPConfig("helix", 1, 1, 2)
+        b = LPConfig("helix", 1, 1, 2)
+        assert a == b and hash(a) == hash(b)
+        assert a != LPConfig("helix", 0, 1, 2)
+
+
+class TestParse:
+    def test_full_form(self):
+        config = LPConfig.parse("helix:reduc1-dep1-fn2")
+        assert config == BEST_HELIX
+
+    def test_model_defaults_to_pdoall(self):
+        config = LPConfig.parse("reduc1-dep2-fn2")
+        assert config == BEST_PDOALL
+
+    def test_partial_flags_default_to_zero(self):
+        config = LPConfig.parse("pdoall:dep2")
+        assert (config.reduc, config.dep, config.fn) == (0, 2, 0)
+
+    def test_round_trip(self):
+        for config in paper_configurations():
+            assert LPConfig.parse(config.name) == config
+
+    def test_bad_chunk(self):
+        with pytest.raises(ConfigError):
+            LPConfig.parse("pdoall:turbo3")
+
+
+class TestPaperMatrix:
+    def test_fourteen_configurations(self):
+        configs = paper_configurations()
+        assert len(configs) == 14
+        assert len(set(configs)) == 14
+
+    def test_models_in_presentation_order(self):
+        models = [c.model for c in paper_configurations()]
+        assert models == ["doall"] * 2 + ["pdoall"] * 8 + ["helix"] * 4
+
+    def test_contains_the_named_best_configs(self):
+        configs = paper_configurations()
+        assert BEST_PDOALL in configs
+        assert BEST_HELIX in configs
+
+    def test_doall_rows_are_dep0(self):
+        for config in paper_configurations():
+            if config.model == "doall":
+                assert config.dep == 0

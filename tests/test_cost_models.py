@@ -1,0 +1,123 @@
+"""Unit tests for the DOALL / Partial-DOALL / HELIX cost models (§III-B)."""
+
+from repro.runtime.cost_models import (
+    PDOALL_SERIAL_THRESHOLD,
+    doacross_cost,
+    doall_cost,
+    helix_cost,
+    pdoall_cost,
+    pdoall_phase_breaks,
+)
+
+
+class TestDOALL:
+    def test_conflict_free_costs_slowest_iteration(self):
+        outcome = doall_cost([10, 30, 20], has_any_conflict=False)
+        assert outcome.parallel
+        assert outcome.cost == 30
+
+    def test_any_conflict_serializes(self):
+        outcome = doall_cost([10, 30, 20], has_any_conflict=True)
+        assert not outcome.parallel
+        assert outcome.cost == 60
+        assert outcome.reason == "conflict"
+
+    def test_empty_loop(self):
+        assert doall_cost([], False).cost == 0
+
+
+class TestPhaseBreaks:
+    def test_no_conflicts_no_breaks(self):
+        assert pdoall_phase_breaks({}, 10) == []
+
+    def test_adjacent_chain_breaks_everywhere(self):
+        pairs = {i: i - 1 for i in range(1, 10)}
+        assert pdoall_phase_breaks(pairs, 10) == list(range(1, 10))
+
+    def test_committed_producer_does_not_break(self):
+        # Write at iteration 2, reads at 5, 6, 7: only the first read in
+        # the same phase as the producer restarts; the phase break commits
+        # the write for the rest.
+        pairs = {5: 2, 6: 2, 7: 2}
+        assert pdoall_phase_breaks(pairs, 10) == [5]
+
+    def test_multiple_rare_writes(self):
+        # Writers at 3 and 50; consumers afterwards.
+        pairs = {4: 3, 10: 3, 52: 50, 70: 50}
+        assert pdoall_phase_breaks(pairs, 100) == [4, 52]
+
+    def test_iteration_zero_ignored(self):
+        assert pdoall_phase_breaks({0: -1}, 10) == []
+
+    def test_out_of_range_consumer_ignored(self):
+        assert pdoall_phase_breaks({50: 2}, 10) == []
+
+
+class TestPDOALL:
+    def test_no_breaks_behaves_like_doall(self):
+        outcome = pdoall_cost([10, 30, 20], [])
+        assert outcome.parallel and outcome.cost == 30
+
+    def test_phases_sum_of_maxima(self):
+        # iterations [10, 30, 20, 40], break at 2: phases [0,2) and [2,4).
+        outcome = pdoall_cost([10, 30, 20, 40], [2])
+        assert outcome.parallel
+        assert outcome.cost == 30 + 40
+
+    def test_eighty_percent_rule(self):
+        costs = [10] * 10
+        many_breaks = list(range(1, 10))  # 9/10 > 0.8
+        outcome = pdoall_cost(costs, many_breaks)
+        assert not outcome.parallel
+        assert outcome.reason == "conflict-rate"
+        few_breaks = list(range(1, 9))  # 8/10 == 0.8: not above threshold
+        assert pdoall_cost(costs, few_breaks).parallel
+
+    def test_no_gain_falls_back_to_serial(self):
+        # two iterations, break between them: phases cost 10 + 10 = serial.
+        outcome = pdoall_cost([10, 10], [1])
+        assert not outcome.parallel
+        assert outcome.reason == "no-gain"
+
+    def test_threshold_constant_matches_paper(self):
+        assert PDOALL_SERIAL_THRESHOLD == 0.80
+
+
+class TestHELIX:
+    def test_paper_formula(self):
+        # HELIX_time = iter_slowest + delta_largest * num_iter
+        outcome = helix_cost([10, 12, 11, 10], delta_largest=2.0)
+        assert outcome.parallel
+        assert outcome.cost == 12 + 2.0 * 4
+
+    def test_zero_delta_is_doall_like(self):
+        outcome = helix_cost([10, 30, 20], 0.0)
+        assert outcome.cost == 30
+
+    def test_large_delta_marks_serial(self):
+        outcome = helix_cost([10, 10, 10], delta_largest=10.0)
+        assert not outcome.parallel
+        assert outcome.reason == "sync-bound"
+
+    def test_delta_just_below_serial(self):
+        # 3 iterations of 10; delta 6 -> 10 + 18 = 28 < 30: tiny gain kept.
+        outcome = helix_cost([10, 10, 10], 6.0)
+        assert outcome.parallel
+        assert outcome.cost == 28
+
+
+class TestDOACROSS:
+    def test_single_sync_point_uses_span(self):
+        # HELIX with per-LCD sync beats single-sync DOACROSS when one LCD
+        # resolves early and another is consumed late.
+        iter_costs = [20] * 10
+        producers = [4.0, 18.0]   # one early, one late producer
+        consumers = [2.0, 16.0]   # matching consumers
+        doacross = doacross_cost(iter_costs, producers, consumers)
+        helix_delta = max(4.0 - 2.0, 18.0 - 16.0)  # per-LCD skew = 2
+        helix = helix_cost(iter_costs, helix_delta)
+        assert helix.cost < doacross.cost
+
+    def test_no_deps_parallel(self):
+        outcome = doacross_cost([5, 7], [], [])
+        assert outcome.parallel and outcome.cost == 7

@@ -1,0 +1,80 @@
+"""Error-type formatting and hierarchy tests."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    FrameworkError,
+    FuelExhausted,
+    InterpError,
+    IRError,
+    ParseError,
+    ReproError,
+    SemanticError,
+    TrapError,
+    VerificationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("cls", [
+        IRError, VerificationError, ParseError, SemanticError, InterpError,
+        TrapError, FuelExhausted, ConfigError, FrameworkError,
+    ])
+    def test_everything_is_a_repro_error(self, cls):
+        if cls is VerificationError:
+            instance = cls(["p"])
+        elif cls is FuelExhausted:
+            instance = cls(100)
+        else:
+            instance = cls("boom")
+        assert isinstance(instance, ReproError)
+
+    def test_traps_are_interp_errors(self):
+        assert issubclass(TrapError, InterpError)
+        assert issubclass(FuelExhausted, InterpError)
+
+
+class TestFormatting:
+    def test_parse_error_positions(self):
+        error = ParseError("bad token", line=4, column=7)
+        assert "line 4" in str(error)
+        assert "col 7" in str(error)
+        assert error.line == 4 and error.column == 7
+
+    def test_parse_error_without_position(self):
+        assert str(ParseError("oops")) == "oops"
+
+    def test_semantic_error_line(self):
+        assert "line 12" in str(SemanticError("bad", line=12))
+
+    def test_verification_error_lists_all_problems(self):
+        error = VerificationError(["first", "second"])
+        assert "first" in str(error) and "second" in str(error)
+        assert error.problems == ["first", "second"]
+
+    def test_fuel_exhausted_carries_budget(self):
+        error = FuelExhausted(12345)
+        assert error.budget == 12345
+        assert "12345" in str(error)
+
+
+class TestSurfacesInPractice:
+    def test_frontend_raises_parse_error_with_position(self):
+        from repro.frontend import parse
+
+        with pytest.raises(ParseError) as info:
+            parse("int main() {\n  return @;\n}")
+        assert info.value.line == 2
+
+    def test_interpreter_trap_message_names_cause(self):
+        from helpers import run_minic
+
+        with pytest.raises(TrapError, match="division by zero"):
+            run_minic("int z = 0; int main() { return 1 / z; }")
+
+    def test_config_error_names_flag(self):
+        from repro.core import LPConfig
+
+        with pytest.raises(ConfigError, match="dep"):
+            LPConfig("pdoall", dep=9)

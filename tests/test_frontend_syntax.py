@@ -1,0 +1,200 @@
+"""MiniC lexer, parser, and semantic-analysis tests."""
+
+import pytest
+
+from repro.errors import ParseError, SemanticError
+from repro.frontend import analyze, parse, tokenize
+from repro.frontend import ast_nodes as ast
+
+
+class TestLexer:
+    def test_numbers(self):
+        tokens = tokenize("42 3.5 1e3 2.5e-2 7")
+        kinds = [(t.kind, t.value) for t in tokens[:-1]]
+        assert kinds == [
+            ("int", 42), ("float", 3.5), ("float", 1000.0),
+            ("float", 0.025), ("int", 7),
+        ]
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("int intx for fortune")
+        assert [t.kind for t in tokens[:-1]] == ["kw", "ident", "kw", "ident"]
+
+    def test_two_char_operators(self):
+        tokens = tokenize("<= >= == != && || << >>")
+        assert [t.text for t in tokens[:-1]] == [
+            "<=", ">=", "==", "!=", "&&", "||", "<<", ">>",
+        ]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a // line comment\nb /* block\ncomment */ c")
+        assert [t.text for t in tokens[:-1]] == ["a", "b", "c"]
+
+    def test_line_numbers_track_newlines(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("a /* never closed")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a $ b")
+
+
+class TestParser:
+    def test_program_structure(self):
+        program = parse(
+            """
+            int G = 3;
+            float T[8];
+            int f(int a, float* p) { return a; }
+            int main() { return f(G, T); }
+            """
+        )
+        kinds = [type(d).__name__ for d in program.declarations]
+        assert kinds == ["GlobalDecl", "GlobalDecl", "FunctionDecl", "FunctionDecl"]
+
+    def test_precedence(self):
+        program = parse("int main() { return 1 + 2 * 3; }")
+        ret = program.declarations[0].body.statements[0]
+        assert isinstance(ret.value, ast.Binary) and ret.value.op == "+"
+        assert isinstance(ret.value.rhs, ast.Binary) and ret.value.rhs.op == "*"
+
+    def test_comparison_binds_looser_than_shift(self):
+        program = parse("int main() { return 1 < 2 << 3; }")
+        ret = program.declarations[0].body.statements[0]
+        assert ret.value.op == "<"
+
+    def test_for_with_decl_init(self):
+        program = parse("int main() { for (int i = 0; i < 3; i = i + 1) { } return 0; }")
+        loop = program.declarations[0].body.statements[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.VarDecl)
+
+    def test_dangling_else_attaches_inner(self):
+        program = parse(
+            "int main() { if (1) if (0) return 1; else return 2; return 3; }"
+        )
+        outer = program.declarations[0].body.statements[0]
+        assert outer.else_body is None
+        assert outer.then_body.else_body is not None
+
+    def test_cast_expression(self):
+        program = parse("int main() { return (int)(1.5 * 2.0); }")
+        ret = program.declarations[0].body.statements[0]
+        assert isinstance(ret.value, ast.CastExpr)
+
+    def test_cast_vs_parenthesized_expr(self):
+        program = parse("int x = 3; int main() { return (x) + 1; }")
+        ret = program.declarations[1].body.statements[0]
+        assert isinstance(ret.value, ast.Binary)
+
+    def test_array_global_brace_init(self):
+        program = parse("int A[4] = {1, -2, 3}; int main() { return 0; }")
+        decl = program.declarations[0]
+        assert decl.initializer == [1, -2, 3]
+
+    @pytest.mark.parametrize("source", [
+        "int main() { return 1 }",            # missing semicolon
+        "int main() { 3 = x; }",              # bad assignment target
+        "int main( { return 0; }",            # bad parameter list
+        "void g;",                            # void global
+        "int main() { int a[3] = 5; }",       # array local initializer
+    ])
+    def test_syntax_errors(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+
+class TestSema:
+    def check(self, source):
+        return analyze(parse(source))
+
+    def test_valid_program_annotates_types(self):
+        result = self.check(
+            """
+            float X[4];
+            int main() {
+              int i = 2;
+              X[i] = 1.5;
+              return (int)X[i];
+            }
+            """
+        )
+        assert "main" in result.signatures
+        assert "X" in result.globals
+
+    @pytest.mark.parametrize("source,message", [
+        ("int main() { return y; }", "undeclared"),
+        ("int main() { int x; int x; return 0; }", "redeclaration"),
+        ("int x = 1; int x = 2; int main() { return 0; }", "redeclaration"),
+        ("int main() { break; }", "break outside"),
+        ("int main() { continue; }", "continue outside"),
+        ("float f() { return; } int main() { return 0; }", "must return a value"),
+        ("void g() { return 3; } int main() { return 0; }", "cannot return"),
+        ("int main() { return unknown_fn(1); }", "unknown function"),
+        ("int main() { return sqrt(); }", "expects 1 arguments"),
+        ("int main() { int x = 1.5; return x; }", "narrowing"),
+        ("float A[4]; int main() { A = 3.0; return 0; }", "assign to an array"),
+        ("int main() { if (1.5) { } return 0; }", "condition must be int"),
+        ("int main() { return 1.5 % 2.0; }", "needs int operands"),
+        ("float A[3]; int main() { return A[1.0]; }", "index must be int"),
+        ("int x = 1; int main() { return x[0]; }", "not an array"),
+        ("int main() { return 3; } float main2() { return 0.0; }", None),
+    ])
+    def test_semantic_errors(self, source, message):
+        if message is None:
+            self.check(source)  # valid control case
+            return
+        with pytest.raises(SemanticError, match=message):
+            self.check(source)
+
+    def test_main_required(self):
+        with pytest.raises(SemanticError, match="no main"):
+            self.check("int f() { return 0; }")
+
+    def test_main_signature_enforced(self):
+        with pytest.raises(SemanticError, match="int main"):
+            self.check("int main(int x) { return x; }")
+        with pytest.raises(SemanticError, match="int main"):
+            self.check("float main_helper() { return 0.0; } float main() { return 0.0; }")
+
+    def test_int_widens_to_float(self):
+        self.check("int main() { float x = 3; x = x + 1; return (int)x; }")
+
+    def test_shadowing_allowed_in_inner_scope(self):
+        self.check(
+            """
+            int main() {
+              int x = 1;
+              { int x2 = 2; x = x2; }
+              if (x) { int x3 = 3; x = x3; }
+              return x;
+            }
+            """
+        )
+
+    def test_pointer_param_accepts_array_decay(self):
+        self.check(
+            """
+            int A[8];
+            int f(int* p) { return p[0]; }
+            int main() { return f(A); }
+            """
+        )
+
+    def test_pointer_type_mismatch_rejected(self):
+        with pytest.raises(SemanticError, match="does not match"):
+            self.check(
+                """
+                float A[8];
+                int f(int* p) { return p[0]; }
+                int main() { return f(A); }
+                """
+            )
+
+    def test_address_of_requires_lvalue(self):
+        with pytest.raises(SemanticError, match="lvalue"):
+            self.check("int f(int* p) { return p[0]; } int main() { return f(&(1+2)); }")

@@ -1,0 +1,196 @@
+"""Function-inliner tests (the optional, non-study pass)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.frontend import compile_source
+from repro.frontend.codegen import CodeGenerator
+from repro.frontend.parser import parse as parse_minic
+from repro.frontend.sema import analyze
+from repro.interp.interpreter import run_module
+from repro.ir import verify_module
+from repro.ir.instructions import Call
+from repro.passes import run_inline_module, run_standard_pipeline
+
+from test_differential import minic_program
+
+
+def behaviour(module):
+    result, machine = run_module(module, fuel=10_000_000)
+    return result, tuple(machine.output)
+
+
+def user_calls(module):
+    return [
+        instruction
+        for function in module.defined_functions()
+        for instruction in function.instructions()
+        if isinstance(instruction, Call) and not instruction.callee.is_intrinsic
+    ]
+
+
+def compile_raw(source):
+    module = CodeGenerator(analyze(parse_minic(source))).run()
+    verify_module(module)
+    return module
+
+
+SOURCE = """
+int A[32];
+int clamp8(int v) {
+  if (v < 0) { return 0; }
+  if (v > 255) { return 255; }
+  return v;
+}
+int scale(int v) { return clamp8(v * 3 - 100); }
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 32; i = i + 1) { A[i] = scale(i * 17); s = s + A[i]; }
+  print_int(s);
+  return s & 32767;
+}
+"""
+
+
+class TestMechanics:
+    def test_inlines_and_preserves_behaviour(self):
+        reference = behaviour(compile_raw(SOURCE))
+        module = compile_raw(SOURCE)
+        inlined = run_inline_module(module)
+        verify_module(module)
+        assert inlined >= 2  # scale and clamp8 chains collapse
+        assert behaviour(module) == reference
+
+    def test_multi_return_merged_with_phi(self):
+        # clamp8 has three returns; the call result must come from a phi.
+        module = compile_raw(SOURCE)
+        run_inline_module(module)
+        verify_module(module)
+        run_standard_pipeline(module, verify_each=True)
+        assert behaviour(module)[0] == behaviour(compile_raw(SOURCE))[0]
+
+    def test_no_user_calls_left(self):
+        module = compile_raw(SOURCE)
+        run_inline_module(module, size_limit=1000)
+        assert user_calls(module) == []
+
+    def test_size_limit_respected(self):
+        module = compile_raw(SOURCE)
+        run_inline_module(module, size_limit=1)  # nothing fits
+        assert user_calls(module)
+
+    def test_recursion_not_inlined(self):
+        module = compile_raw(
+            """
+            int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+            int main() { return fib(10); }
+            """
+        )
+        run_inline_module(module, size_limit=1000)
+        verify_module(module)
+        result, _ = run_module(module)
+        assert result == 55
+        assert user_calls(module), "recursive callees must stay calls"
+
+    def test_mutual_recursion_not_inlined(self):
+        module = compile_raw(
+            """
+            int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+            int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+            int main() { return even(8); }
+            """
+        )
+        run_inline_module(module, size_limit=1000)
+        result, _ = run_module(module)
+        assert result == 1
+        assert user_calls(module)
+
+    def test_void_callee(self):
+        module = compile_raw(
+            """
+            int G = 0;
+            void bump(int v) { G = G + v; }
+            int main() { bump(3); bump(4); return G; }
+            """
+        )
+        inlined = run_inline_module(module)
+        verify_module(module)
+        assert inlined == 2
+        result, _ = run_module(module)
+        assert result == 7
+
+    def test_inlined_call_inside_loop_header_region(self):
+        module = compile_raw(
+            """
+            int limit(int n) { return n * 2 + 1; }
+            int main() {
+              int i; int s = 0;
+              for (i = 0; i < limit(10); i = i + 1) { s = s + i; }
+              return s;
+            }
+            """
+        )
+        run_inline_module(module)
+        verify_module(module)
+        result, _ = run_module(module)
+        assert result == sum(range(21))
+
+
+class TestStudyInteraction:
+    def test_inlining_dissolves_fn_constraints(self):
+        """The ablation's point: a call-blocked loop becomes fn0-parallel."""
+        from repro.core import Loopapalooza
+
+        plain = Loopapalooza(SOURCE, "no_inline")
+        inlined = Loopapalooza(SOURCE, "inline", inline=True)
+        config = "pdoall:reduc1-dep2-fn0"
+        assert plain.evaluate(config).speedup < 1.3
+        assert inlined.evaluate(config).speedup > 3
+
+    def test_inline_flag_preserves_results(self):
+        from repro.core import Loopapalooza
+
+        plain = Loopapalooza(SOURCE, "a")
+        inlined = Loopapalooza(SOURCE, "b", inline=True)
+        assert plain.profile().result == inlined.profile().result
+        assert plain.output == inlined.output
+
+
+@settings(max_examples=25, deadline=None)
+@given(minic_program())
+def test_inline_differential_on_random_programs(source):
+    reference = behaviour(compile_raw(source))
+    module = compile_raw(source)
+    run_inline_module(module)
+    verify_module(module)
+    run_standard_pipeline(module)
+    assert behaviour(module) == reference
+
+
+class TestLoopIdUniqueness:
+    def test_double_inline_of_loopy_callee_keeps_loop_ids_unique(self):
+        from repro.core import Loopapalooza
+
+        lp = Loopapalooza(
+            """
+            int A[64];
+            int rowsum(int base) {
+              int k; int s = 0;
+              for (k = 0; k < 8; k = k + 1) { s = s + A[base + k]; }
+              return s;
+            }
+            int main() {
+              int i;
+              for (i = 0; i < 64; i = i + 1) { A[i] = i; }
+              return (rowsum(0) + rowsum(8)) & 32767;
+            }
+            """,
+            "double_inline",
+            inline=True,
+        )
+        # Two inlined copies of rowsum's loop must be distinct static loops
+        # inside main (the now-uncalled original definition also remains).
+        inlined_loops = [l for l in lp.loop_ids() if l.startswith("main.rowsum")]
+        assert len(inlined_loops) == 2
+        result = lp.evaluate("pdoall:reduc1-dep2-fn0")
+        assert result.speedup > 1.0

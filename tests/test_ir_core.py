@@ -1,0 +1,261 @@
+"""Unit tests for IR values, instructions, blocks, functions, modules."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    F64,
+    I1,
+    I32,
+    VOID,
+    ArrayType,
+    BinaryOp,
+    Br,
+    CondBr,
+    ConstantFloat,
+    ConstantInt,
+    IRBuilder,
+    Module,
+    Phi,
+    PointerType,
+    Ret,
+    Store,
+)
+
+
+def make_function(return_type=I32, params=()):
+    module = Module("t")
+    return module, module.add_function("f", return_type, list(params))
+
+
+class TestConstants:
+    def test_int_wraps_to_type(self):
+        assert ConstantInt(I32, 2**31).value == -(2**31)
+
+    def test_bool_range(self):
+        assert ConstantInt(I1, 1).value == 1
+        assert ConstantInt(I1, 0).value == 0
+
+    def test_float_value(self):
+        assert ConstantFloat(1.5).value == 1.5
+        assert ConstantFloat(1.5).type is F64
+
+    def test_constants_print_as_literals(self):
+        assert ConstantInt(I32, -7).short_name() == "-7"
+
+
+class TestUseLists:
+    def test_operands_register_uses(self):
+        a = ConstantInt(I32, 1)
+        b = ConstantInt(I32, 2)
+        op = BinaryOp("add", a, b)
+        assert (op, 0) in a.uses
+        assert (op, 1) in b.uses
+
+    def test_replace_all_uses_with(self):
+        module, function = make_function()
+        block = function.append_block("entry")
+        b = IRBuilder(block)
+        x = b.add(b.const_int(1), b.const_int(2), "x")
+        y = b.add(x, x, "y")
+        z = b.const_int(5)
+        x.replace_all_uses_with(z)
+        assert y.lhs is z and y.rhs is z
+        assert x.num_uses == 0
+        assert (y, 0) in z.uses and (y, 1) in z.uses
+
+    def test_erase_drops_operand_uses(self):
+        module, function = make_function()
+        block = function.append_block("entry")
+        b = IRBuilder(block)
+        x = b.add(b.const_int(1), b.const_int(2), "x")
+        y = b.add(x, x, "y")
+        y.erase_from_parent()
+        assert x.num_uses == 0
+        assert y.parent is None
+
+    def test_users_deduplicates(self):
+        a = ConstantInt(I32, 3)
+        op = BinaryOp("add", a, a)
+        assert list(op.operands) == [a, a]
+        assert len(list(a.users())) == 1
+
+
+class TestInstructionValidation:
+    def test_binop_type_mismatch(self):
+        with pytest.raises(IRError):
+            BinaryOp("add", ConstantInt(I32, 1), ConstantFloat(1.0))
+
+    def test_float_opcode_on_ints(self):
+        with pytest.raises(IRError):
+            BinaryOp("fadd", ConstantInt(I32, 1), ConstantInt(I32, 2))
+
+    def test_unknown_opcode(self):
+        with pytest.raises(IRError):
+            BinaryOp("xadd", ConstantInt(I32, 1), ConstantInt(I32, 2))
+
+    def test_store_type_mismatch(self):
+        module = Module("t")
+        g = module.add_global(I32, "g")
+        with pytest.raises(IRError):
+            Store(ConstantFloat(1.0), g)
+
+    def test_condbr_requires_i1(self):
+        module, function = make_function()
+        b1 = function.append_block("a")
+        b2 = function.append_block("b")
+        with pytest.raises(IRError):
+            CondBr(ConstantInt(I32, 1), b1, b2)
+
+    def test_phi_incoming_type_checked(self):
+        module, function = make_function()
+        block = function.append_block("entry")
+        phi = Phi(I32)
+        block.insert_phi(phi)
+        with pytest.raises(IRError):
+            phi.add_incoming(ConstantFloat(0.0), block)
+
+    def test_call_arity_checked(self):
+        module = Module("t")
+        callee = module.add_function("g", I32, [I32, I32])
+        caller = module.add_function("f", I32, [])
+        block = caller.append_block("entry")
+        b = IRBuilder(block)
+        with pytest.raises(IRError):
+            b.call(callee, [b.const_int(1)])
+
+    def test_call_arg_type_checked(self):
+        module = Module("t")
+        callee = module.add_function("g", I32, [F64])
+        caller = module.add_function("f", I32, [])
+        b = IRBuilder(caller.append_block("entry"))
+        with pytest.raises(IRError):
+            b.call(callee, [b.const_int(1)])
+
+
+class TestBlocks:
+    def test_append_after_terminator_rejected(self):
+        module, function = make_function()
+        block = function.append_block("entry")
+        b = IRBuilder(block)
+        b.ret(b.const_int(0))
+        with pytest.raises(IRError):
+            b.add(b.const_int(1), b.const_int(2))
+
+    def test_phis_iterate_only_leading_phis(self):
+        module, function = make_function()
+        pred = function.append_block("pred")
+        block = function.append_block("bb")
+        IRBuilder(pred).br(block)
+        phi = Phi(I32, "p")
+        block.insert_phi(phi)
+        phi.add_incoming(ConstantInt(I32, 0), pred)
+        b = IRBuilder(block)
+        b.ret(phi)
+        assert list(block.phis()) == [phi]
+        assert phi not in list(block.non_phi_instructions())
+
+    def test_insert_phi_goes_after_existing_phis(self):
+        module, function = make_function()
+        block = function.append_block("bb")
+        first = Phi(I32, "a")
+        second = Phi(I32, "b")
+        block.insert_phi(first)
+        block.insert_phi(second)
+        assert block.instructions == [first, second]
+
+    def test_successors_and_predecessors(self):
+        module, function = make_function()
+        a = function.append_block("a")
+        b = function.append_block("b")
+        c = function.append_block("c")
+        builder = IRBuilder(a)
+        cond = builder.icmp("eq", builder.const_int(0), builder.const_int(0))
+        builder.condbr(cond, b, c)
+        IRBuilder(b).ret(ConstantInt(I32, 0))
+        IRBuilder(c).ret(ConstantInt(I32, 1))
+        assert a.successors() == [b, c]
+        assert b.predecessors() == [a]
+
+    def test_phi_remove_incoming(self):
+        module, function = make_function()
+        p1 = function.append_block("p1")
+        p2 = function.append_block("p2")
+        merge = function.append_block("m")
+        IRBuilder(p1).br(merge)
+        IRBuilder(p2).br(merge)
+        phi = Phi(I32, "x")
+        merge.insert_phi(phi)
+        v1, v2 = ConstantInt(I32, 1), ConstantInt(I32, 2)
+        phi.add_incoming(v1, p1)
+        phi.add_incoming(v2, p2)
+        phi.remove_incoming_for_block(p1)
+        assert list(phi.incoming()) == [(v2, p2)]
+        assert v1.num_uses == 0
+        # remaining use indices stay consistent
+        assert (phi, 0) in v2.uses
+
+
+class TestModule:
+    def test_duplicate_global_rejected(self):
+        module = Module("t")
+        module.add_global(I32, "g")
+        with pytest.raises(IRError):
+            module.add_global(I32, "g")
+
+    def test_duplicate_function_rejected(self):
+        module = Module("t")
+        module.add_function("f", I32, [])
+        with pytest.raises(IRError):
+            module.add_function("f", VOID, [])
+
+    def test_unknown_lookups_raise(self):
+        module = Module("t")
+        with pytest.raises(IRError):
+            module.get_global("nope")
+        with pytest.raises(IRError):
+            module.get_function("nope")
+
+    def test_global_initializer_flattening(self):
+        module = Module("t")
+        g = module.add_global(ArrayType(I32, 4), "a", [1, 2])
+        assert g.flat_initializer() == [1, 2, 0, 0]
+        s = module.add_global(F64, "x", 2.5)
+        assert s.flat_initializer() == [2.5]
+        z = module.add_global(ArrayType(F64, 3), "z")
+        assert z.flat_initializer() == [0.0, 0.0, 0.0]
+
+    def test_oversized_initializer_rejected(self):
+        module = Module("t")
+        g = module.add_global(ArrayType(I32, 2), "a", [1, 2, 3])
+        with pytest.raises(ValueError):
+            g.flat_initializer()
+
+    def test_global_type_is_pointer(self):
+        module = Module("t")
+        g = module.add_global(I32, "g")
+        assert g.type is PointerType(I32)
+        assert g.allocated_type is I32
+
+    def test_defined_functions_excludes_declarations(self):
+        module = Module("t")
+        module.add_function("decl", I32, [])
+        f = module.add_function("def", I32, [])
+        f.append_block("entry")
+        assert module.defined_functions() == [f]
+
+
+class TestTerminators:
+    def test_br_successor_replacement(self):
+        module, function = make_function()
+        a = function.append_block("a")
+        b = function.append_block("b")
+        c = function.append_block("c")
+        br = Br(b)
+        a.append(br)
+        br.replace_successor(b, c)
+        assert br.successors() == [c]
+
+    def test_ret_with_and_without_value(self):
+        assert Ret().value is None
+        assert Ret(ConstantInt(I32, 3)).value.value == 3

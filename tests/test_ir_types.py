@@ -1,0 +1,144 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir.types import (
+    F64,
+    I1,
+    I32,
+    I64,
+    VOID,
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    VoidType,
+    parse_type,
+)
+
+
+class TestInterning:
+    def test_int_types_are_interned(self):
+        assert IntType(32) is IntType(32)
+        assert IntType(32) is I32
+
+    def test_distinct_widths_are_distinct(self):
+        assert IntType(8) is not IntType(16)
+
+    def test_float_singleton(self):
+        assert FloatType() is F64
+
+    def test_void_singleton(self):
+        assert VoidType() is VOID
+
+    def test_pointer_interning(self):
+        assert PointerType(I32) is PointerType(I32)
+        assert PointerType(I32) is not PointerType(F64)
+
+    def test_array_interning(self):
+        assert ArrayType(I32, 8) is ArrayType(I32, 8)
+        assert ArrayType(I32, 8) is not ArrayType(I32, 9)
+
+    def test_function_type_interning(self):
+        assert FunctionType(I32, [F64]) is FunctionType(I32, [F64])
+
+    def test_equality_matches_identity(self):
+        assert I32 == IntType(32)
+        assert I32 != I64
+
+
+class TestPredicates:
+    def test_scalar_classification(self):
+        assert I32.is_scalar and F64.is_scalar and PointerType(I32).is_scalar
+        assert not ArrayType(I32, 4).is_scalar
+
+    def test_kind_flags(self):
+        assert I32.is_integer and not I32.is_float
+        assert F64.is_float and not F64.is_pointer
+        assert PointerType(F64).is_pointer
+        assert ArrayType(F64, 2).is_array
+        assert VOID.is_void
+
+
+class TestSizes:
+    def test_scalar_sizes(self):
+        assert I32.size_in_slots() == 1
+        assert F64.size_in_slots() == 1
+        assert PointerType(I32).size_in_slots() == 1
+
+    def test_array_sizes(self):
+        assert ArrayType(I32, 10).size_in_slots() == 10
+        assert ArrayType(ArrayType(F64, 4), 3).size_in_slots() == 12
+
+    def test_void_has_no_size(self):
+        with pytest.raises(TypeError):
+            VOID.size_in_slots()
+
+
+class TestIntSemantics:
+    def test_wrap_positive_overflow(self):
+        assert I32.wrap(2**31) == -(2**31)
+
+    def test_wrap_negative(self):
+        assert I32.wrap(-1) == -1
+
+    def test_wrap_identity_in_range(self):
+        assert I32.wrap(12345) == 12345
+
+    def test_bounds(self):
+        assert I32.min_value() == -(2**31)
+        assert I32.max_value() == 2**31 - 1
+        assert I1.min_value() == 0 and I1.max_value() == 1
+
+
+class TestValidation:
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+
+    def test_array_of_void_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(VOID, 4)
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(I32, 0)
+
+    def test_pointer_to_void_rejected(self):
+        with pytest.raises(ValueError):
+            PointerType(VOID)
+
+    def test_array_return_type_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionType(ArrayType(I32, 2), [])
+
+    def test_array_param_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionType(I32, [ArrayType(I32, 2)])
+
+
+class TestParseType:
+    @pytest.mark.parametrize("text,expected", [
+        ("i32", I32),
+        ("i1", I1),
+        ("i64", I64),
+        ("f64", F64),
+        ("void", VOID),
+        ("i32*", PointerType(I32)),
+        ("f64**", PointerType(PointerType(F64))),
+        ("[8 x i32]", ArrayType(I32, 8)),
+        ("[2 x [3 x f64]]", ArrayType(ArrayType(F64, 3), 2)),
+        ("[4 x i32]*", PointerType(ArrayType(I32, 4))),
+    ])
+    def test_parse(self, text, expected):
+        assert parse_type(text) is expected
+
+    def test_repr_round_trips(self):
+        for type_ in (I32, F64, PointerType(I32), ArrayType(F64, 7),
+                      PointerType(ArrayType(I32, 3))):
+            assert parse_type(repr(type_)) is type_
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_type("banana")

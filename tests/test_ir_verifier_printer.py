@@ -1,0 +1,180 @@
+"""Verifier and printer/parser tests."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.frontend import compile_source
+from repro.interp.interpreter import run_module
+from repro.ir import (
+    I32,
+    IRBuilder,
+    Module,
+    Phi,
+    parse_module,
+    print_function,
+    print_module,
+    verify_module,
+)
+from repro.ir.values import ConstantInt
+
+from helpers import build_counting_loop
+
+
+class TestVerifier:
+    def test_accepts_well_formed_loop(self):
+        module, _ = build_counting_loop()
+        assert verify_module(module)
+
+    def test_missing_terminator(self):
+        module = Module("t")
+        f = module.add_function("f", I32, [])
+        f.append_block("entry")  # no terminator
+        with pytest.raises(VerificationError, match="missing terminator"):
+            verify_module(module)
+
+    def test_phi_incoming_mismatch(self):
+        module = Module("t")
+        f = module.add_function("f", I32, [])
+        entry = f.append_block("entry")
+        merge = f.append_block("merge")
+        IRBuilder(entry).br(merge)
+        phi = Phi(I32, "p")
+        merge.insert_phi(phi)  # no incoming for predecessor `entry`
+        IRBuilder(merge).ret(phi)
+        with pytest.raises(VerificationError, match="phi incoming"):
+            verify_module(module)
+
+    def test_use_not_dominated(self):
+        module = Module("t")
+        f = module.add_function("f", I32, [])
+        entry = f.append_block("entry")
+        left = f.append_block("left")
+        right = f.append_block("right")
+        merge = f.append_block("merge")
+        b = IRBuilder(entry)
+        cond = b.icmp("eq", b.const_int(0), b.const_int(0))
+        b.condbr(cond, left, right)
+        b.position_at_end(left)
+        defined_in_left = b.add(b.const_int(1), b.const_int(2), "x")
+        b.br(merge)
+        IRBuilder(right).br(merge)
+        b.position_at_end(merge)
+        b.ret(defined_in_left)  # not dominated: right path skips the def
+        with pytest.raises(VerificationError, match="not dominated"):
+            verify_module(module)
+
+    def test_phi_use_checked_at_incoming_edge(self):
+        # A phi may use a value that only dominates its incoming block.
+        module = Module("t")
+        f = module.add_function("f", I32, [])
+        entry = f.append_block("entry")
+        left = f.append_block("left")
+        right = f.append_block("right")
+        merge = f.append_block("merge")
+        b = IRBuilder(entry)
+        cond = b.icmp("eq", b.const_int(0), b.const_int(1))
+        b.condbr(cond, left, right)
+        b.position_at_end(left)
+        x = b.add(b.const_int(1), b.const_int(2), "x")
+        b.br(merge)
+        IRBuilder(right).br(merge)
+        phi = Phi(I32, "p")
+        merge.insert_phi(phi)
+        phi.add_incoming(x, left)
+        phi.add_incoming(ConstantInt(I32, 0), right)
+        IRBuilder(merge).ret(phi)
+        assert verify_module(module)
+
+    def test_branch_to_foreign_block(self):
+        module = Module("t")
+        f = module.add_function("f", I32, [])
+        g = module.add_function("g", I32, [])
+        target = g.append_block("g_entry")
+        IRBuilder(target).ret(ConstantInt(I32, 0))
+        entry = f.append_block("entry")
+        IRBuilder(entry).br(target)
+        with pytest.raises(VerificationError, match="foreign block"):
+            verify_module(module)
+
+    def test_compiled_programs_verify(self):
+        module = compile_source(
+            """
+            int main() {
+              int i; int s = 0;
+              for (i = 0; i < 10; i = i + 1) { if (i & 1) { s = s + i; } }
+              return s;
+            }
+            """
+        )
+        assert verify_module(module)
+
+
+SAMPLE = """
+int N = 24;
+float X[24];
+int helper(int a, int b) { return a * b + 3; }
+int main() {
+  int i;
+  float acc = 0.0;
+  for (i = 0; i < N; i = i + 1) {
+    X[i] = noise_f64(i) - 0.5;
+    if (X[i] > 0.0) { acc = acc + X[i]; }
+  }
+  return helper((int)(acc * 8.0), N);
+}
+"""
+
+
+class TestPrinterParser:
+    def test_round_trip_text_identical(self):
+        module = compile_source(SAMPLE)
+        text = print_module(module)
+        reparsed = parse_module(text, name=module.name)
+        assert print_module(reparsed) == text
+
+    def test_round_trip_behaviour_identical(self):
+        module = compile_source(SAMPLE)
+        reparsed = parse_module(print_module(module), name=module.name)
+        verify_module(reparsed)
+        r1, m1 = run_module(module)
+        r2, m2 = run_module(reparsed)
+        assert r1 == r2
+        assert m1.cost == m2.cost
+
+    def test_print_function_contains_blocks_and_phis(self):
+        module, function = build_counting_loop()
+        text = print_function(function)
+        assert "phi i32" in text
+        assert "condbr i1" in text
+        assert text.startswith("func @f(")
+
+    def test_printer_names_anonymous_values(self):
+        module, function = build_counting_loop()
+        text = print_function(function)
+        # anonymous compare got a %tN name
+        assert "%cond" in text
+
+    def test_parse_rejects_garbage(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse_module("func @f() -> i32 { entry: frobnicate }")
+
+    def test_parse_rejects_undefined_value(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse_module(
+                "func @f() -> i32 {\nentry:\n  ret i32 %nope\n}"
+            )
+
+    def test_globals_round_trip(self):
+        module = Module("g")
+        module.add_global(I32, "scalar", 7)
+        from repro.ir import ArrayType, F64
+
+        module.add_global(ArrayType(F64, 3), "arr", [1.5, 2.5])
+        text = print_module(module)
+        reparsed = parse_module(text, name="g")
+        assert reparsed.get_global("scalar").initializer == 7
+        assert reparsed.get_global("arr").flat_initializer() == [1.5, 2.5, 0.0]

@@ -1,0 +1,221 @@
+"""LICM tests: hoisting legality and profitability."""
+
+from repro.frontend.codegen import CodeGenerator
+from repro.frontend.parser import parse
+from repro.frontend.sema import analyze
+from repro.interp.interpreter import run_module
+from repro.ir import verify_module
+from repro.ir.instructions import Load
+from repro.passes import (
+    run_dce_module,
+    run_gvn_module,
+    run_licm_module,
+    run_loop_simplify_module,
+    run_mem2reg_module,
+)
+
+
+def prepare(source):
+    """Compile without LICM so the pass under test does the hoisting."""
+    module = CodeGenerator(analyze(parse(source))).run()
+    run_mem2reg_module(module)
+    run_gvn_module(module)
+    run_dce_module(module)
+    run_loop_simplify_module(module)
+    verify_module(module)
+    return module
+
+
+def loads_in_loops(module):
+    from repro.analysis import LoopInfo
+
+    count = 0
+    for function in module.defined_functions():
+        info = LoopInfo(function)
+        for loop in info.all_loops():
+            for block in loop.blocks:
+                count += sum(isinstance(i, Load) for i in block.instructions)
+    return count
+
+
+BOUND_RELOAD = """
+int N = 50;
+int A[64];
+int main() {
+  int i;
+  for (i = 0; i < N; i = i + 1) { A[i] = i; }
+  return A[10];
+}
+"""
+
+
+class TestHoisting:
+    def test_bound_reload_hoisted(self):
+        module = prepare(BOUND_RELOAD)
+        before = loads_in_loops(module)
+        hoisted = run_licm_module(module)
+        verify_module(module)
+        assert hoisted >= 1
+        assert loads_in_loops(module) < before
+        result, _ = run_module(module)
+        assert result == 10
+
+    def test_hoisting_reduces_cost(self):
+        module_plain = prepare(BOUND_RELOAD)
+        _, machine_plain = run_module(module_plain)
+        module_licm = prepare(BOUND_RELOAD)
+        run_licm_module(module_licm)
+        _, machine_licm = run_module(module_licm)
+        assert machine_licm.cost < machine_plain.cost
+
+    def test_invariant_arithmetic_hoisted(self):
+        module = prepare(
+            """
+            int A[64];
+            int main() {
+              int i;
+              int a = A[0];
+              int b = A[1];
+              for (i = 0; i < 50; i = i + 1) {
+                A[i] = i + a * b * 3;
+              }
+              return A[7];
+            }
+            """
+        )
+        hoisted = run_licm_module(module)
+        verify_module(module)
+        assert hoisted >= 1
+        result, _ = run_module(module)
+        module2 = prepare(
+            """
+            int A[64];
+            int main() {
+              int i;
+              int a = A[0];
+              int b = A[1];
+              for (i = 0; i < 50; i = i + 1) {
+                A[i] = i + a * b * 3;
+              }
+              return A[7];
+            }
+            """
+        )
+        reference, _ = run_module(module2)
+        assert result == reference
+
+
+class TestLegality:
+    def test_load_not_hoisted_past_aliasing_store(self):
+        source = """
+        int N = 5;
+        int A[64];
+        int main() {
+          int i;
+          int s = 0;
+          for (i = 0; i < 20; i = i + 1) {
+            s = s + N;
+            if (i == 3) { N = 10; }   // the bound changes mid-loop!
+          }
+          return s;
+        }
+        """
+        module = prepare(source)
+        reference, _ = run_module(prepare(source))
+        run_licm_module(module)
+        verify_module(module)
+        result, _ = run_module(module)
+        assert result == reference
+
+    def test_distinct_globals_do_not_block(self):
+        # Stores to B must not pin loads of A.
+        module = prepare(
+            """
+            int A[4]; int B[64];
+            int main() {
+              int i;
+              for (i = 0; i < 30; i = i + 1) { B[i] = A[0] + i; }
+              return B[3];
+            }
+            """
+        )
+        hoisted = run_licm_module(module)
+        assert hoisted >= 1
+
+    def test_user_call_blocks_load_hoisting(self):
+        source = """
+        int N = 5;
+        int bump() { N = N + 1; return 0; }
+        int main() {
+          int i;
+          int s = 0;
+          for (i = 0; i < 10; i = i + 1) {
+            s = s + N;
+            bump();
+          }
+          return s;
+        }
+        """
+        module = prepare(source)
+        reference, _ = run_module(prepare(source))
+        run_licm_module(module)
+        result, _ = run_module(module)
+        assert result == reference == sum(range(5, 15))
+
+    def test_division_never_hoisted(self):
+        # 10 / d would trap if speculated when d == 0 on the untaken path.
+        source = """
+        int D = 0;
+        int main() {
+          int i;
+          int s = 0;
+          int d = D;
+          for (i = 0; i < 10; i = i + 1) {
+            if (d != 0) { s = s + 10 / d; }
+            s = s + 1;
+          }
+          return s;
+        }
+        """
+        module = prepare(source)
+        run_licm_module(module)
+        verify_module(module)
+        result, _ = run_module(module)
+        assert result == 10
+
+    def test_conditional_load_not_hoisted(self):
+        # A guarded possibly-out-of-bounds load must stay guarded.
+        source = """
+        int A[4];
+        int IDX = 100000;
+        int main() {
+          int i;
+          int s = 0;
+          int idx = IDX;
+          for (i = 0; i < 10; i = i + 1) {
+            if (idx < 4) { s = s + A[idx]; }
+            s = s + i;
+          }
+          return s;
+        }
+        """
+        module = prepare(source)
+        run_licm_module(module)
+        result, _ = run_module(module)  # must not trap
+        assert result == 45
+
+    def test_pipeline_with_licm_preserves_suite_behaviour(self):
+        from repro.bench import suite_programs
+        from repro.frontend import compile_source
+
+        # Spot-check two real suite programs end to end.
+        for program in suite_programs("eembc")[:2]:
+            optimized = compile_source(program.source)
+            result, machine = run_module(optimized, fuel=50_000_000)
+            unoptimized = CodeGenerator(
+                analyze(parse(program.source))
+            ).run()
+            reference, ref_machine = run_module(unoptimized, fuel=200_000_000)
+            assert result == reference
+            assert machine.output == ref_machine.output
+            assert machine.cost <= ref_machine.cost

@@ -1,0 +1,179 @@
+"""Natural-loop detection and nesting forest tests."""
+
+from repro.analysis import CFG, LoopInfo
+from repro.frontend import compile_source
+from repro.passes.loop_simplify import is_loop_simplified
+
+from helpers import build_counting_loop
+
+
+def loops_of(source, function="main"):
+    module = compile_source(source)
+    f = module.get_function(function)
+    return LoopInfo(f)
+
+
+class TestDetection:
+    def test_single_loop(self):
+        module, f = build_counting_loop()
+        info = LoopInfo(f)
+        assert len(info.all_loops()) == 1
+        loop = info.all_loops()[0]
+        assert loop.header.name == "header"
+        assert loop.depth == 1
+        assert loop.loop_id == "f.header"
+
+    def test_no_loops(self):
+        info = loops_of("int main() { return 3; }")
+        assert info.all_loops() == []
+        assert info.top_level == []
+
+    def test_nested_loops(self):
+        info = loops_of(
+            """
+            int A[100];
+            int main() {
+              int i; int j;
+              for (i = 0; i < 10; i = i + 1) {
+                for (j = 0; j < 10; j = j + 1) { A[i*10+j] = i + j; }
+              }
+              return A[5];
+            }
+            """
+        )
+        loops = info.all_loops()
+        assert len(loops) == 2
+        outer = [l for l in loops if l.depth == 1][0]
+        inner = [l for l in loops if l.depth == 2][0]
+        assert inner.parent is outer
+        assert inner in outer.subloops
+        assert outer.contains_loop(inner)
+        assert not inner.contains_loop(outer)
+        assert inner.blocks < outer.blocks
+
+    def test_sibling_loops(self):
+        info = loops_of(
+            """
+            int A[10];
+            int main() {
+              int i;
+              for (i = 0; i < 10; i = i + 1) { A[i] = i; }
+              for (i = 0; i < 10; i = i + 1) { A[i] = A[i] * 2; }
+              return A[3];
+            }
+            """
+        )
+        assert len(info.top_level) == 2
+        assert all(loop.depth == 1 for loop in info.all_loops())
+
+    def test_while_loop_detected(self):
+        info = loops_of(
+            """
+            int main() {
+              int x = 100;
+              while (x > 1) { x = x / 2; }
+              return x;
+            }
+            """
+        )
+        assert len(info.all_loops()) == 1
+
+    def test_postorder_inner_first(self):
+        info = loops_of(
+            """
+            int A[100];
+            int main() {
+              int i; int j;
+              for (i = 0; i < 10; i = i + 1) {
+                for (j = 0; j < 10; j = j + 1) { A[i*10+j] = j; }
+              }
+              return 0;
+            }
+            """
+        )
+        postorder = info.loops_in_postorder()
+        assert postorder[0].depth == 2
+        assert postorder[1].depth == 1
+
+
+class TestShape:
+    def test_counting_loop_shape(self):
+        module, f = build_counting_loop()
+        info = LoopInfo(f)
+        loop = info.all_loops()[0]
+        cfg = info.cfg
+        assert loop.preheader(cfg) is not None
+        assert loop.single_latch() is not None
+        assert loop.single_latch().name == "body"
+        exits = loop.exit_blocks(cfg)
+        assert len(exits) == 1 and exits[0].name == "exit"
+        assert loop.exiting_blocks(cfg) == [loop.header]
+
+    def test_compiled_loops_are_simplified(self):
+        info = loops_of(
+            """
+            int A[50];
+            int main() {
+              int i;
+              for (i = 0; i < 50; i = i + 1) {
+                if (A[i] > 3) { break; }
+                A[i] = i;
+              }
+              return 0;
+            }
+            """
+        )
+        for loop in info.all_loops():
+            assert is_loop_simplified(loop, info.cfg)
+
+    def test_break_creates_multiple_exit_edges(self):
+        info = loops_of(
+            """
+            int A[50];
+            int main() {
+              int i;
+              for (i = 0; i < 50; i = i + 1) {
+                if (A[i] > 3) { break; }
+                A[i] = i;
+              }
+              return 0;
+            }
+            """
+        )
+        loop = info.all_loops()[0]
+        assert len(loop.exit_edges(info.cfg)) >= 2
+
+    def test_invariance(self):
+        module, f = build_counting_loop()
+        info = LoopInfo(f)
+        loop = info.all_loops()[0]
+        header_phi = next(loop.header.phis())
+        assert not loop.is_invariant(header_phi)
+        # constants and out-of-loop defs are invariant
+        from repro.ir.values import ConstantInt
+        from repro.ir import I32
+
+        assert loop.is_invariant(ConstantInt(I32, 3))
+
+    def test_loop_for_block(self):
+        info = loops_of(
+            """
+            int A[100];
+            int main() {
+              int i; int j;
+              for (i = 0; i < 10; i = i + 1) {
+                A[i] = 0;
+                for (j = 0; j < 10; j = j + 1) { A[i] = A[i] + j; }
+              }
+              return 0;
+            }
+            """
+        )
+        inner = [l for l in info.all_loops() if l.depth == 2][0]
+        outer = [l for l in info.all_loops() if l.depth == 1][0]
+        assert info.loop_for_block(inner.header) is inner
+        assert info.loop_for_block(outer.header) is outer
+        entry = info.function.entry_block
+        assert info.loop_for_block(entry) is None
+        assert info.loop_depth(inner.header) == 2
+        assert info.loop_depth(entry) == 0

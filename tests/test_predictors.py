@@ -1,0 +1,152 @@
+"""Value-predictor tests (§III-C): the four schemes + perfect hybrid."""
+
+import pytest
+
+from repro.predictors import (
+    ConfidenceHybridPredictor,
+    FCMPredictor,
+    LastValuePredictor,
+    StridePredictor,
+    TwoDeltaStridePredictor,
+    accuracy,
+    default_predictors,
+    perfect_hybrid_accuracy,
+    perfect_hybrid_flags,
+    simulate,
+)
+
+
+class TestLastValue:
+    def test_constant_stream(self):
+        flags = simulate(LastValuePredictor(), [7] * 10)
+        assert flags == [False] + [True] * 9
+
+    def test_changing_stream(self):
+        flags = simulate(LastValuePredictor(), [1, 2, 3])
+        assert flags == [False, False, False]
+
+    def test_reset(self):
+        p = LastValuePredictor()
+        simulate(p, [5, 5])
+        p.reset()
+        assert p.predict() is None
+
+
+class TestStride:
+    def test_arithmetic_sequence(self):
+        values = list(range(0, 50, 3))
+        flags = simulate(StridePredictor(), values)
+        # needs two observations to learn the stride
+        assert flags[:2] == [False, False]
+        assert flags[2:] == [True] * (len(values) - 2)
+
+    def test_float_dyadic_stride(self):
+        values = [0.25 + 0.125 * i for i in range(20)]
+        assert accuracy(StridePredictor(), values) > 0.8
+
+    def test_stride_change_costs_one_miss(self):
+        values = [0, 2, 4, 6, 10, 14, 18]
+        flags = simulate(StridePredictor(), values)
+        # one miss at the change (learns stride 4 there), then recovers
+        assert flags == [False, False, True, True, False, True, True]
+
+    def test_constant_stream_is_zero_stride(self):
+        flags = simulate(StridePredictor(), [5] * 6)
+        assert flags[2:] == [True] * 4
+
+
+class TestTwoDelta:
+    def test_ignores_one_off_disturbance(self):
+        # steady +2, one +5 glitch, back to +2 from the pre-glitch value
+        values = [0, 2, 4, 6, 11, 13, 15, 17]
+        two_delta = simulate(TwoDeltaStridePredictor(), values)
+        plain = simulate(StridePredictor(), values)
+        # plain stride mispredicts twice around the glitch (learns 5);
+        # 2-delta keeps stride 2 and mispredicts only the glitch itself.
+        assert sum(two_delta) > sum(plain)
+        assert two_delta[4] is False       # the glitch itself misses
+        assert two_delta[5] is True        # hysteresis kept stride 2
+
+    def test_steady_sequence(self):
+        flags = simulate(TwoDeltaStridePredictor(), list(range(0, 40, 4)))
+        assert all(flags[3:])
+
+
+class TestFCM:
+    def test_periodic_pattern(self):
+        values = [1, 2, 3] * 10
+        flags = simulate(FCMPredictor(order=2), values)
+        assert all(flags[5:]), "period-3 pattern must be learned"
+
+    def test_alternating_pattern_beats_stride(self):
+        values = [10, 20] * 10
+        assert accuracy(FCMPredictor(order=2), values) > accuracy(
+            StridePredictor(), values
+        )
+
+    def test_random_stream_fails(self):
+        from repro.interp.intrinsics import _hash32
+
+        values = [_hash32(i) for i in range(200)]
+        assert accuracy(FCMPredictor(order=2), values) < 0.05
+
+    def test_table_bound(self):
+        predictor = FCMPredictor(order=1, max_table=4)
+        simulate(predictor, list(range(100)))
+        assert len(predictor._table) <= 4
+
+
+class TestPerfectHybrid:
+    def test_any_correct_counts(self):
+        # alternating pattern: FCM catches it, stride family does not.
+        values = [10, 20] * 8
+        flags = perfect_hybrid_flags(values)
+        assert sum(flags) >= sum(simulate(FCMPredictor(order=2), values))
+
+    def test_accuracy_dominates_components(self):
+        sequences = [
+            list(range(30)),
+            [5] * 30,
+            [1, 2, 3] * 10,
+            [i * i for i in range(30)],
+        ]
+        for values in sequences:
+            hybrid = perfect_hybrid_accuracy(values)
+            for component in default_predictors():
+                assert hybrid >= accuracy(component, values) - 1e-12
+
+    def test_empty_sequence(self):
+        assert perfect_hybrid_flags([]) == []
+        assert perfect_hybrid_accuracy([]) == 0.0
+
+    def test_unpredictable_hash_stream_mostly_missed(self):
+        from repro.interp.intrinsics import _hash32
+
+        values = [(_hash32(i) >> 7) & 1023 for i in range(300)]
+        assert perfect_hybrid_accuracy(values) < 0.1
+
+
+class TestConfidenceHybrid:
+    def test_tracks_best_component_on_strides(self):
+        values = list(range(0, 120, 3))
+        hybrid = ConfidenceHybridPredictor()
+        assert accuracy(hybrid, values) > 0.85
+
+    def test_warms_up_before_predicting(self):
+        hybrid = ConfidenceHybridPredictor(threshold=2)
+        assert hybrid.predict() is None
+        hybrid.train(5)
+        assert hybrid.predict() is None  # confidence not yet built
+
+    def test_never_exceeds_perfect_hybrid(self):
+        for values in (list(range(20)), [3, 1, 4, 1, 5, 9, 2, 6] * 4, [7] * 15):
+            realistic = accuracy(ConfidenceHybridPredictor(), values)
+            perfect = perfect_hybrid_accuracy(values)
+            assert realistic <= perfect + 1e-12
+
+    def test_reset_clears_confidence(self):
+        hybrid = ConfidenceHybridPredictor()
+        simulate(hybrid, list(range(10)))
+        hybrid.reset()
+        assert hybrid.confidence == [0] * len(hybrid.components)
+        assert hybrid.predict() is None

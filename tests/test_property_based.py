@@ -1,0 +1,186 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interp.interpreter import _wrap32
+from repro.predictors import (
+    FCMPredictor,
+    LastValuePredictor,
+    StridePredictor,
+    TwoDeltaStridePredictor,
+    perfect_hybrid_flags,
+    simulate,
+)
+from repro.reporting import geomean
+from repro.runtime.cost_models import (
+    doall_cost,
+    helix_cost,
+    pdoall_cost,
+    pdoall_phase_breaks,
+)
+
+iter_costs = st.lists(st.integers(min_value=1, max_value=1000), min_size=1,
+                      max_size=60)
+value_streams = st.lists(
+    st.one_of(st.integers(min_value=-10**6, max_value=10**6),
+              st.floats(allow_nan=False, allow_infinity=False,
+                        min_value=-1e6, max_value=1e6)),
+    max_size=60,
+)
+
+
+class TestCostModelProperties:
+    @given(iter_costs)
+    def test_doall_parallel_cost_is_max(self, costs):
+        outcome = doall_cost(costs, False)
+        assert outcome.cost == max(costs)
+        assert outcome.cost <= sum(costs)
+
+    @given(iter_costs, st.sets(st.integers(min_value=1, max_value=59)))
+    def test_pdoall_cost_between_max_and_serial(self, costs, conflict_iters):
+        pairs = {c: c - 1 for c in conflict_iters if c < len(costs)}
+        breaks = pdoall_phase_breaks(pairs, len(costs))
+        outcome = pdoall_cost(costs, breaks)
+        assert max(costs) <= outcome.cost <= sum(costs)
+
+    @given(iter_costs, st.floats(min_value=0, max_value=1e5))
+    def test_helix_cost_bounds(self, costs, delta):
+        outcome = helix_cost(costs, delta)
+        assert outcome.cost >= max(costs)
+        assert outcome.cost <= sum(costs)
+        if not outcome.parallel:
+            assert outcome.cost == sum(costs)
+
+    @given(iter_costs)
+    def test_helix_monotone_in_delta(self, costs):
+        previous = -1.0
+        for delta in (0.0, 0.5, 1.0, 2.0, 5.0):
+            cost = helix_cost(costs, delta).cost
+            assert cost >= previous - 1e-9
+            previous = cost
+
+    @given(st.dictionaries(st.integers(min_value=1, max_value=200),
+                           st.integers(min_value=0, max_value=199),
+                           max_size=50))
+    def test_phase_breaks_sorted_and_valid(self, raw_pairs):
+        pairs = {c: w for c, w in raw_pairs.items() if w < c}
+        breaks = pdoall_phase_breaks(pairs, 201)
+        assert breaks == sorted(breaks)
+        assert all(0 < b < 201 for b in breaks)
+        assert len(breaks) <= len(pairs)
+
+    @given(iter_costs, st.sets(st.integers(min_value=1, max_value=59)))
+    def test_more_breaks_never_cheaper(self, costs, conflicts):
+        valid = sorted(c for c in conflicts if 0 < c < len(costs))
+        full = pdoall_cost(costs, valid)
+        fewer = pdoall_cost(costs, valid[: len(valid) // 2])
+        assert fewer.cost <= full.cost + 1e-9
+
+
+class TestPredictorProperties:
+    @given(value_streams)
+    def test_simulate_length_matches(self, values):
+        for predictor in (LastValuePredictor(), StridePredictor(),
+                          TwoDeltaStridePredictor(), FCMPredictor()):
+            flags = simulate(predictor, values)
+            assert len(flags) == len(values)
+
+    @given(value_streams)
+    def test_hybrid_dominates_components(self, values):
+        hybrid = perfect_hybrid_flags(values)
+        for predictor in (LastValuePredictor(), StridePredictor(),
+                          TwoDeltaStridePredictor(), FCMPredictor()):
+            component = simulate(predictor, values)
+            assert all(h or not c for h, c in zip(hybrid, component))
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                    min_size=1, max_size=30))
+    def test_constant_extension_eventually_predicted(self, prefix):
+        values = prefix + [prefix[-1]] * 5
+        flags = perfect_hybrid_flags(values)
+        assert flags[-1], "last-value must catch a repeated tail"
+
+    @given(st.integers(min_value=-100, max_value=100),
+           st.integers(min_value=-50, max_value=50),
+           st.integers(min_value=4, max_value=40))
+    def test_stride_perfect_on_arithmetic(self, start, step, length):
+        values = [start + step * i for i in range(length)]
+        flags = simulate(StridePredictor(), values)
+        assert all(flags[2:])
+
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1,
+                    max_size=50))
+    def test_geomean_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) * (1 - 1e-9) <= g <= max(values) * (1 + 1e-9)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e3), min_size=1,
+                    max_size=20),
+           st.floats(min_value=0.1, max_value=10))
+    def test_geomean_scales_linearly(self, values, factor):
+        scaled = geomean([v * factor for v in values])
+        assert math.isclose(scaled, geomean(values) * factor, rel_tol=1e-6)
+
+    def test_geomean_rejects_nonpositive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestWrap32Properties:
+    @given(st.integers(min_value=-2**40, max_value=2**40))
+    def test_range(self, value):
+        wrapped = _wrap32(value)
+        assert -(2**31) <= wrapped < 2**31
+
+    @given(st.integers(min_value=-2**31, max_value=2**31 - 1))
+    def test_identity_in_range(self, value):
+        assert _wrap32(value) == value
+
+    @given(st.integers(min_value=-2**40, max_value=2**40),
+           st.integers(min_value=-2**40, max_value=2**40))
+    def test_additive_homomorphism(self, a, b):
+        assert _wrap32(_wrap32(a) + _wrap32(b)) == _wrap32(a + b)
+
+
+class TestSCEVProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=-50, max_value=50),
+           st.integers(min_value=1, max_value=9),
+           st.integers(min_value=3, max_value=25))
+    def test_affine_iv_matches_execution(self, start, step, trips):
+        from repro.analysis import LoopInfo, ScalarEvolution
+        from repro.frontend import compile_source
+        from repro.interp.interpreter import run_module
+
+        bound = start + step * trips
+        source = f"""
+        int OUT[64];
+        int main() {{
+          int i;
+          int n = 0;
+          for (i = {start}; i < {bound}; i = i + {step}) {{
+            OUT[n & 63] = i;
+            n = n + 1;
+          }}
+          return n;
+        }}
+        """
+        module = compile_source(source)
+        f = module.get_function("main")
+        info = LoopInfo(f)
+        scev = ScalarEvolution(f, info)
+        loop = info.all_loops()[0]
+        phi = {p.name: p for p in loop.header.phis()}["i"]
+        expr = scev.get(phi)
+        result, machine = run_module(module)
+        assert result == trips
+        for n in range(trips):
+            assert expr.evaluate_at(n) == start + step * n
+        assert scev.trip_count(loop) == trips

@@ -1,0 +1,178 @@
+"""Call-graph and purity analysis tests (the fn-flag classifier)."""
+
+from repro.analysis import CallGraph, FunctionClass, PurityAnalysis
+from repro.frontend import compile_source
+
+
+def classes_of(source):
+    module = compile_source(source)
+    analysis = PurityAnalysis(module)
+    return module, analysis
+
+
+class TestCallGraph:
+    def test_edges(self):
+        module, _ = classes_of(
+            """
+            int leaf(int x) { return x + 1; }
+            int mid(int x) { return leaf(x) * 2; }
+            int main() { return mid(3); }
+            """
+        )
+        cg = CallGraph(module)
+        main = module.get_function("main")
+        mid = module.get_function("mid")
+        leaf = module.get_function("leaf")
+        assert mid in cg.callees_of(main)
+        assert leaf in cg.callees_of(mid)
+        assert main in cg.callers_of(mid)
+        assert leaf in cg.transitive_callees(main)
+
+    def test_sccs_bottom_up(self):
+        module, _ = classes_of(
+            """
+            int leaf(int x) { return x + 1; }
+            int main() { return leaf(3); }
+            """
+        )
+        cg = CallGraph(module)
+        sccs = cg.sccs_bottom_up()
+        flat = [f.name for component in sccs for f in component]
+        assert flat.index("leaf") < flat.index("main")
+
+    def test_recursive_scc(self):
+        module, _ = classes_of(
+            """
+            int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+            int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+            int main() { return even(6); }
+            """
+        )
+        cg = CallGraph(module)
+        sccs = cg.sccs_bottom_up()
+        mutual = [c for c in sccs if len(c) == 2]
+        assert len(mutual) == 1
+        assert {f.name for f in mutual[0]} == {"odd", "even"}
+
+
+class TestPurity:
+    def test_arithmetic_function_is_pure(self):
+        module, analysis = classes_of(
+            """
+            int f(int x) { return x * x + 1; }
+            int main() { return f(2); }
+            """
+        )
+        assert analysis.class_of(module.get_function("f")) is FunctionClass.PURE
+
+    def test_global_reader_is_pure(self):
+        module, analysis = classes_of(
+            """
+            int G = 5;
+            int f(int x) { return x + G; }
+            int main() { return f(2); }
+            """
+        )
+        assert analysis.is_pure(module.get_function("f"))
+
+    def test_global_writer_is_instrumented(self):
+        module, analysis = classes_of(
+            """
+            int G = 5;
+            int f(int x) { G = x; return x; }
+            int main() { return f(2); }
+            """
+        )
+        assert analysis.class_of(module.get_function("f")) is FunctionClass.INSTRUMENTED
+
+    def test_pointer_writer_is_instrumented(self):
+        module, analysis = classes_of(
+            """
+            int A[4];
+            void f(int* p, int v) { p[0] = v; }
+            int main() { f(A, 3); return A[0]; }
+            """
+        )
+        assert analysis.class_of(module.get_function("f")) is FunctionClass.INSTRUMENTED
+
+    def test_purity_is_transitive(self):
+        module, analysis = classes_of(
+            """
+            int G = 0;
+            int dirty(int x) { G = x; return x; }
+            int wrapper(int x) { return dirty(x) + 1; }
+            int clean(int x) { return x + 1; }
+            int clean_wrapper(int x) { return clean(x) * 2; }
+            int main() { return wrapper(1) + clean_wrapper(2); }
+            """
+        )
+        assert analysis.class_of(module.get_function("wrapper")) is FunctionClass.INSTRUMENTED
+        assert analysis.is_pure(module.get_function("clean_wrapper"))
+
+    def test_recursive_pure(self):
+        module, analysis = classes_of(
+            """
+            int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+            int main() { return fib(5); }
+            """
+        )
+        assert analysis.is_pure(module.get_function("fib"))
+
+    def test_unsafe_intrinsic_call_taints(self):
+        module, analysis = classes_of(
+            """
+            int f(int x) { return x + rand(); }
+            int main() { return f(2); }
+            """
+        )
+        assert analysis.class_of(module.get_function("f")) is not FunctionClass.PURE
+
+    def test_pure_intrinsic_call_stays_pure(self):
+        module, analysis = classes_of(
+            """
+            float f(float x) { return sqrt(x) + 1.0; }
+            int main() { return (int)f(4.0); }
+            """
+        )
+        assert analysis.is_pure(module.get_function("f"))
+
+    def test_intrinsic_classes(self):
+        module, analysis = classes_of("int main() { return 0; }")
+        assert analysis.class_of(module.get_function("sqrt")) is FunctionClass.PURE
+        assert analysis.class_of(module.get_function("hash_i32")) is FunctionClass.PURE
+        assert analysis.class_of(module.get_function("rand")) is FunctionClass.UNSAFE
+        assert analysis.class_of(module.get_function("print_int")) is FunctionClass.UNSAFE
+        assert (
+            analysis.class_of(module.get_function("memcpy_i32"))
+            is FunctionClass.THREAD_SAFE
+        )
+
+    def test_local_array_mutation_is_pure(self):
+        # Writing to a non-escaping local array is invisible outside.
+        module, analysis = classes_of(
+            """
+            int f(int x) {
+              int tmp[4];
+              tmp[0] = x;
+              tmp[1] = x * 2;
+              return tmp[0] + tmp[1];
+            }
+            int main() { return f(3); }
+            """
+        )
+        assert analysis.is_pure(module.get_function("f"))
+
+    def test_escaping_local_is_not_pure(self):
+        # Passing the local's address to a writer makes writes observable.
+        module, analysis = classes_of(
+            """
+            void store_it(int* p, int v) { p[0] = v; }
+            int f(int x) {
+              int tmp[4];
+              store_it(tmp, x);
+              return tmp[0];
+            }
+            int main() { return f(3); }
+            """
+        )
+        assert analysis.class_of(module.get_function("f")) is FunctionClass.INSTRUMENTED

@@ -1,0 +1,140 @@
+"""Reduction recurrence detection tests."""
+
+import pytest
+
+from repro.analysis import LoopInfo, detect_reduction, loop_reductions
+from repro.frontend import compile_source
+
+
+def reductions_of(source):
+    module = compile_source(source)
+    f = module.get_function("main")
+    info = LoopInfo(f)
+    loop = [l for l in info.all_loops() if l.depth == 1][0]
+    return {d.phi.name: d for d in loop_reductions(loop)}
+
+
+FLOAT_TEMPLATE = """
+float OUT = 0.0;
+float X[64];
+int main() {{
+  int i;
+  float acc = {init};
+  for (i = 0; i < 64; i = i + 1) {{
+    {body}
+  }}
+  OUT = acc;
+  return 0;
+}}
+"""
+
+INT_TEMPLATE = """
+int OUT = 0;
+int X[64];
+int main() {{
+  int i;
+  int acc = {init};
+  for (i = 0; i < 64; i = i + 1) {{
+    {body}
+  }}
+  OUT = acc;
+  return 0;
+}}
+"""
+
+
+class TestKinds:
+    @pytest.mark.parametrize("body,kind", [
+        ("acc = acc + X[i];", "fadd"),
+        ("acc = acc * (1.0 + X[i]);", "fmul"),
+        ("acc = X[i] + acc;", "fadd"),
+    ])
+    def test_float_reductions(self, body, kind):
+        found = reductions_of(FLOAT_TEMPLATE.format(init="0.0", body=body))
+        assert found["acc"].kind == kind
+        assert found["acc"].is_float
+
+    @pytest.mark.parametrize("body,kind", [
+        ("acc = acc + X[i];", "add"),
+        ("acc = acc * X[i];", "mul"),
+        ("acc = acc ^ X[i];", "xor"),
+        ("acc = acc | X[i];", "or"),
+        ("acc = acc & X[i];", "and"),
+    ])
+    def test_int_reductions(self, body, kind):
+        found = reductions_of(INT_TEMPLATE.format(init="0", body=body))
+        assert found["acc"].kind == kind
+        assert found["acc"].is_associative or found["acc"].is_float
+
+    def test_conditional_reduction(self):
+        found = reductions_of(FLOAT_TEMPLATE.format(
+            init="0.0", body="if (X[i] > 0.0) { acc = acc + X[i]; }"
+        ))
+        assert found["acc"].kind == "fadd"
+
+    def test_conditional_max_via_if(self):
+        found = reductions_of(INT_TEMPLATE.format(
+            init="0", body="if (X[i] > acc) { acc = X[i]; }"
+        ))
+        assert found["acc"].kind == "smax"
+
+    def test_conditional_float_min(self):
+        found = reductions_of(FLOAT_TEMPLATE.format(
+            init="1000.0", body="if (X[i] < acc) { acc = X[i]; }"
+        ))
+        assert found["acc"].kind == "fmax"  # generic min/max class
+
+    def test_chained_updates(self):
+        found = reductions_of(FLOAT_TEMPLATE.format(
+            init="0.0", body="acc = acc + X[i];\n    acc = acc + 1.0;"
+        ))
+        assert found["acc"].kind == "fadd"
+        assert len(found["acc"].chain) == 2
+
+
+class TestRejections:
+    def test_value_used_in_loop_not_reduction(self):
+        # acc feeds other computation inside the loop: decoupling would be
+        # unsound, so it must NOT be classified as a reduction.
+        found = reductions_of(FLOAT_TEMPLATE.format(
+            init="0.0", body="X[i] = acc * 0.5;\n    acc = acc + 1.5;"
+        ))
+        assert "acc" not in found
+
+    def test_mixed_operators_not_reduction(self):
+        found = reductions_of(FLOAT_TEMPLATE.format(
+            init="1.0", body="acc = acc + X[i];\n    acc = acc * 2.0;"
+        ))
+        assert "acc" not in found
+
+    def test_non_reduction_op_rejected(self):
+        found = reductions_of(INT_TEMPLATE.format(
+            init="0", body="acc = acc / 2 + X[i];"
+        ))
+        assert "acc" not in found
+
+    def test_reset_kills_reduction(self):
+        found = reductions_of(INT_TEMPLATE.format(
+            init="0", body="acc = acc + X[i];\n    if (acc > 100) { acc = 0; }"
+        ))
+        assert "acc" not in found
+
+    def test_invariant_passthrough_not_reduction(self):
+        # acc never changes: SCEV handles it; not a reduction.
+        module = compile_source(INT_TEMPLATE.format(
+            init="5", body="X[i] = acc;"
+        ))
+        f = module.get_function("main")
+        info = LoopInfo(f)
+        for loop in info.all_loops():
+            for phi in loop.header.phis():
+                descriptor = detect_reduction(phi, loop)
+                assert descriptor is None or phi.name != "acc"
+
+    def test_iv_not_double_reported_as_nonreduction(self):
+        # An IV also matches the add pattern; classification priority lives
+        # in static_info, but detect_reduction on an unused-IV is harmless.
+        found = reductions_of(INT_TEMPLATE.format(
+            init="0", body="X[i] = i; acc = acc + 2;"
+        ))
+        assert found["acc"].kind == "add"

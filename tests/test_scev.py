@@ -1,0 +1,312 @@
+"""Scalar evolution tests: the computable/non-computable classifier."""
+
+import pytest
+
+from repro.analysis import LoopInfo, ScalarEvolution
+from repro.analysis.scev import (
+    SCEVAddRec,
+    SCEVConstant,
+    SCEVUnknown,
+    scev_add,
+    scev_mul,
+    scev_sub,
+)
+from repro.frontend import compile_source
+from repro.interp.interpreter import run_module
+
+
+def scev_for(source, function="main"):
+    module = compile_source(source)
+    f = module.get_function(function)
+    info = LoopInfo(f)
+    return module, f, info, ScalarEvolution(f, info)
+
+
+def header_phis(info, depth=1):
+    loop = [l for l in info.all_loops() if l.depth == depth][0]
+    return loop, {phi.name: phi for phi in loop.header.phis()}
+
+
+class TestFolding:
+    def test_constant_folding(self):
+        assert scev_add(SCEVConstant(2), SCEVConstant(3)) == SCEVConstant(5)
+        assert scev_mul(SCEVConstant(2), SCEVConstant(3)) == SCEVConstant(6)
+        assert scev_sub(SCEVConstant(2), SCEVConstant(3)) == SCEVConstant(-1)
+
+    def test_add_identity(self):
+        x = SCEVConstant(7)
+        assert scev_add(x, SCEVConstant(0)) == x
+
+    def test_mul_by_zero_and_one(self):
+        x = SCEVConstant(9)
+        assert scev_mul(x, SCEVConstant(0)) == SCEVConstant(0)
+        assert scev_mul(SCEVConstant(1), x) == x
+
+
+class TestClassification:
+    def test_basic_iv(self):
+        module, f, info, scev = scev_for(
+            """
+            int A[64];
+            int main() {
+              int i;
+              for (i = 0; i < 64; i = i + 1) { A[i] = i; }
+              return 0;
+            }
+            """
+        )
+        loop, phis = header_phis(info)
+        expr = scev.get(phis["i"])
+        assert isinstance(expr, SCEVAddRec)
+        assert expr.start == SCEVConstant(0)
+        assert expr.step == SCEVConstant(1)
+        assert scev.is_computable_phi(phis["i"])
+
+    def test_strided_and_offset_iv(self):
+        module, f, info, scev = scev_for(
+            """
+            int A[64];
+            int main() {
+              int i;
+              for (i = 5; i < 60; i = i + 3) { A[i] = i; }
+              return 0;
+            }
+            """
+        )
+        loop, phis = header_phis(info)
+        expr = scev.get(phis["i"])
+        assert expr.start == SCEVConstant(5)
+        assert expr.step == SCEVConstant(3)
+
+    def test_downward_iv(self):
+        module, f, info, scev = scev_for(
+            """
+            int main() {
+              int i;
+              int s = 0;
+              for (i = 50; i > 0; i = i - 2) { s = s ^ i; }
+              return s;
+            }
+            """
+        )
+        loop, phis = header_phis(info)
+        assert scev.get(phis["i"]).step == SCEVConstant(-2)
+
+    def test_mutual_induction_variable(self):
+        module, f, info, scev = scev_for(
+            """
+            int A[4096];
+            int main() {
+              int i; int tri = 0;
+              for (i = 0; i < 40; i = i + 1) {
+                tri = tri + i;
+                A[tri & 4095] = i;
+              }
+              return 0;
+            }
+            """
+        )
+        loop, phis = header_phis(info)
+        tri = scev.get(phis["tri"])
+        assert isinstance(tri, SCEVAddRec)
+        assert isinstance(tri.step, SCEVAddRec), "MIV step should be an addrec"
+        assert scev.is_computable_phi(phis["tri"])
+        assert not tri.is_affine()
+
+    def test_geometric_not_computable(self):
+        module, f, info, scev = scev_for(
+            """
+            int main() {
+              int x = 1;
+              int i;
+              int s = 0;
+              for (i = 0; i < 20; i = i + 1) { x = x * 2; s = s | x; }
+              return s;
+            }
+            """
+        )
+        loop, phis = header_phis(info)
+        assert not scev.is_computable_phi(phis["x"])
+        assert isinstance(scev.get(phis["x"]), SCEVUnknown)
+
+    def test_data_dependent_not_computable(self):
+        module, f, info, scev = scev_for(
+            """
+            int A[64];
+            int main() {
+              int pos = 0;
+              int s = 0;
+              while (pos < 60) { s = s + A[pos]; pos = pos + 1 + (A[pos] & 3); }
+              return s;
+            }
+            """
+        )
+        loop, phis = header_phis(info)
+        assert not scev.is_computable_phi(phis["pos"])
+
+    def test_loop_invariant_step_is_computable(self):
+        module, f, info, scev = scev_for(
+            """
+            int A[4096];
+            int step_g = 3;
+            int main() {
+              int i;
+              int st = step_g;
+              for (i = 0; i < 40; i = i + st) { A[i & 4095] = i; }
+              return 0;
+            }
+            """
+        )
+        loop, phis = header_phis(info)
+        expr = scev.get(phis["i"])
+        assert isinstance(expr, SCEVAddRec)
+        assert scev.is_computable_phi(phis["i"])
+
+    def test_float_recurrence_is_unknown(self):
+        module, f, info, scev = scev_for(
+            """
+            float S = 0.0;
+            int main() {
+              int i;
+              float x = 0.0;
+              float s = 0.0;
+              for (i = 0; i < 10; i = i + 1) { x = x + 0.5; s = s + x; }
+              S = s;
+              return 0;
+            }
+            """
+        )
+        loop, phis = header_phis(info)
+        assert not scev.is_computable_phi(phis["x"])
+
+    def test_pointerish_gep_addrec(self):
+        # A[i] address should fold to base + i (an addrec through GEP).
+        module, f, info, scev = scev_for(
+            """
+            int A[64];
+            int main() {
+              int i;
+              for (i = 0; i < 64; i = i + 1) { A[i] = 1; }
+              return 0;
+            }
+            """
+        )
+        loop, _ = header_phis(info)
+        from repro.ir.instructions import GEP
+
+        geps = [ins for b in loop.blocks for ins in b.instructions
+                if isinstance(ins, GEP)]
+        assert geps
+        expr = scev.get(geps[0])
+        assert isinstance(expr, SCEVAddRec)
+        assert expr.step == SCEVConstant(1)
+
+
+class TestEvaluateAt:
+    def test_affine_closed_form(self):
+        module, f, info, scev = scev_for(
+            """
+            int main() {
+              int i;
+              int s = 0;
+              for (i = 7; i < 100; i = i + 4) { s = s ^ i; }
+              return s;
+            }
+            """
+        )
+        loop, phis = header_phis(info)
+        expr = scev.get(phis["i"])
+        assert [expr.evaluate_at(n) for n in range(4)] == [7, 11, 15, 19]
+
+    def test_miv_closed_form_matches_execution(self):
+        # tri_n = 0 + 0 + 1 + ... + (n-1) = n(n-1)/2
+        source = """
+        int OUT[40];
+        int main() {
+          int i; int tri = 0;
+          for (i = 0; i < 40; i = i + 1) {
+            OUT[i] = tri;
+            tri = tri + i;
+          }
+          return 0;
+        }
+        """
+        module, f, info, scev = scev_for(source)
+        loop, phis = header_phis(info)
+        tri = scev.get(phis["tri"])
+        predicted = [tri.evaluate_at(n) for n in range(40)]
+        assert predicted == [n * (n - 1) // 2 for n in range(40)]
+        # cross-check against actual interpretation
+        result, machine = run_module(compile_source(source))
+        base = machine.global_bases["OUT"]
+        actual = [machine.space.load(base + n) for n in range(40)]
+        assert actual == predicted
+
+    def test_evaluate_requires_constants(self):
+        module, f, info, scev = scev_for(
+            """
+            int A[64];
+            int main(){
+              int i;
+              int k = A[0];
+              int j = 0;
+              for (i = 0; i < 10; i = i + 1) { j = j + k; A[i] = j; }
+              return 0;
+            }
+            """
+        )
+        loop, phis = header_phis(info)
+        expr = scev.get(phis["j"])
+        assert isinstance(expr, SCEVAddRec)
+        with pytest.raises(ValueError):
+            expr.evaluate_at(3)
+
+
+class TestTripCount:
+    @pytest.mark.parametrize("cond,expected", [
+        ("i < 10", 10),
+        ("i < 11", 11),
+        ("i <= 10", 11),
+    ])
+    def test_simple_counts(self, cond, expected):
+        module, f, info, scev = scev_for(
+            f"""
+            int main() {{
+              int i; int s = 0;
+              for (i = 0; {cond}; i = i + 1) {{ s = s + 1; }}
+              return s;
+            }}
+            """
+        )
+        loop = info.all_loops()[0]
+        assert scev.trip_count(loop) == expected
+        result, _ = run_module(module)
+        assert result == expected
+
+    def test_strided_count(self):
+        module, f, info, scev = scev_for(
+            """
+            int main() {
+              int i; int s = 0;
+              for (i = 0; i < 10; i = i + 3) { s = s + 1; }
+              return s;
+            }
+            """
+        )
+        loop = info.all_loops()[0]
+        assert scev.trip_count(loop) == 4
+
+    def test_unknown_bound_gives_none(self):
+        module, f, info, scev = scev_for(
+            """
+            int N = 10;
+            int main() {
+              int i; int s = 0;
+              int n = N;
+              for (i = 0; i < n; i = i + 1) { s = s + 1; }
+              return s;
+            }
+            """
+        )
+        loop = info.all_loops()[0]
+        assert scev.trip_count(loop) is None

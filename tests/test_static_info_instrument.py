@@ -1,0 +1,249 @@
+"""Static classification (compile-time component) and instrumentation tests."""
+
+from repro.core import (
+    CALL_INSTRUMENTED,
+    CALL_PURE,
+    CALL_THREAD_SAFE,
+    CALL_UNSAFE,
+    PHI_COMPUTABLE,
+    PHI_NONCOMPUTABLE,
+    PHI_REDUCTION,
+    Loopapalooza,
+    ModuleStaticInfo,
+    build_instrumentation,
+)
+from repro.frontend import compile_source
+
+
+def static_for(source):
+    module = compile_source(source)
+    return ModuleStaticInfo(module)
+
+
+def the_loop(info, function="main", index=0):
+    loops = sorted(
+        (l for l in info.loops.values() if l.function_name == function),
+        key=lambda l: l.loop_id,
+    )
+    return loops[index]
+
+
+class TestPhiClassification:
+    def test_iv_reduction_noncomputable_split(self):
+        info = static_for(
+            """
+            float OUT = 0.0;
+            int A[64];
+            int main() {
+              int i;
+              float acc = 0.0;
+              int state = 1;
+              for (i = 0; i < 64; i = i + 1) {
+                acc = acc + (float)A[i];
+                state = (state * 5 + A[i]) & 1023;
+                A[i] = state;
+              }
+              OUT = acc;
+              return state;
+            }
+            """
+        )
+        loop = the_loop(info)
+        classes = {}
+        for key, cls in loop.phi_classes.items():
+            classes[key.rsplit(":", 1)[1]] = cls
+        assert classes["i"] == PHI_COMPUTABLE
+        assert classes["acc"] == PHI_REDUCTION
+        assert classes["state"] == PHI_NONCOMPUTABLE
+        assert loop.reduction_kinds
+        assert loop.noncomputable_phis
+        assert loop.reduction_phis
+
+    def test_trip_count_hint(self):
+        info = static_for(
+            """
+            int main() {
+              int i; int s = 0;
+              for (i = 0; i < 17; i = i + 1) { s = s + i; }
+              return s;
+            }
+            """
+        )
+        assert the_loop(info).trip_count_hint == 17
+
+
+class TestCallClasses:
+    SOURCE = """
+    int G = 0;
+    int pure_fn(int x) { return x * 2; }
+    int dirty_fn(int x) { G = x; return x; }
+    int noisy_fn(int x) { print_int(x); return x; }
+    int A[40];
+    int main() {
+      int i;
+      for (i = 0; i < 10; i = i + 1) { A[i] = pure_fn(i); }
+      for (i = 0; i < 10; i = i + 1) { A[i] = dirty_fn(i); }
+      for (i = 0; i < 10; i = i + 1) { A[i] = noisy_fn(i); }
+      for (i = 0; i < 10; i = i + 1) { memset_i32(&A[i], i, 1); }
+      for (i = 0; i < 10; i = i + 1) { A[i + 10] = A[i]; }
+      return G;
+    }
+    """
+
+    def test_classes_per_loop(self):
+        info = static_for(self.SOURCE)
+        loops = sorted(
+            (l for l in info.loops.values() if l.function_name == "main"),
+            key=lambda l: int("".join(ch for ch in l.loop_id if ch.isdigit())),
+        )
+        assert loops[0].call_classes == {CALL_PURE}
+        assert loops[1].call_classes == {CALL_INSTRUMENTED}
+        assert loops[2].call_classes == {CALL_UNSAFE}
+        assert loops[3].call_classes == {CALL_THREAD_SAFE}
+        assert loops[4].call_classes == set()
+
+    def test_fn_legality_matrix(self):
+        info = static_for(self.SOURCE)
+        loops = sorted(
+            (l for l in info.loops.values() if l.function_name == "main"),
+            key=lambda l: int("".join(ch for ch in l.loop_id if ch.isdigit())),
+        )
+        pure, inst, unsafe, safe, none = loops
+        # fn0: any call serializes
+        assert all(l.serial_under_fn(0) for l in (pure, inst, unsafe, safe))
+        assert not none.serial_under_fn(0)
+        # fn1: only pure calls pass
+        assert not pure.serial_under_fn(1)
+        assert inst.serial_under_fn(1)
+        assert safe.serial_under_fn(1)
+        # fn2: everything but unsafe passes
+        assert not inst.serial_under_fn(2)
+        assert not safe.serial_under_fn(2)
+        assert unsafe.serial_under_fn(2)
+        # fn3: everything passes
+        assert not unsafe.serial_under_fn(3)
+
+    def test_transitive_unsafe_taint(self):
+        info = static_for(
+            """
+            int wrapper(int x) { return x + rand(); }
+            int A[8];
+            int main() {
+              int i;
+              for (i = 0; i < 8; i = i + 1) { A[i] = wrapper(i); }
+              return A[0];
+            }
+            """
+        )
+        loop = the_loop(info)
+        assert CALL_UNSAFE in loop.call_classes
+        assert loop.serial_under_fn(2)
+        assert not loop.serial_under_fn(3)
+
+    def test_census_totals(self):
+        info = static_for(self.SOURCE)
+        census = info.census()
+        assert census["loops"] == 5
+        assert census["loops_with_calls"] == 4
+        assert census["loops_with_unsafe_calls"] == 1
+        assert census["computable_phis"] >= 5  # one IV per loop
+
+
+class TestInstrumentationPlan:
+    def test_plans_exist_for_functions_with_loops(self):
+        module = compile_source(
+            """
+            int A[16];
+            int helper(int x) { return x + 1; }
+            int main() {
+              int i;
+              for (i = 0; i < 16; i = i + 1) { A[i] = helper(i); }
+              return 0;
+            }
+            """
+        )
+        info = ModuleStaticInfo(module)
+        plans = build_instrumentation(info)
+        assert "main" in plans
+        assert "helper" not in plans  # no loops, nothing to instrument
+
+    def test_edge_actions_cover_enter_iter_exit(self):
+        module = compile_source(
+            """
+            int main() {
+              int i; int s = 0;
+              for (i = 0; i < 4; i = i + 1) { s = s + i; }
+              return s;
+            }
+            """
+        )
+        info = ModuleStaticInfo(module)
+        plan = build_instrumentation(info)["main"]
+        kinds = sorted(
+            kind for actions in plan.edge_actions.values()
+            for kind, _ in actions
+        )
+        assert kinds == ["enter", "exit", "iter"]
+
+    def test_break_loop_has_multiple_exit_actions(self):
+        module = compile_source(
+            """
+            int A[50];
+            int main() {
+              int i;
+              for (i = 0; i < 50; i = i + 1) {
+                if (A[i] == 3) { break; }
+              }
+              return i;
+            }
+            """
+        )
+        info = ModuleStaticInfo(module)
+        plan = build_instrumentation(info)["main"]
+        exits = [
+            1 for actions in plan.edge_actions.values()
+            for kind, _ in actions if kind == "exit"
+        ]
+        assert len(exits) >= 2
+
+    def test_nested_exit_ordering_innermost_first(self):
+        lp = Loopapalooza(
+            """
+            int A[100];
+            int main() {
+              int i; int j;
+              for (i = 0; i < 10; i = i + 1) {
+                for (j = 0; j < 10; j = j + 1) {
+                  if (A[i*10+j] == 999) { return 1; }
+                  A[i*10+j] = i;
+                }
+              }
+              return 0;
+            }
+            """,
+            "nested",
+        )
+        # the profile must be well nested (no FrameworkError at runtime)
+        profile = lp.profile()
+        outer = profile.top_level[0]
+        assert outer.children
+
+    def test_only_noncomputable_phis_tracked(self):
+        module = compile_source(
+            """
+            float OUT = 0.0;
+            int main() {
+              int i;
+              float acc = 0.0;
+              for (i = 0; i < 8; i = i + 1) { acc = acc + 1.5; }
+              OUT = acc;
+              return 0;
+            }
+            """
+        )
+        info = ModuleStaticInfo(module)
+        plan = build_instrumentation(info)["main"]
+        tracked = [
+            key for specs in plan.latch_values.values() for key, _ in specs
+        ]
+        assert all(":acc" in key for key in tracked)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Calibration helper: per-benchmark speedups at the key configurations.
+
+Run while tuning the synthetic suites:
+
+    python tools/calibrate.py [suite ...]
+"""
+
+import sys
+
+from repro.bench import ALL_SUITES, default_runner, suite_programs
+from repro.core.config import LPConfig
+from repro.reporting import geomean
+
+KEY_CONFIGS = [
+    ("doall00", LPConfig("doall", 0, 0, 0)),
+    ("doall10", LPConfig("doall", 1, 0, 0)),
+    ("pd-d2f0", LPConfig("pdoall", 1, 2, 0)),
+    ("pd-d0f2", LPConfig("pdoall", 0, 0, 2)),
+    ("pd-d2f2", LPConfig("pdoall", 1, 2, 2)),
+    ("pd-d3f3", LPConfig("pdoall", 0, 3, 3)),
+    ("hx-d0f2", LPConfig("helix", 0, 0, 2)),
+    ("hx-d1f2", LPConfig("helix", 1, 1, 2)),
+]
+
+
+def main(argv):
+    suites = argv or list(ALL_SUITES)
+    runner = default_runner()
+    for suite in suites:
+        print(f"\n== {suite} ==")
+        header = f"{'benchmark':20s}" + "".join(f"{n:>9s}" for n, _ in KEY_CONFIGS)
+        print(header + f"{'cost':>10s}")
+        per_config = {name: [] for name, _ in KEY_CONFIGS}
+        for program in suite_programs(suite):
+            lp = runner.instance(program)
+            row = f"{program.name:20s}"
+            for name, config in KEY_CONFIGS:
+                speedup = lp.evaluate(config).speedup
+                per_config[name].append(speedup)
+                row += f"{speedup:>8.1f}x"
+            print(row + f"{lp.total_cost:>10d}")
+        row = f"{'GEOMEAN':20s}"
+        for name, _ in KEY_CONFIGS:
+            row += f"{geomean(per_config[name]):>8.2f}x"
+        print(row)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])
