@@ -1,6 +1,9 @@
 # Convenience targets for the Loopapalooza reproduction.
 
-.PHONY: install test bench figures examples clean
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: install test bench sweep-smoke figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -9,7 +12,20 @@ test:
 	pytest tests/
 
 bench:
-	pytest benchmarks/ --benchmark-only -s
+	pytest benchmarks/ --benchmark-only \
+		--benchmark-json=BENCH_infrastructure.json
+
+sweep-smoke:
+	python -c "\
+	from repro.bench.suites import SuiteRunner, suite_programs; \
+	runner = SuiteRunner(); \
+	grid = runner.evaluate_many( \
+	    suite_programs('eembc')[:2], \
+	    ('doall:reduc1-dep0-fn0', 'helix:reduc1-dep3-fn3'), \
+	    jobs=2); \
+	[print(f'{name:40s} {cfg:24s} {r.speedup:8.3f}x') \
+	 for name, row in grid.items() for cfg, r in row.items()]; \
+	print(runner.store.stats.describe())"
 
 figures:
 	python examples/full_paper_run.py

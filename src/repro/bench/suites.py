@@ -1,4 +1,4 @@
-"""Suite registry and cached benchmark runner.
+"""Suite registry, cached benchmark runner, and the parallel sweep engine.
 
 Five suites mirror the paper's benchmark groups:
 
@@ -6,15 +6,35 @@ Five suites mirror the paper's benchmark groups:
 * numeric: ``eembc``, ``specfp2000``, ``specfp2006``
 
 Profiling a benchmark is the expensive step (one instrumented interpreter
-run); this module memoizes the :class:`~repro.core.framework.Loopapalooza`
-instance per benchmark so the figure harnesses and pytest benchmarks share
-profiles within a process.
+run). Three layers of caching keep it off the iteration loop:
+
+1. the :class:`~repro.core.framework.Loopapalooza` instance per benchmark is
+   memoized per runner, so profiles are shared within a process;
+2. every profiling run is persisted in the on-disk
+   :class:`~repro.runtime.profile_store.ProfileStore` (keyed by source +
+   fuel + schema versions), so warm starts — a second ``pytest`` run, a
+   re-run of ``examples/full_paper_run.py`` — skip re-profiling entirely;
+3. evaluation results are memoized per ``(benchmark, configuration)``, so
+   the figure harnesses never evaluate the same cell twice (Fig. 4 and
+   Fig. 5 reuse the Fig. 2/3 sweep).
+
+:meth:`SuiteRunner.evaluate_many` adds the multiprocess sweep: the
+(benchmark x configuration) grid is chunked *by benchmark* so each worker
+materializes one profile (from the shared disk store when warm) and
+evaluates every configuration against it, amortizing deserialization.
+Results are merged in input order — process-pool completion order never
+leaks into the aggregation, so the parallel sweep is bit-identical to the
+serial one (enforced by ``tests/test_sweep_determinism.py``).
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
+
+from ..core.config import LPConfig
 from ..core.framework import Loopapalooza
 from ..errors import FrameworkError
+from ..runtime.profile_store import ProfileStore, default_store
 from .programs import eembc, specfp2000, specfp2006, specint2000, specint2006
 
 NON_NUMERIC_SUITES = ("specint2000", "specint2006")
@@ -58,25 +78,112 @@ def find_program(full_name):
     raise FrameworkError(f"unknown benchmark {full_name!r}")
 
 
-class SuiteRunner:
-    """Compiles, profiles, and evaluates benchmarks with caching."""
+def _as_config(config):
+    return LPConfig.parse(config) if isinstance(config, str) else config
 
-    def __init__(self, fuel=50_000_000):
+
+class SuiteRunner:
+    """Compiles, profiles, and evaluates benchmarks with caching.
+
+    ``cache_dir`` selects a profile-store location; by default the shared
+    store under ``~/.cache/repro/profiles`` is used (``store=False``
+    disables persistence, ``store=<ProfileStore>`` injects one).
+    """
+
+    def __init__(self, fuel=50_000_000, cache_dir=None, store=None):
         self.fuel = fuel
+        if store is False:
+            self.store = None
+        elif store is not None:
+            self.store = store
+        elif cache_dir is not None:
+            self.store = ProfileStore(cache_dir)
+        else:
+            self.store = default_store()
         self._instances = {}
+        self._results = {}  # (full_name, config.name) -> EvaluationResult
 
     def instance(self, program):
         """The (cached) Loopapalooza instance for one benchmark."""
         key = program.full_name
         lp = self._instances.get(key)
         if lp is None:
-            lp = Loopapalooza(program.source, name=key, fuel=self.fuel)
+            lp = Loopapalooza(
+                program.source, name=key, fuel=self.fuel, store=self.store
+            )
             lp.profile()
             self._instances[key] = lp
         return lp
 
+    @property
+    def profiles_measured(self):
+        """How many instances actually re-profiled (cache misses)."""
+        return sum(
+            1 for lp in self._instances.values() if not lp.profiled_from_cache
+        )
+
     def evaluate(self, program, config):
-        return self.instance(program).evaluate(config)
+        config = _as_config(config)
+        key = (program.full_name, config.name)
+        result = self._results.get(key)
+        if result is None:
+            result = self.instance(program).evaluate(config)
+            self._results[key] = result
+        return result
+
+    # -- the parallel sweep engine ---------------------------------------------
+
+    def evaluate_many(self, programs, configs, jobs=None):
+        """Evaluate the full (program x config) grid; returns
+        ``{program.full_name: {config.name: EvaluationResult}}`` in input
+        order.
+
+        ``jobs > 1`` fans the grid out over a process pool, chunked by
+        benchmark: one task per program, each evaluating every
+        configuration against a single materialized profile. Workers share
+        the runner's on-disk profile store, so a cold parallel sweep also
+        populates the cache for the parent process (e.g. the Table-I census
+        that follows never re-profiles). The serial path (``jobs`` absent
+        or 1) shares this runner's in-process caches.
+        """
+        programs = list(programs)
+        configs = [_as_config(c) for c in configs]
+        if jobs is not None and jobs > 1 and programs:
+            self._sweep_parallel(programs, configs, jobs)
+        grid = {}
+        for program in programs:
+            grid[program.full_name] = {
+                config.name: self.evaluate(program, config)
+                for config in configs
+            }
+        return grid
+
+    def _sweep_parallel(self, programs, configs, jobs):
+        config_names = [config.name for config in configs]
+        cache_root = str(self.store.root) if self.store is not None else None
+        pending = [
+            program.full_name
+            for program in programs
+            if any(
+                (program.full_name, name) not in self._results
+                for name in config_names
+            )
+        ]
+        if not pending:
+            return
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(
+                    _sweep_worker, full_name, config_names, self.fuel, cache_root
+                )
+                for full_name in pending
+            ]
+            # Collect in submission (= input) order: pool completion order
+            # must never influence the result structure.
+            for future in futures:
+                full_name, results = future.result()
+                for config_name, result in results.items():
+                    self._results[(full_name, config_name)] = result
 
     def evaluate_suite(self, suite, config):
         """``{benchmark_name: EvaluationResult}`` for one configuration."""
@@ -96,6 +203,21 @@ class SuiteRunner:
             name: result.coverage
             for name, result in self.evaluate_suite(suite, config).items()
         }
+
+
+def _sweep_worker(full_name, config_names, fuel, cache_root):
+    """Process-pool task: one benchmark, every configuration.
+
+    Runs in a worker process. The profile comes from the shared disk store
+    when warm (deserialized once per worker task, not once per config);
+    a cold worker profiles and *stores*, so concurrent workers and the
+    parent all converge on one profiling run per benchmark.
+    """
+    program = find_program(full_name)
+    store = ProfileStore(cache_root) if cache_root is not None else None
+    lp = Loopapalooza(program.source, name=full_name, fuel=fuel, store=store)
+    results = lp.evaluate_many(config_names)
+    return full_name, results
 
 
 _DEFAULT_RUNNER = None

@@ -13,8 +13,12 @@ Commands:
 * ``calltls FILE``    — function-call/continuation TLS estimate (§I
   extension): per call site, how much callee time the continuation hides.
 * ``figures``         — regenerate the paper's figures over the bundled
-  synthetic suites (optionally ``--suite`` to restrict).
+  synthetic suites (optionally ``--suite`` to restrict; ``--jobs N`` fans
+  the sweep out over a process pool, ``--cache-dir`` relocates the
+  profile store).
 * ``bench``           — list the bundled benchmarks.
+* ``cache``           — inspect (``info``) or wipe (``clear``) the
+  persistent profile store.
 """
 
 from __future__ import annotations
@@ -131,7 +135,8 @@ def _cmd_figures(args, out):
         format_speedup_figure,
     )
 
-    runner = SuiteRunner()
+    runner = SuiteRunner(cache_dir=args.cache_dir)
+    jobs = args.jobs
     if args.suite:
         from .reporting.stats import geomean
 
@@ -142,12 +147,32 @@ def _cmd_figures(args, out):
                   file=out)
         return 0
     print(format_speedup_figure(
-        figure2_nonnumeric(runner), "Fig. 2 — non-numeric"), file=out)
+        figure2_nonnumeric(runner, jobs=jobs), "Fig. 2 — non-numeric"),
+        file=out)
     print(file=out)
     print(format_speedup_figure(
-        figure3_numeric(runner), "Fig. 3 — numeric"), file=out)
+        figure3_numeric(runner, jobs=jobs), "Fig. 3 — numeric"), file=out)
     print(file=out)
-    print(format_coverage(figure5_coverage(runner)), file=out)
+    print(format_coverage(figure5_coverage(runner, jobs=jobs)), file=out)
+    return 0
+
+
+def _cmd_cache(args, out):
+    from .runtime.profile_store import ProfileStore, default_store
+
+    store = (
+        ProfileStore(args.cache_dir) if args.cache_dir else default_store()
+    )
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached profile(s) from {store.root}",
+              file=out)
+        return 0
+    info = store.info()
+    print(f"profile cache at {info['root']}", file=out)
+    print(f"  schema:  {info['schema']}", file=out)
+    print(f"  entries: {info['entries']}", file=out)
+    print(f"  size:    {info['size_bytes']} bytes", file=out)
     return 0
 
 
@@ -186,6 +211,7 @@ def build_parser():
         ("calltls", _cmd_calltls, True),
         ("figures", _cmd_figures, False),
         ("bench", _cmd_bench, False),
+        ("cache", _cmd_cache, False),
     ):
         sub = commands.add_parser(name)
         sub.set_defaults(handler=handler)
@@ -199,6 +225,23 @@ def build_parser():
             )
         if name == "figures":
             sub.add_argument("--suite", help="restrict to one suite")
+            sub.add_argument(
+                "--jobs", type=int, default=None,
+                help="fan the sweep out over N worker processes",
+            )
+            sub.add_argument(
+                "--cache-dir", default=None,
+                help="profile-store directory (default: shared user cache)",
+            )
+        if name == "cache":
+            sub.add_argument(
+                "action", choices=("info", "clear"), nargs="?",
+                default="info", help="inspect or wipe the profile store",
+            )
+            sub.add_argument(
+                "--cache-dir", default=None,
+                help="profile-store directory (default: shared user cache)",
+            )
     return parser
 
 

@@ -37,12 +37,24 @@ from .static_info import PHI_NONCOMPUTABLE, PHI_REDUCTION
 
 
 class ProfileCache:
-    """Config-independent derived data, shared across configurations:
-    value-predictor outcomes per (invocation, phi)."""
+    """Config-independent derived data, shared across configurations.
+
+    Everything here is a pure memo over the (immutable, post-``finish``)
+    profile: value-predictor outcomes per (invocation, phi), raw
+    iteration-cost arrays, the flattened invocation list, and the
+    register-LCD key set per (loop, ``reduc`` flag). Caching never changes
+    a result — only how often it is recomputed — so serial, warm-start,
+    and process-pool evaluations stay bit-identical.
+    """
 
     def __init__(self, profile):
         self.profile = profile
         self._flags = {}
+        self._mispredicted = {}
+        self._iter_costs = {}
+        self._raw_serial = {}
+        self._invocations = None
+        self._lcd_keys = {}
 
     def predictor_flags(self, invocation, phi_key):
         """Perfect-hybrid correctness flags for the phi's latch values."""
@@ -60,8 +72,52 @@ class ProfileCache:
         ``values[i]`` is consumed by iteration ``i+1``; a miss on element
         ``i`` therefore delays iteration ``i+1``.
         """
-        flags = self.predictor_flags(invocation, phi_key)
-        return {index + 1 for index, ok in enumerate(flags) if not ok}
+        key = (id(invocation), phi_key)
+        missed = self._mispredicted.get(key)
+        if missed is None:
+            flags = self.predictor_flags(invocation, phi_key)
+            missed = {index + 1 for index, ok in enumerate(flags) if not ok}
+            self._mispredicted[key] = missed
+        return missed
+
+    def iteration_costs(self, invocation):
+        """The invocation's raw iteration spans as a float array.
+
+        The returned array is shared — callers that mutate must copy.
+        """
+        key = id(invocation)
+        costs = self._iter_costs.get(key)
+        if costs is None:
+            costs = np.asarray(invocation.iteration_costs(), dtype=float)
+            self._iter_costs[key] = costs
+        return costs
+
+    def invocations(self):
+        """The profile's flattened invocation list (parents first)."""
+        if self._invocations is None:
+            self._invocations = self.profile.all_invocations()
+        return self._invocations
+
+    def raw_serial(self, invocation):
+        """``float(np.sum(iteration_costs))`` of the unadjusted array."""
+        key = id(invocation)
+        serial = self._raw_serial.get(key)
+        if serial is None:
+            costs = self.iteration_costs(invocation)
+            serial = float(np.sum(costs)) if len(costs) else 0.0
+            self._raw_serial[key] = serial
+        return serial
+
+    def register_lcd_keys(self, static, config):
+        """The register LCDs constraining ``static`` under ``config.reduc``."""
+        key = (id(static), config.reduc)
+        keys = self._lcd_keys.get(key)
+        if keys is None:
+            keys = list(static.phis_of_class(PHI_NONCOMPUTABLE))
+            if config.reduc == 0:
+                keys.extend(static.phis_of_class(PHI_REDUCTION))
+            self._lcd_keys[key] = keys
+        return keys
 
 
 class LoopSummary:
@@ -126,14 +182,6 @@ class EvaluationResult:
         )
 
 
-def _register_lcd_keys(static, config):
-    """The register LCDs that constrain this loop under the configuration."""
-    keys = list(static.phis_of_class(PHI_NONCOMPUTABLE))
-    if config.reduc == 0:
-        keys.extend(static.phis_of_class(PHI_REDUCTION))
-    return keys
-
-
 def _reg_skew(invocation, phi_key, restrict_to=None):
     """Largest producer->consumer skew of a register LCD lowered to memory.
 
@@ -160,10 +208,13 @@ def _reg_skew(invocation, phi_key, restrict_to=None):
 
 
 def _apply_model(invocation, static, config, cache, forced_serial, eff_costs,
-                 innermost_only=False):
-    """Decide this invocation's outcome; returns (ModelOutcome, n_conflict_iters)."""
+                 serial, innermost_only=False):
+    """Decide this invocation's outcome; returns (ModelOutcome, n_conflict_iters).
+
+    ``serial`` is the caller's precomputed ``float(np.sum(eff_costs))`` —
+    the summary needs it too, so the array is summed exactly once.
+    """
     n = len(eff_costs)
-    serial = float(np.sum(eff_costs)) if n else 0.0
 
     def serial_with(reason):
         return ModelOutcome(serial, False, reason), 0
@@ -179,14 +230,21 @@ def _apply_model(invocation, static, config, cache, forced_serial, eff_costs,
     if static.serial_under_fn(config.fn):
         return serial_with("fn")
 
-    reg_keys = _register_lcd_keys(static, config)
+    reg_keys = cache.register_lcd_keys(static, config)
     if config.dep == 0 and reg_keys:
         return serial_with("register-lcd")
 
     # Conflict pairs: consumer iteration -> latest producer iteration.
-    pairs = dict(invocation.conflict_pairs)
+    # Copied only on the paths that inject extra (lowered/mispredicted
+    # register-LCD) pairs; every other path reads it as-is.
+    pairs = invocation.conflict_pairs
+    pairs_copied = False
 
     def add_adjacent(consumer):
+        nonlocal pairs, pairs_copied
+        if not pairs_copied:
+            pairs = dict(pairs)
+            pairs_copied = True
         producer = consumer - 1
         if pairs.get(consumer, -1) < producer:
             pairs[consumer] = producer
@@ -214,17 +272,17 @@ def _apply_model(invocation, static, config, cache, forced_serial, eff_costs,
     # dep3: perfect prediction removes every register LCD.
 
     if config.model == "doall":
-        outcome = doall_cost(eff_costs, invocation.conflict_count > 0)
+        outcome = doall_cost(eff_costs, invocation.conflict_count > 0, serial)
         return outcome, len(pairs)
     if config.model == "pdoall":
         breaks = pdoall_phase_breaks(pairs, n)
-        outcome = pdoall_cost(eff_costs, breaks)
+        outcome = pdoall_cost(eff_costs, breaks, serial)
         return outcome, len(breaks)
     # HELIX: scale serial-time skews by the invocation's shrink factor.
     raw_total = invocation.serial_cost
     scale = (serial / raw_total) if raw_total > 0 else 1.0
     delta = max(invocation.max_mem_skew, reg_delta) * scale
-    outcome = helix_cost(eff_costs, delta)
+    outcome = helix_cost(eff_costs, delta, serial)
     return outcome, len(pairs)
 
 
@@ -234,27 +292,33 @@ def _evaluate_once(profile, static_info, config, cache, forced_serial,
     covered = {}
     summaries = {}
 
-    for invocation in reversed(profile.all_invocations()):
-        eff_costs = np.asarray(invocation.iteration_costs(), dtype=float)
+    for invocation in reversed(cache.invocations()):
         child_covered = 0.0
-        for child in invocation.children:
-            saving = child.serial_cost - effective[id(child)]
-            index = child.parent_iter
-            if 0 <= index < len(eff_costs):
-                eff_costs[index] = max(0.0, eff_costs[index] - saving)
-            child_covered += covered[id(child)]
-
+        if invocation.children:
+            eff_costs = cache.iteration_costs(invocation).copy()
+            for child in invocation.children:
+                saving = child.serial_cost - effective[id(child)]
+                index = child.parent_iter
+                if 0 <= index < len(eff_costs):
+                    eff_costs[index] = max(0.0, eff_costs[index] - saving)
+                child_covered += covered[id(child)]
+            serial = float(np.sum(eff_costs)) if len(eff_costs) else 0.0
+        else:
+            # Leaf invocations (the vast majority) share the cached array
+            # and its config-independent sum; no model mutates its input.
+            eff_costs = cache.iteration_costs(invocation)
+            serial = cache.raw_serial(invocation)
         static = static_info.loops.get(invocation.loop_id)
         outcome, n_conflicts = _apply_model(
             invocation, static, config, cache, forced_serial, eff_costs,
-            innermost_only=innermost_only,
+            serial, innermost_only=innermost_only,
         )
 
         summary = summaries.get(invocation.loop_id)
         if summary is None:
             summary = summaries[invocation.loop_id] = LoopSummary(invocation.loop_id)
         summary.invocations += 1
-        summary.serial_cost += float(np.sum(eff_costs))
+        summary.serial_cost += serial
         summary.parallel_cost += outcome.cost
         summary.iterations += invocation.num_iterations
         summary.conflicting_iterations += n_conflicts
@@ -264,7 +328,7 @@ def _evaluate_once(profile, static_info, config, cache, forced_serial,
             covered[id(invocation)] = float(invocation.serial_cost)
         else:
             summary.note_reason(outcome.reason)
-            effective[id(invocation)] = float(np.sum(eff_costs))
+            effective[id(invocation)] = serial
             covered[id(invocation)] = child_covered
 
     saved = sum(

@@ -26,12 +26,24 @@ from .static_info import ModuleStaticInfo
 
 
 class Loopapalooza:
-    """Owns one program's compilation artifacts and execution profile."""
+    """Owns one program's compilation artifacts and execution profile.
+
+    ``store`` (a :class:`~repro.runtime.profile_store.ProfileStore`) makes
+    :meth:`profile` consult the persistent profile cache first: on a warm
+    start the instrumented interpreter run is skipped entirely and the
+    recorded profile + program output are restored from disk. The cached
+    static classification is cross-checked against the freshly computed one;
+    a mismatch (stale analysis code without a version bump) falls back to
+    re-profiling.
+    """
 
     def __init__(self, source, name="program", fuel=200_000_000,
-                 verify_each=False, inline=False):
+                 verify_each=False, inline=False, store=None):
         self.name = name
         self.fuel = fuel
+        self.source = source
+        self.inline = inline
+        self.store = store
         self.module = compile_source(
             source, module_name=name, verify_each=verify_each, inline=inline
         )
@@ -39,12 +51,17 @@ class Loopapalooza:
         self.instrumentation = build_instrumentation(self.static_info)
         self._profile = None
         self._cache = None
-        self._machine = None
+        self._output = None
+        self.profiled_from_cache = False
 
     # -- profiling ------------------------------------------------------------
 
     def profile(self):
-        """Run the instrumented program once; returns the ProgramProfile."""
+        """The ProgramProfile: loaded from the profile store on a warm
+        start, otherwise measured by one instrumented interpreter run."""
+        if self._profile is None:
+            if self.store is not None:
+                self._load_cached_profile()
         if self._profile is None:
             runtime = ProfilingRuntime(self.name)
             machine = Interpreter(
@@ -54,8 +71,39 @@ class Loopapalooza:
             result = machine.run("main")
             self._profile = runtime.finish(machine.cost, result)
             self._cache = ProfileCache(self._profile)
-            self._machine = machine
+            self._output = machine.output
+            if self.store is not None:
+                self.store.store(
+                    self.source, self.fuel, self._profile, self.static_info,
+                    self._output, inline=self.inline,
+                )
         return self._profile
+
+    def _load_cached_profile(self):
+        from ..core.static_info import loop_static_to_dict
+
+        cached = self.store.load(self.source, self.fuel, inline=self.inline)
+        if cached is None:
+            return
+        mine = {
+            loop_id: loop_static_to_dict(s)
+            for loop_id, s in self.static_info.loops.items()
+        }
+        theirs = {
+            loop_id: loop_static_to_dict(s)
+            for loop_id, s in cached.static_loops.items()
+        }
+        if mine != theirs:
+            # The classifier disagrees with what was profiled: the cached
+            # instrumentation plan is stale, so the profile is unusable.
+            self.store.stats.hits -= 1
+            self.store.stats.misses += 1
+            return
+        cached.profile.name = self.name
+        self._profile = cached.profile
+        self._cache = ProfileCache(self._profile)
+        self._output = cached.output
+        self.profiled_from_cache = True
 
     def run_uninstrumented(self):
         """Plain execution (no callbacks); returns ``(result, cost, output)``.
@@ -74,7 +122,7 @@ class Loopapalooza:
     @property
     def output(self):
         self.profile()
-        return self._machine.output
+        return self._output
 
     # -- evaluation ------------------------------------------------------------
 

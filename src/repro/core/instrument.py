@@ -22,6 +22,11 @@ from ..interp.interpreter import FunctionInstrumentation
 from ..ir.instructions import Instruction
 from .static_info import PHI_COMPUTABLE, phi_key_for
 
+#: Bump whenever the instrumentation plan (what gets hooked, event
+#: ordering, timestamp conventions) changes: recorded profiles depend on
+#: it, so the persistent profile cache keys on this number.
+INSTRUMENTATION_VERSION = 1
+
 
 def build_instrumentation(static_info):
     """Return ``{function_name: FunctionInstrumentation}`` for a module."""

@@ -86,6 +86,72 @@ class LoopStatic:
         return f"<LoopStatic {self.loop_id} phis={len(self.phi_classes)}>"
 
 
+def loop_static_to_dict(static):
+    """JSON-safe form of one :class:`LoopStatic` (profile-cache payload)."""
+    return {
+        "loop_id": static.loop_id,
+        "function_name": static.function_name,
+        "depth": static.depth,
+        "phi_classes": dict(static.phi_classes),
+        "reduction_kinds": dict(static.reduction_kinds),
+        "call_classes": sorted(static.call_classes),
+        "trackable": static.trackable,
+        "trip_count_hint": static.trip_count_hint,
+    }
+
+
+def loop_static_from_dict(data):
+    """Rebuild a :class:`LoopStatic` from :func:`loop_static_to_dict`."""
+    static = LoopStatic(data["loop_id"], data["function_name"], data["depth"])
+    static.phi_classes = dict(data["phi_classes"])
+    static.reduction_kinds = dict(data["reduction_kinds"])
+    static.call_classes = set(data["call_classes"])
+    static.trackable = data["trackable"]
+    static.trip_count_hint = data["trip_count_hint"]
+    return static
+
+
+def census_of(loops):
+    """Counts per classification — the data behind the Table-I view."""
+    counts = {
+        "loops": 0,
+        "untrackable": 0,
+        "computable_phis": 0,
+        "reduction_phis": 0,
+        "noncomputable_phis": 0,
+        "loops_with_calls": 0,
+        "loops_with_unsafe_calls": 0,
+    }
+    for static in loops.values():
+        counts["loops"] += 1
+        if not static.trackable:
+            counts["untrackable"] += 1
+            continue
+        counts["computable_phis"] += len(static.phis_of_class(PHI_COMPUTABLE))
+        counts["reduction_phis"] += len(static.reduction_phis)
+        counts["noncomputable_phis"] += len(static.noncomputable_phis)
+        if static.has_any_call:
+            counts["loops_with_calls"] += 1
+        if CALL_UNSAFE in static.call_classes:
+            counts["loops_with_unsafe_calls"] += 1
+    return counts
+
+
+class StaticInfoView:
+    """A deserialized static classification: the subset of
+    :class:`ModuleStaticInfo` that evaluation and the census need, without
+    a compiled module behind it (profile-cache warm starts)."""
+
+    def __init__(self, loops):
+        self.loops = loops
+
+    def census(self):
+        return census_of(self.loops)
+
+    def __repr__(self):
+        return f"<StaticInfoView {len(self.loops)} loops>"
+
+
 class ModuleStaticInfo:
     """Classification of every loop in a module, plus function purity."""
 
@@ -166,25 +232,4 @@ class ModuleStaticInfo:
 
     def census(self):
         """Counts per classification — the data behind the Table-I view."""
-        counts = {
-            "loops": 0,
-            "untrackable": 0,
-            "computable_phis": 0,
-            "reduction_phis": 0,
-            "noncomputable_phis": 0,
-            "loops_with_calls": 0,
-            "loops_with_unsafe_calls": 0,
-        }
-        for static in self.loops.values():
-            counts["loops"] += 1
-            if not static.trackable:
-                counts["untrackable"] += 1
-                continue
-            counts["computable_phis"] += len(static.phis_of_class(PHI_COMPUTABLE))
-            counts["reduction_phis"] += len(static.reduction_phis)
-            counts["noncomputable_phis"] += len(static.noncomputable_phis)
-            if static.has_any_call:
-                counts["loops_with_calls"] += 1
-            if CALL_UNSAFE in static.call_classes:
-                counts["loops_with_unsafe_calls"] += 1
-        return counts
+        return census_of(self.loops)

@@ -62,7 +62,14 @@ _INT_OPS = {
     "xor": lambda a, b: a ^ b,
     "shl": lambda a, b: _wrap32(a << (b & 31)),
     "ashr": lambda a, b: a >> (b & 31),
+    # Logical shift right: the unsigned view of the 32-bit pattern shifted,
+    # reinterpreted as signed (matches LLVM's lshr on i32; shift amounts
+    # masked to the width like shl/ashr above).
+    "lshr": lambda a, b: _wrap32((a & _MASK32) >> (b & 31)),
 }
+
+# udiv/urem are handled as special cases alongside sdiv/srem (they trap on a
+# zero divisor, so they cannot live in the pure-function table above).
 
 _FLOAT_OPS = {
     "fadd": lambda a, b: a + b,
@@ -127,13 +134,152 @@ class FunctionInstrumentation:
 
 
 class _CompiledBlock:
-    __slots__ = ("cost", "ops", "phi_moves", "terminator")
+    __slots__ = ("cost", "ops", "run", "phi_moves", "terminator")
 
     def __init__(self):
         self.cost = 0
         self.ops = []
+        self.run = None       # fused closure over ops (None when no ops)
         self.phi_moves = {}   # id(pred) -> closure(machine, regs)
         self.terminator = None
+
+
+def _fuse_ops(ops):
+    """Fuse a block's op closures into one callable.
+
+    The dispatch loop then makes a single call per block instead of
+    iterating a list — small blocks (the common case after mem2reg) are
+    specialized to straight-line calls with no loop at all.
+    """
+    if not ops:
+        return None
+    if len(ops) == 1:
+        return ops[0]
+    if len(ops) == 2:
+        op0, op1 = ops
+
+        def run2(machine, regs, base, op0=op0, op1=op1):
+            op0(machine, regs, base)
+            op1(machine, regs, base)
+        return run2
+    if len(ops) == 3:
+        op0, op1, op2 = ops
+
+        def run3(machine, regs, base, op0=op0, op1=op1, op2=op2):
+            op0(machine, regs, base)
+            op1(machine, regs, base)
+            op2(machine, regs, base)
+        return run3
+    if len(ops) == 4:
+        op0, op1, op2, op3 = ops
+
+        def run4(machine, regs, base, op0=op0, op1=op1, op2=op2, op3=op3):
+            op0(machine, regs, base)
+            op1(machine, regs, base)
+            op2(machine, regs, base)
+            op3(machine, regs, base)
+        return run4
+    ops = tuple(ops)
+
+    def run_many(machine, regs, base, ops=ops):
+        for op in ops:
+            op(machine, regs, base)
+    return run_many
+
+
+def _fn_binop(dst, lhs, rhs, fn):
+    """``regs[dst] = fn(a, b)`` specialized on operand shapes (register
+    index vs constant), eliminating the getter indirection per operand."""
+    ls, rs = lhs.slot, rhs.slot
+    if ls is not None and rs is not None:
+        def op(machine, regs, base, dst=dst, ls=ls, rs=rs, fn=fn):
+            regs[dst] = fn(regs[ls], regs[rs])
+    elif ls is not None:
+        rc = rhs.const
+
+        def op(machine, regs, base, dst=dst, ls=ls, rc=rc, fn=fn):
+            regs[dst] = fn(regs[ls], rc)
+    elif rs is not None:
+        lc = lhs.const
+
+        def op(machine, regs, base, dst=dst, lc=lc, rs=rs, fn=fn):
+            regs[dst] = fn(lc, regs[rs])
+    else:
+        lc, rc = lhs.const, rhs.const
+
+        def op(machine, regs, base, dst=dst, lc=lc, rc=rc, fn=fn):
+            regs[dst] = fn(lc, rc)
+    return op
+
+
+def _fn_cmp(dst, lhs, rhs, fn):
+    """``regs[dst] = 1 if fn(a, b) else 0`` with the same operand-shape
+    specialization as :func:`_fn_binop`."""
+    ls, rs = lhs.slot, rhs.slot
+    if ls is not None and rs is not None:
+        def op(machine, regs, base, dst=dst, ls=ls, rs=rs, fn=fn):
+            regs[dst] = 1 if fn(regs[ls], regs[rs]) else 0
+    elif ls is not None:
+        rc = rhs.const
+
+        def op(machine, regs, base, dst=dst, ls=ls, rc=rc, fn=fn):
+            regs[dst] = 1 if fn(regs[ls], rc) else 0
+    elif rs is not None:
+        lc = lhs.const
+
+        def op(machine, regs, base, dst=dst, lc=lc, rs=rs, fn=fn):
+            regs[dst] = 1 if fn(lc, regs[rs]) else 0
+    else:
+        lc, rc = lhs.const, rhs.const
+
+        def op(machine, regs, base, dst=dst, lc=lc, rc=rc, fn=fn):
+            regs[dst] = 1 if fn(lc, rc) else 0
+    return op
+
+
+def _inline_arith32(opcode, dst, lhs, rhs):
+    """Fully inlined 32-bit add/sub/mul for the dominant operand shapes
+    (loop counters and array indexing); ``None`` when not applicable."""
+    ls, rs = lhs.slot, rhs.slot
+    if ls is None:
+        return None
+    if opcode == "add":
+        if rs is not None:
+            def op(machine, regs, base, dst=dst, ls=ls, rs=rs):
+                value = (regs[ls] + regs[rs]) & _MASK32
+                regs[dst] = value - 0x100000000 if value & _SIGN32 else value
+            return op
+        rc = rhs.const
+
+        def op(machine, regs, base, dst=dst, ls=ls, rc=rc):
+            value = (regs[ls] + rc) & _MASK32
+            regs[dst] = value - 0x100000000 if value & _SIGN32 else value
+        return op
+    if opcode == "sub":
+        if rs is not None:
+            def op(machine, regs, base, dst=dst, ls=ls, rs=rs):
+                value = (regs[ls] - regs[rs]) & _MASK32
+                regs[dst] = value - 0x100000000 if value & _SIGN32 else value
+            return op
+        rc = rhs.const
+
+        def op(machine, regs, base, dst=dst, ls=ls, rc=rc):
+            value = (regs[ls] - rc) & _MASK32
+            regs[dst] = value - 0x100000000 if value & _SIGN32 else value
+        return op
+    if opcode == "mul":
+        if rs is not None:
+            def op(machine, regs, base, dst=dst, ls=ls, rs=rs):
+                value = (regs[ls] * regs[rs]) & _MASK32
+                regs[dst] = value - 0x100000000 if value & _SIGN32 else value
+            return op
+        rc = rhs.const
+
+        def op(machine, regs, base, dst=dst, ls=ls, rc=rc):
+            value = (regs[ls] * rc) & _MASK32
+            regs[dst] = value - 0x100000000 if value & _SIGN32 else value
+        return op
+    return None
 
 
 _RETURN = object()
@@ -176,6 +322,9 @@ class Interpreter:
         self.global_bases = {}
         self._compiled = {}
         self._call_depth = 0
+        # Per-block batch of (is_write, address, ts) memory events, flushed
+        # to the runtime after each call-free block's ops (see _call).
+        self._membuf = []
         for variable in module.globals.values():
             self.global_bases[variable.name] = self.space.add_global(variable)
 
@@ -186,6 +335,7 @@ class Interpreter:
         function = self.module.get_function(function_name)
         old_limit = sys.getrecursionlimit()
         sys.setrecursionlimit(max(old_limit, 10_000))
+        self._membuf.clear()  # a prior aborted run may have left events
         try:
             return self._call(function, list(args))
         finally:
@@ -240,27 +390,53 @@ class Interpreter:
                     reg_for(instruction)
 
         def getter(value):
-            """Return a closure fetching the operand's runtime value."""
-            if isinstance(value, ConstantInt):
+            """Return a closure fetching the operand's runtime value.
+
+            The closure carries ``slot``/``const`` attributes (exactly one is
+            non-``None``) so per-op compilers can inline the fetch — a
+            register index or a constant — instead of calling through it.
+            """
+            if isinstance(value, (ConstantInt, ConstantFloat)):
                 constant = value.value
-                return lambda regs: constant
-            if isinstance(value, ConstantFloat):
-                constant = value.value
-                return lambda regs: constant
+
+                def get(regs, constant=constant):
+                    return constant
+                get.slot, get.const = None, constant
+                return get
             if isinstance(value, GlobalVariable):
                 base = self.global_bases[value.name]
-                return lambda regs: base
+
+                def get(regs, base=base):
+                    return base
+                get.slot, get.const = None, base
+                return get
             from ..ir.function import Function as IRFunction
 
             if isinstance(value, IRFunction):
                 raise InterpError("function values cannot be operands here")
             slot = reg_index[id(value)]
-            return lambda regs: regs[slot]
+
+            def get(regs, slot=slot):
+                return regs[slot]
+            get.slot, get.const = slot, None
+            return get
 
         for block in function.blocks:
             compiled_block = _CompiledBlock()
             compiled.blocks[id(block)] = compiled_block
             compiled_block.cost = len(block.instructions)
+            # Memory events from a call-free block can be delivered to the
+            # runtime in one batch after the block's ops: no call/loop/frame
+            # event can interleave, so the runtime observes the same state it
+            # would have per-event. Calls (including intrinsics, which may
+            # emit their own memory events) and call-result-use hooks (which
+            # race mem_read for the first-dependence timestamp) force
+            # immediate emission.
+            batch = self.runtime is not None and not any(
+                isinstance(i, Call)
+                or (plan is not None and plan.call_use_hooks.get(id(i)))
+                for i in block.instructions
+            )
             position = 0
             phis = []
             for instruction in block.instructions:
@@ -281,7 +457,7 @@ class Interpreter:
                     compiled_block.terminator = terminator
                 else:
                     op = self._compile_op(
-                        instruction, getter, reg_index, position, plan
+                        instruction, getter, reg_index, position, plan, batch
                     )
                     if op is not None:
                         compiled_block.ops.append(op)
@@ -290,6 +466,7 @@ class Interpreter:
                 raise InterpError(
                     f"block {block.name} in @{function.name} lacks a terminator"
                 )
+            compiled_block.run = _fuse_ops(compiled_block.ops)
             if phis:
                 self._compile_phi_moves(
                     compiled_block, block, phis, getter, reg_index, plan
@@ -333,6 +510,21 @@ class Interpreter:
                     for entry in plan.use_hooks.get(id(phi), ()):
                         hooks.append(("use", entry, reg_index[id(phi)]))
             if not hooks:
+                if len(moves) == 1:
+                    # One phi: no parallel-copy staging needed.
+                    dst, get = moves[0]
+                    src = get.slot
+                    if src is not None:
+                        def move(machine, regs, base, dst=dst, src=src):
+                            regs[dst] = regs[src]
+                    else:
+                        constant = get.const
+
+                        def move(machine, regs, base, dst=dst, constant=constant):
+                            regs[dst] = constant
+                    compiled_block.phi_moves[pred_id] = move
+                    continue
+
                 def move(machine, regs, base, moves=moves):
                     values = [get(regs) for _, get in moves]
                     for (dst, _), value in zip(moves, values):
@@ -353,8 +545,11 @@ class Interpreter:
 
     # -- per-instruction compilation -----------------------------------------------
 
-    def _compile_op(self, instruction, getter, reg_index, position, plan):
-        op = self._compile_op_core(instruction, getter, reg_index, position, plan)
+    def _compile_op(self, instruction, getter, reg_index, position, plan,
+                    batch=False):
+        op = self._compile_op_core(
+            instruction, getter, reg_index, position, plan, batch
+        )
         if plan is None:
             return op
         def_entries = plan.def_hooks.get(id(instruction), ())
@@ -384,7 +579,8 @@ class Interpreter:
 
         return hooked
 
-    def _compile_op_core(self, instruction, getter, reg_index, position, plan=None):
+    def _compile_op_core(self, instruction, getter, reg_index, position,
+                         plan=None, batch=False):
         if isinstance(instruction, BinaryOp):
             dst = reg_index[id(instruction)]
             lhs = getter(instruction.lhs)
@@ -393,16 +589,24 @@ class Interpreter:
             if opcode in _INT_OPS and instruction.type.is_integer:
                 fn = _INT_OPS[opcode]
                 if instruction.type.width != 32:
+                    width = instruction.type.width
+                    mask = (1 << width) - 1
                     # i1/i64 arithmetic: plain Python semantics suffice.
+                    # Unsigned ops view the two's-complement bit pattern of
+                    # the operand (widths are powers of two, so ``& (w-1)``
+                    # masks shift amounts like the 32-bit table does).
                     fn = {"add": lambda a, b: a + b, "sub": lambda a, b: a - b,
                           "mul": lambda a, b: a * b, "and": lambda a, b: a & b,
                           "or": lambda a, b: a | b, "xor": lambda a, b: a ^ b,
                           "shl": lambda a, b: a << b, "ashr": lambda a, b: a >> b,
+                          "lshr": lambda a, b, mask=mask, width=width:
+                              (a & mask) >> (b & (width - 1)),
                           }.get(opcode, fn)
-
-                def op(machine, regs, base, dst=dst, lhs=lhs, rhs=rhs, fn=fn):
-                    regs[dst] = fn(lhs(regs), rhs(regs))
-                return op
+                else:
+                    op = _inline_arith32(opcode, dst, lhs, rhs)
+                    if op is not None:
+                        return op
+                return _fn_binop(dst, lhs, rhs, fn)
             if opcode == "sdiv":
                 def op(machine, regs, base, dst=dst, lhs=lhs, rhs=rhs):
                     divisor = rhs(regs)
@@ -418,12 +622,26 @@ class Interpreter:
                     dividend = lhs(regs)
                     regs[dst] = dividend - int(dividend / divisor) * divisor
                 return op
-            if opcode in _FLOAT_OPS:
-                fn = _FLOAT_OPS[opcode]
+            if opcode in ("udiv", "urem"):
+                # Unsigned division over the two's-complement bit patterns;
+                # like sdiv/srem, a zero divisor traps.
+                mask = (1 << instruction.type.width) - 1
+                is_div = opcode == "udiv"
 
-                def op(machine, regs, base, dst=dst, lhs=lhs, rhs=rhs, fn=fn):
-                    regs[dst] = fn(lhs(regs), rhs(regs))
+                def op(machine, regs, base, dst=dst, lhs=lhs, rhs=rhs,
+                       mask=mask, is_div=is_div):
+                    divisor = rhs(regs) & mask
+                    if divisor == 0:
+                        raise TrapError(
+                            "integer division by zero" if is_div
+                            else "integer remainder by zero"
+                        )
+                    dividend = lhs(regs) & mask
+                    value = dividend // divisor if is_div else dividend % divisor
+                    regs[dst] = _wrap32(value) if mask == _MASK32 else value
                 return op
+            if opcode in _FLOAT_OPS:
+                return _fn_binop(dst, lhs, rhs, _FLOAT_OPS[opcode])
             if opcode == "fdiv":
                 def op(machine, regs, base, dst=dst, lhs=lhs, rhs=rhs):
                     divisor = rhs(regs)
@@ -437,49 +655,103 @@ class Interpreter:
             dst = reg_index[id(instruction)]
             lhs = getter(instruction.lhs)
             rhs = getter(instruction.rhs)
-            fn = _ICMP_OPS[instruction.predicate]
-
-            def op(machine, regs, base, dst=dst, lhs=lhs, rhs=rhs, fn=fn):
-                regs[dst] = 1 if fn(lhs(regs), rhs(regs)) else 0
-            return op
+            return _fn_cmp(dst, lhs, rhs, _ICMP_OPS[instruction.predicate])
 
         if isinstance(instruction, FCmp):
             dst = reg_index[id(instruction)]
             lhs = getter(instruction.lhs)
             rhs = getter(instruction.rhs)
-            fn = _FCMP_OPS[instruction.predicate]
-
-            def op(machine, regs, base, dst=dst, lhs=lhs, rhs=rhs, fn=fn):
-                regs[dst] = 1 if fn(lhs(regs), rhs(regs)) else 0
-            return op
+            return _fn_cmp(dst, lhs, rhs, _FCMP_OPS[instruction.predicate])
 
         if isinstance(instruction, Alloca):
             dst = reg_index[id(instruction)]
             size = instruction.allocated_type.size_in_slots()
             zero = 0.0 if _alloc_zero_is_float(instruction.allocated_type) else 0
+            allocate = self.space.allocate
+            if self.runtime is None:
+                def op(machine, regs, base, dst=dst, size=size, zero=zero,
+                       allocate=allocate):
+                    regs[dst] = allocate(size, zero, None)
+                return op
+            current_marks = self.runtime.current_marks
 
-            def op(machine, regs, base, dst=dst, size=size, zero=zero):
-                marks = (
-                    machine.runtime.current_marks()
-                    if machine.runtime is not None else None
-                )
-                regs[dst] = machine.space.allocate(size, zero, marks)
+            def op(machine, regs, base, dst=dst, size=size, zero=zero,
+                   allocate=allocate, current_marks=current_marks):
+                regs[dst] = allocate(size, zero, current_marks())
             return op
 
         if isinstance(instruction, Load):
             dst = reg_index[id(instruction)]
             pointer = getter(instruction.pointer)
+            space_load = self.space.load
+            if self.runtime is None:
+                def op(machine, regs, base, dst=dst, pointer=pointer,
+                       space_load=space_load):
+                    regs[dst] = space_load(pointer(regs))
+                return op
+            if batch:
+                membuf = self._membuf
+                pslot = pointer.slot
+                if pslot is not None:
+                    def op(machine, regs, base, dst=dst, pslot=pslot,
+                           space_load=space_load, membuf=membuf,
+                           position=position):
+                        address = regs[pslot]
+                        regs[dst] = space_load(address)
+                        membuf.append((False, address, base + position))
+                    return op
 
-            def op(machine, regs, base, dst=dst, pointer=pointer, position=position):
-                regs[dst] = machine.load_slot(pointer(regs), base + position)
+                def op(machine, regs, base, dst=dst, pointer=pointer,
+                       space_load=space_load, membuf=membuf, position=position):
+                    address = pointer(regs)
+                    regs[dst] = space_load(address)
+                    membuf.append((False, address, base + position))
+                return op
+            mem_read = self.runtime.mem_read
+
+            def op(machine, regs, base, dst=dst, pointer=pointer,
+                   space_load=space_load, mem_read=mem_read, position=position):
+                address = pointer(regs)
+                value = space_load(address)
+                mem_read(address, base + position)
+                regs[dst] = value
             return op
 
         if isinstance(instruction, Store):
             pointer = getter(instruction.pointer)
             value = getter(instruction.value)
+            space_store = self.space.store
+            if self.runtime is None:
+                def op(machine, regs, base, pointer=pointer, value=value,
+                       space_store=space_store):
+                    space_store(pointer(regs), value(regs))
+                return op
+            if batch:
+                membuf = self._membuf
+                pslot = pointer.slot
+                if pslot is not None:
+                    def op(machine, regs, base, pslot=pslot, value=value,
+                           space_store=space_store, membuf=membuf,
+                           position=position):
+                        address = regs[pslot]
+                        space_store(address, value(regs))
+                        membuf.append((True, address, base + position))
+                    return op
 
-            def op(machine, regs, base, pointer=pointer, value=value, position=position):
-                machine.store_slot(pointer(regs), value(regs), base + position)
+                def op(machine, regs, base, pointer=pointer, value=value,
+                       space_store=space_store, membuf=membuf, position=position):
+                    address = pointer(regs)
+                    space_store(address, value(regs))
+                    membuf.append((True, address, base + position))
+                return op
+            mem_write = self.runtime.mem_write
+
+            def op(machine, regs, base, pointer=pointer, value=value,
+                   space_store=space_store, mem_write=mem_write,
+                   position=position):
+                address = pointer(regs)
+                space_store(address, value(regs))
+                mem_write(address, base + position)
             return op
 
         if isinstance(instruction, GEP):
@@ -495,6 +767,19 @@ class Interpreter:
                     scales.append((element.size_in_slots(), getter(index)))
             if len(scales) == 1:
                 scale, index_get = scales[0]
+                pslot, islot = pointer.slot, index_get.slot
+                if islot is not None:
+                    if pslot is not None:
+                        def op(machine, regs, base, dst=dst, pslot=pslot,
+                               scale=scale, islot=islot):
+                            regs[dst] = regs[pslot] + scale * regs[islot]
+                        return op
+                    pconst = pointer.const
+
+                    def op(machine, regs, base, dst=dst, pconst=pconst,
+                           scale=scale, islot=islot):
+                        regs[dst] = pconst + scale * regs[islot]
+                    return op
 
                 def op(machine, regs, base, dst=dst, pointer=pointer,
                        scale=scale, index_get=index_get):
@@ -650,17 +935,22 @@ class Interpreter:
 
         runtime = self.runtime
         frame_base = self.space.frame_base()
+        membuf = self._membuf
+        mem_batch = None
         if runtime is not None:
             runtime.func_enter(function)
+            mem_batch = runtime.mem_batch
 
         blocks = compiled.blocks
         edge_hooks = compiled.edge_hooks
-        latch_getters = getattr(compiled, "latch_getters", {})
+        latch_getters = compiled.latch_getters
+        check_edges = runtime is not None and bool(edge_hooks)
+        fuel = self.fuel
         block_id = compiled.entry_id
         pred_id = None
         try:
             while True:
-                if runtime is not None and pred_id is not None:
+                if check_edges and pred_id is not None:
                     edge_key = (pred_id, block_id)
                     actions = edge_hooks.get(edge_key)
                     if actions is not None:
@@ -682,10 +972,16 @@ class Interpreter:
                     move(self, regs, self.cost)
                 base = self.cost
                 self.cost = base + block.cost
-                if self.cost > self.fuel:
-                    raise FuelExhausted(self.fuel)
-                for op in block.ops:
-                    op(self, regs, base)
+                if self.cost > fuel:
+                    raise FuelExhausted(fuel)
+                run = block.run
+                if run is not None:
+                    run(self, regs, base)
+                    # Deliver the block's batched memory events before the
+                    # terminator fires any edge actions for the next block.
+                    if membuf:
+                        mem_batch(membuf)
+                        del membuf[:]
                 next_id = block.terminator(self, regs, base)
                 if next_id is _RETURN:
                     return self._return_value

@@ -77,6 +77,15 @@ class IRBuilder:
     def ashr(self, lhs, rhs, name=""):
         return self.binop("ashr", lhs, rhs, name)
 
+    def lshr(self, lhs, rhs, name=""):
+        return self.binop("lshr", lhs, rhs, name)
+
+    def udiv(self, lhs, rhs, name=""):
+        return self.binop("udiv", lhs, rhs, name)
+
+    def urem(self, lhs, rhs, name=""):
+        return self.binop("urem", lhs, rhs, name)
+
     def fadd(self, lhs, rhs, name=""):
         return self.binop("fadd", lhs, rhs, name)
 

@@ -20,7 +20,8 @@ from ..errors import IRError
 from .types import I1, I64, PointerType
 from .values import Value
 
-INT_BINOPS = ("add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "ashr")
+INT_BINOPS = ("add", "sub", "mul", "sdiv", "srem", "udiv", "urem",
+              "and", "or", "xor", "shl", "ashr", "lshr")
 FLOAT_BINOPS = ("fadd", "fsub", "fmul", "fdiv")
 ICMP_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge")
 FCMP_PREDICATES = ("oeq", "one", "olt", "ole", "ogt", "oge")

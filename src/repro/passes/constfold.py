@@ -59,6 +59,19 @@ def _fold_binop(instruction):
             result = a << (b % instruction.type.width)
         elif opcode == "ashr":
             result = a >> (b % instruction.type.width)
+        elif opcode == "lshr":
+            width = instruction.type.width
+            result = (a & ((1 << width) - 1)) >> (b & (width - 1))
+        elif opcode == "udiv":
+            if b == 0:
+                return None
+            mask = (1 << instruction.type.width) - 1
+            result = (a & mask) // (b & mask)
+        elif opcode == "urem":
+            if b == 0:
+                return None
+            mask = (1 << instruction.type.width) - 1
+            result = (a & mask) % (b & mask)
         else:
             return None
         return ConstantInt(instruction.type, result)
@@ -74,7 +87,8 @@ def _fold_binop(instruction):
             return ConstantFloat(a / b)
     # Algebraic identities with one constant operand.
     if isinstance(rhs, ConstantInt):
-        if rhs.value == 0 and opcode in ("add", "sub", "or", "xor", "shl", "ashr"):
+        if rhs.value == 0 and opcode in ("add", "sub", "or", "xor", "shl", "ashr",
+                                         "lshr"):
             return lhs
         if rhs.value == 1 and opcode in ("mul", "sdiv"):
             return lhs

@@ -33,7 +33,7 @@ from ..ir.instructions import (
 from ..ir.values import GlobalVariable
 
 _NON_TRAPPING_BINOPS = frozenset({
-    "add", "sub", "mul", "and", "or", "xor", "shl", "ashr",
+    "add", "sub", "mul", "and", "or", "xor", "shl", "ashr", "lshr",
     "fadd", "fsub", "fmul",
 })
 

@@ -25,22 +25,30 @@ COVERAGE_CONFIGS = (
 )
 
 
-def figure2_nonnumeric(runner=None):
+def figure2_nonnumeric(runner=None, jobs=None):
     """Fig. 2: GEOMEAN speedups for SpecINT2000/2006 per configuration.
 
     Returns ``{config_name: {suite: geomean_speedup}}`` in the paper's
-    presentation order.
+    presentation order. ``jobs`` fans the underlying sweep out over a
+    process pool (the aggregation below is unchanged, so the output is
+    identical to a serial run).
     """
-    return _figure_speedups(NON_NUMERIC_SUITES, runner)
+    return _figure_speedups(NON_NUMERIC_SUITES, runner, jobs)
 
 
-def figure3_numeric(runner=None):
+def figure3_numeric(runner=None, jobs=None):
     """Fig. 3: GEOMEAN speedups for EEMBC and SpecFP2000/2006."""
-    return _figure_speedups(NUMERIC_SUITES, runner)
+    return _figure_speedups(NUMERIC_SUITES, runner, jobs)
 
 
-def _figure_speedups(suites, runner):
+def _figure_speedups(suites, runner, jobs=None):
     runner = runner or default_runner()
+    _prefetch(
+        runner,
+        [p for suite in suites for p in suite_programs(suite)],
+        paper_configurations(),
+        jobs,
+    )
     rows = {}
     for config in paper_configurations():
         row = {}
@@ -51,7 +59,7 @@ def _figure_speedups(suites, runner):
     return rows
 
 
-def figure4_per_benchmark(runner=None):
+def figure4_per_benchmark(runner=None, jobs=None):
     """Fig. 4: per-benchmark speedups for the best PDOALL
     (``reduc1-dep2-fn2``) and best HELIX (``reduc1-dep1-fn2``) configs,
     across all four SPEC suites.
@@ -59,8 +67,15 @@ def figure4_per_benchmark(runner=None):
     Returns ``{suite/name: {"pdoall": s, "helix": s}}``.
     """
     runner = runner or default_runner()
+    spec_suites = ("specint2000", "specint2006", "specfp2000", "specfp2006")
+    _prefetch(
+        runner,
+        [p for suite in spec_suites for p in suite_programs(suite)],
+        [BEST_PDOALL, BEST_HELIX],
+        jobs,
+    )
     result = {}
-    for suite in ("specint2000", "specint2006", "specfp2000", "specfp2006"):
+    for suite in spec_suites:
         for program in suite_programs(suite):
             result[program.full_name] = {
                 "pdoall": runner.evaluate(program, BEST_PDOALL).speedup,
@@ -69,7 +84,7 @@ def figure4_per_benchmark(runner=None):
     return result
 
 
-def figure5_coverage(runner=None):
+def figure5_coverage(runner=None, jobs=None):
     """Fig. 5: mean dynamic coverage (percent) for the three selected
     configurations, per suite.
 
@@ -78,6 +93,12 @@ def figure5_coverage(runner=None):
     (a geometric mean collapses whenever one benchmark has ~zero coverage).
     """
     runner = runner or default_runner()
+    _prefetch(
+        runner,
+        [p for suite in ALL_SUITES for p in suite_programs(suite)],
+        COVERAGE_CONFIGS,
+        jobs,
+    )
     rows = {}
     for config in COVERAGE_CONFIGS:
         row = {}
@@ -89,9 +110,19 @@ def figure5_coverage(runner=None):
     return rows
 
 
-def table1_census(runner=None):
-    """Table I as measured: dependence-category census per suite."""
+def table1_census(runner=None, jobs=None):
+    """Table I as measured: dependence-category census per suite.
+
+    With ``jobs``, workers profile the benchmarks in parallel and populate
+    the shared disk store so the census pass below never re-profiles.
+    """
     runner = runner or default_runner()
+    _prefetch(
+        runner,
+        [p for suite in ALL_SUITES for p in suite_programs(suite)],
+        [paper_configurations()[0]],
+        jobs,
+    )
     rows = {}
     for suite in ALL_SUITES:
         totals = {}
@@ -101,6 +132,17 @@ def table1_census(runner=None):
                 totals[key] = totals.get(key, 0) + value
         rows[suite] = totals
     return rows
+
+
+def _prefetch(runner, programs, configs, jobs):
+    """Warm the runner's result memo with a (possibly parallel) sweep.
+
+    A no-op for serial runs: the figure loops below compute each cell on
+    demand either way, so parallel and serial paths aggregate the exact
+    same EvaluationResult values.
+    """
+    if jobs is not None and jobs > 1:
+        runner.evaluate_many(programs, configs, jobs=jobs)
 
 
 # -- formatting ------------------------------------------------------------------

@@ -43,17 +43,20 @@ class ModelOutcome:
         return f"<ModelOutcome {state} cost={self.cost:.0f}>"
 
 
-def serial_outcome(iter_costs, reason):
-    return ModelOutcome(float(np.sum(iter_costs)) if len(iter_costs) else 0.0,
-                        False, reason)
+def serial_outcome(iter_costs, reason, serial=None):
+    """``serial`` lets callers that already summed the array skip the
+    re-sum; the value is identical either way."""
+    if serial is None:
+        serial = float(np.sum(iter_costs)) if len(iter_costs) else 0.0
+    return ModelOutcome(serial, False, reason)
 
 
-def doall_cost(iter_costs, has_any_conflict):
+def doall_cost(iter_costs, has_any_conflict, serial=None):
     """DOALL: all iterations start together; a single conflict aborts."""
     if len(iter_costs) == 0:
         return ModelOutcome(0.0, True)
     if has_any_conflict:
-        return serial_outcome(iter_costs, "conflict")
+        return serial_outcome(iter_costs, "conflict", serial)
     return ModelOutcome(float(np.max(iter_costs)), True)
 
 
@@ -79,13 +82,13 @@ def pdoall_phase_breaks(conflict_pairs, n):
     return breaks
 
 
-def pdoall_cost(iter_costs, breaks):
+def pdoall_cost(iter_costs, breaks, serial=None):
     """Partial-DOALL phase simulation over precomputed phase breaks."""
     n = len(iter_costs)
     if n == 0:
         return ModelOutcome(0.0, True)
     if len(breaks) / n > PDOALL_SERIAL_THRESHOLD:
-        return serial_outcome(iter_costs, "conflict-rate")
+        return serial_outcome(iter_costs, "conflict-rate", serial)
     costs = np.asarray(iter_costs, dtype=float)
     if breaks:
         # Segment maxima over [0, b1), [b1, b2), ..., [bm, n).
@@ -93,13 +96,14 @@ def pdoall_cost(iter_costs, breaks):
         total = float(np.sum(np.maximum.reduceat(costs, starts)))
     else:
         total = float(np.max(costs))
-    serial = float(np.sum(costs))
+    if serial is None:
+        serial = float(np.sum(costs))
     if total >= serial:
-        return serial_outcome(iter_costs, "no-gain")
+        return serial_outcome(iter_costs, "no-gain", serial)
     return ModelOutcome(total, True)
 
 
-def helix_cost(iter_costs, delta_largest):
+def helix_cost(iter_costs, delta_largest, serial=None):
     """HELIX-style synchronized execution.
 
     ``delta_largest`` is the largest per-iteration producer->consumer skew
@@ -110,9 +114,10 @@ def helix_cost(iter_costs, delta_largest):
     if n == 0:
         return ModelOutcome(0.0, True)
     cost = float(np.max(iter_costs)) + float(delta_largest) * n
-    serial = float(np.sum(iter_costs))
+    if serial is None:
+        serial = float(np.sum(iter_costs))
     if cost >= serial:
-        return serial_outcome(iter_costs, "sync-bound")
+        return serial_outcome(iter_costs, "sync-bound", serial)
     return ModelOutcome(cost, True)
 
 

@@ -219,6 +219,59 @@ class ProfilingRuntime:
                 continue
             entry.last_write[address] = (invocation.current_iter, ts)
 
+    def mem_batch(self, events):
+        """Deliver a block's batched ``(is_write, address, ts)`` events in
+        program order; semantics match per-event mem_read/mem_write exactly.
+
+        The interpreter only batches call-free blocks, so the loop stack,
+        frame depth, and call records are constant across the batch and can
+        be hoisted out of the loop.
+        """
+        stack = self.stack
+        pending = self.pending_calls
+        active_calls = self.active_calls
+        if not stack and not pending and not active_calls:
+            return
+        marks_for = self.machine.marks_for if stack else None
+        depth = len(self.frame_markers)
+        for is_write, address, ts in events:
+            if is_write:
+                for record in active_calls:
+                    record.write_set.add(address)
+                if stack:
+                    marks = marks_for(address)
+                    for entry in stack:
+                        invocation = entry.invocation
+                        if (
+                            marks is not None
+                            and marks.get(id(invocation)) == invocation.current_iter
+                        ):
+                            continue
+                        entry.last_write[address] = (invocation.current_iter, ts)
+            else:
+                if pending:
+                    record = pending.get(depth)
+                    if (
+                        record is not None
+                        and record.first_dep_ts is None
+                        and address in record.write_set
+                    ):
+                        record.note_dependence(ts)
+                if stack:
+                    marks = marks_for(address)
+                    for entry in stack:
+                        invocation = entry.invocation
+                        if (
+                            marks is not None
+                            and marks.get(id(invocation)) == invocation.current_iter
+                        ):
+                            continue
+                        last = entry.last_write.get(address)
+                        if last is not None and last[0] < invocation.current_iter:
+                            invocation.record_conflict(
+                                last[0], last[1], invocation.current_iter, ts
+                            )
+
     # -- allocation provenance -----------------------------------------------------
 
     def current_marks(self):

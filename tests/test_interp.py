@@ -232,3 +232,134 @@ class TestIntrinsics:
         profile = lp.profile()
         hot = [inv for inv in profile.all_invocations() if inv.num_iterations > 4][0]
         assert hot.conflict_count > 0
+
+
+class TestUnsignedIntOps:
+    """``lshr``/``udiv``/``urem``: LLVM unsigned semantics over the
+    two's-complement bit pattern of i32 values."""
+
+    @staticmethod
+    def _run(opcode, a, b):
+        from repro.ir import I32, IRBuilder, Module
+
+        module = Module("unsigned_ops")
+        function = module.add_function("f", I32, [I32, I32])
+        builder = IRBuilder(function.append_block("entry"))
+        lhs, rhs = function.arguments
+        builder.ret(builder.binop(opcode, lhs, rhs, "r"))
+        return Interpreter(module).run("f", (a, b))
+
+    def test_lshr_positive_matches_ashr(self):
+        assert self._run("lshr", 20, 2) == 5
+        assert self._run("lshr", 1, 0) == 1
+
+    def test_lshr_shifts_in_zeros(self):
+        # -1 is 0xFFFFFFFF; a logical shift right by one gives 0x7FFFFFFF.
+        assert self._run("lshr", -1, 1) == 0x7FFFFFFF
+        assert self._run("lshr", -8, 2) == 0x3FFFFFFE
+        assert self._run("lshr", -1, 31) == 1
+
+    def test_lshr_masks_shift_amount(self):
+        # Like shl/ashr, the shift amount is taken mod 32.
+        assert self._run("lshr", -1, 33) == self._run("lshr", -1, 1)
+
+    def test_udiv_unsigned_view(self):
+        assert self._run("udiv", 7, 2) == 3
+        # -1 reads as 4294967295; halved gives INT_MAX.
+        assert self._run("udiv", -1, 2) == 0x7FFFFFFF
+        # 0xFFFFFFFC // 0xFFFFFFFE == 0: the divisor reads as a huge
+        # unsigned value just above the dividend, not as -2.
+        assert self._run("udiv", -4, -2) == 0
+        assert self._run("udiv", -2, -4) == 1
+        assert self._run("udiv", 7, -1) == 0
+
+    def test_urem_unsigned_view(self):
+        assert self._run("urem", 7, 3) == 1
+        assert self._run("urem", -1, 2) == 1
+        # 0xFFFFFFFC % 0xFFFFFFFE == 0xFFFFFFFC, re-wrapped to signed -4.
+        assert self._run("urem", -4, -2) == -4
+        assert self._run("urem", 7, -1) == 7
+
+    def test_results_wrap_to_signed(self):
+        assert self._run("udiv", -4, 1) == -4
+        assert all(
+            -(1 << 31) <= self._run(op, a, b) < (1 << 31)
+            for op in ("lshr", "udiv", "urem")
+            for a in (-(1 << 31), -1, 0, 1, (1 << 31) - 1)
+            for b in (1, 2, 31, -1)
+        )
+
+    def test_zero_divisor_traps(self):
+        from repro.errors import TrapError
+
+        with pytest.raises(TrapError, match="division by zero"):
+            self._run("udiv", 1, 0)
+        with pytest.raises(TrapError, match="remainder by zero"):
+            self._run("urem", 1, 0)
+
+    def test_constfold_agrees_with_interpreter(self):
+        from repro.ir import I32, IRBuilder, Module
+        from repro.ir.values import ConstantInt
+        from repro.passes.constfold import run_constfold
+
+        cases = [
+            ("lshr", -1, 1), ("lshr", -8, 2), ("lshr", 20, 2),
+            ("udiv", -1, 2), ("udiv", -4, -2), ("udiv", 7, 2),
+            ("urem", -1, 2), ("urem", -4, -2), ("urem", 7, 3),
+        ]
+        for opcode, a, b in cases:
+            executed = self._run(opcode, a, b)
+            module = Module("fold")
+            function = module.add_function("f", I32, [])
+            block = function.append_block("entry")
+            builder = IRBuilder(block)
+            builder.ret(
+                builder.binop(
+                    opcode, builder.const_int(a), builder.const_int(b), "r"
+                )
+            )
+            assert run_constfold(function) == 1
+            folded = block.terminator.value
+            assert isinstance(folded, ConstantInt)
+            assert folded.value == executed, (opcode, a, b)
+
+    def test_constfold_leaves_zero_divisor_alone(self):
+        from repro.ir import I32, IRBuilder, Module
+        from repro.passes.constfold import run_constfold
+
+        for opcode in ("udiv", "urem"):
+            module = Module("nofold")
+            function = module.add_function("f", I32, [])
+            builder = IRBuilder(function.append_block("entry"))
+            builder.ret(
+                builder.binop(
+                    opcode, builder.const_int(1), builder.const_int(0), "r"
+                )
+            )
+            assert run_constfold(function) == 0
+
+    def test_builder_helpers_verify(self):
+        from repro.ir import I32, IRBuilder, Module, verify_module
+
+        module = Module("helpers")
+        function = module.add_function("f", I32, [I32, I32])
+        builder = IRBuilder(function.append_block("entry"))
+        lhs, rhs = function.arguments
+        assert builder.lshr(lhs, rhs).opcode == "lshr"
+        assert builder.udiv(lhs, rhs).opcode == "udiv"
+        assert builder.urem(lhs, rhs).opcode == "urem"
+        builder.ret(builder.const_int(0))
+        assert verify_module(module)
+
+    def test_printer_emits_opcodes(self):
+        from repro.ir import I32, IRBuilder, Module, print_module
+
+        module = Module("rt")
+        function = module.add_function("f", I32, [I32, I32])
+        builder = IRBuilder(function.append_block("entry"))
+        lhs, rhs = function.arguments
+        value = builder.lshr(builder.udiv(lhs, rhs), builder.urem(lhs, rhs))
+        builder.ret(value)
+        text = print_module(module)
+        for opcode in ("lshr", "udiv", "urem"):
+            assert opcode in text
