@@ -3,7 +3,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: install test bench sweep-smoke figures examples clean
+.PHONY: install test bench sweep-smoke sweep-fault-smoke figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -26,6 +26,9 @@ sweep-smoke:
 	[print(f'{name:40s} {cfg:24s} {r.speedup:8.3f}x') \
 	 for name, row in grid.items() for cfg, r in row.items()]; \
 	print(runner.store.stats.describe())"
+
+sweep-fault-smoke:
+	python tools/sweep_fault_smoke.py
 
 figures:
 	python examples/full_paper_run.py

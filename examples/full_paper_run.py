@@ -9,10 +9,20 @@ Options:
   --jobs N                 fan the sweep out over N worker processes
   --cache-dir DIR          profile-store location (default: shared user
                            cache; set REPRO_NO_PROFILE_CACHE=1 to disable)
+  --resume RUN_ID          resume an interrupted run from its ledger;
+                           completed (benchmark, config) cells are restored
+                           and skipped (see `python -m repro runs`)
+  --task-timeout SECONDS   per-task result timeout in the pool sweep
+  --retries N              retries (exponential backoff) before a failing
+                           task is quarantined to the serial path
+  --runs-dir DIR           run-ledger location (default:
+                           ~/.cache/repro/runs or REPRO_RUNS_DIR)
 
 A cold run profiles the 48 synthetic benchmarks and sweeps the
 14-configuration grid (~30 s). Warm runs reuse the persistent profile
-store and re-profile nothing.
+store and re-profile nothing. Every run checkpoints each completed task
+to a JSONL run ledger, so a killed run continues with --resume RUN_ID
+and produces byte-identical output.
 """
 
 import argparse
@@ -32,6 +42,7 @@ from repro.reporting import (
     format_speedup_figure,
     table1_census,
 )
+from repro.runtime.telemetry import RunTelemetry, format_run_summary
 
 PAPER_HEADLINES = """
 Paper headline numbers for comparison (absolute values are not expected to
@@ -52,30 +63,58 @@ def main(argv):
                         help="worker processes for the sweep")
     parser.add_argument("--cache-dir", default=None,
                         help="profile-store directory")
+    parser.add_argument("--resume", default=None, metavar="RUN_ID",
+                        help="resume an interrupted run from its ledger")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS", help="per-task result timeout")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="retries before quarantining a task")
+    parser.add_argument("--runs-dir", default=None,
+                        help="run-ledger directory")
     args = parser.parse_args(argv)
 
     start = time.time()
     runner = SuiteRunner(cache_dir=args.cache_dir)
     jobs = args.jobs
+    if args.resume:
+        telemetry = RunTelemetry.resume(args.resume, root=args.runs_dir)
+        print(f"resuming run {telemetry.run_id} "
+              f"(ledger covers {telemetry.ledger_tasks} tasks)")
+    else:
+        telemetry = RunTelemetry.create(root=args.runs_dir)
+        print(f"run id: {telemetry.run_id} "
+              f"(resume an interrupted run with --resume {telemetry.run_id})")
+    sweep = {
+        "telemetry": telemetry,
+        "task_timeout": args.task_timeout,
+        "retries": args.retries,
+    }
 
     sections = []
-    print("evaluating the 14-configuration sweep (Fig. 2)...", flush=True)
-    sections.append(("Figure 2", format_speedup_figure(
-        figure2_nonnumeric(runner, jobs=jobs),
-        "Fig. 2 (reproduced) — non-numeric GEOMEAN speedups")))
-    print("Fig. 3...", flush=True)
-    sections.append(("Figure 3", format_speedup_figure(
-        figure3_numeric(runner, jobs=jobs),
-        "Fig. 3 (reproduced) — numeric GEOMEAN speedups")))
-    print("Fig. 4...", flush=True)
-    sections.append(("Figure 4", format_figure4(
-        figure4_per_benchmark(runner, jobs=jobs))))
-    print("Fig. 5...", flush=True)
-    sections.append(("Figure 5", format_coverage(
-        figure5_coverage(runner, jobs=jobs))))
-    print("Table I census...", flush=True)
-    sections.insert(0, ("Table I", format_census(
-        table1_census(runner, jobs=jobs))))
+    try:
+        print("evaluating the 14-configuration sweep (Fig. 2)...", flush=True)
+        sections.append(("Figure 2", format_speedup_figure(
+            figure2_nonnumeric(runner, jobs=jobs, sweep=sweep),
+            "Fig. 2 (reproduced) — non-numeric GEOMEAN speedups")))
+        print("Fig. 3...", flush=True)
+        sections.append(("Figure 3", format_speedup_figure(
+            figure3_numeric(runner, jobs=jobs, sweep=sweep),
+            "Fig. 3 (reproduced) — numeric GEOMEAN speedups")))
+        print("Fig. 4...", flush=True)
+        sections.append(("Figure 4", format_figure4(
+            figure4_per_benchmark(runner, jobs=jobs, sweep=sweep))))
+        print("Fig. 5...", flush=True)
+        sections.append(("Figure 5", format_coverage(
+            figure5_coverage(runner, jobs=jobs, sweep=sweep))))
+        print("Table I census...", flush=True)
+        sections.insert(0, ("Table I", format_census(
+            table1_census(runner, jobs=jobs, sweep=sweep))))
+    except BaseException:
+        # Mark the run interrupted; its ledger already holds every
+        # completed task, so --resume RUN_ID picks up from here.
+        telemetry.finish(status="interrupted")
+        raise
+    telemetry.finish()
 
     for title, text in sections:
         print()
@@ -89,6 +128,10 @@ def main(argv):
     if runner.store is not None:
         print(f"profile store: {runner.store.root} "
               f"[{runner.store.stats.describe()}]")
+    print()
+    print("run telemetry " + "-" * 46)
+    print(format_run_summary(telemetry.summary()))
+    print(f"ledger: {telemetry.ledger_path}")
 
     if args.write_experiments_md:
         _write_experiments_md(sections)

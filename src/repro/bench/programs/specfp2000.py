@@ -180,20 +180,22 @@ int main() {
   for (w = 0; w < 8; w = w + 1) { RES[w] = 0.0; }
   RES[0] = -1000.0;
   for (f = 0; f < NF; f = f + 1) {
-    // Early read of the shared resonance level: the consumer sits at the
-    // top of the iteration, so when a (rare) producer from the previous
-    // iteration manifests, HELIX must stall nearly a whole iteration while
-    // Partial-DOALL pays a single restart.
-    float reso = RES[0];
-    float acc = reso * 0.0001;
+    // Every frame records its resonance late (blind write); only every
+    // 16th frame reads it back early, so conflicting iterations stay far
+    // below the 80 % serial cutoff (Partial-DOALL pays a few restarts).
+    // But each conflict is *adjacent* (read-at-top of f, written at the
+    // end of f-1), so HELIX would have to stall nearly a whole iteration
+    // per iteration -- its synchronized schedule shows no gain here.
+    int probe = f & 15;
+    float acc = 0.0;
+    if (probe == 0) {
+      acc = RES[0] * 0.0001;    // early read of the last resonance (rare)
+    }
     for (w = 0; w < NW; w = w + 1) {
       acc = acc + INP[(f + w) % 520] * WGT[w];
     }
     SCORE[f] = acc;
-    // Rare, late resonance update: a running max fires O(log n) times.
-    if (acc > reso) {
-      RES[0] = acc + 0.25;
-    }
+    RES[0] = acc;               // late write: every frame records
   }
   for (f = 0; f < NF; f = f + 1) { total = total + SCORE[f]; }
   for (w = 0; w < 8; w = w + 1) { total = total + RES[w]; }

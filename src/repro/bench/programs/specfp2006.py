@@ -183,20 +183,22 @@ int main() {
     COLSEED[c] = COLSEED[c - 1] * 0.25 + (noise_f64(c) - 0.5);
   }
   for (c = 0; c < NC; c = c + 1) {
-    // Early read of the incumbent (consumer at iteration top)...
-    float bound = BESTV[0];
-    float score = bound * 0.0001;
+    // Every column posts its price late (blind write); only every 16th
+    // column steers against the previous price early. Conflicts are rare
+    // (well under the 80 % serial cutoff) but adjacent -- the
+    // PDOALL-pays-a-restart / HELIX-stalls-a-whole-iteration shape.
+    int probe = c & 15;
+    float score = 0.0;
+    if (probe == 0) {
+      score = BESTV[0] * 0.0001;  // early read of the last price (rare)
+    }
     float x = COLSEED[c];
     for (r = 0; r < NR; r = r + 1) {
       x = x * 0.8 + 0.3;
       score = score + x * x - 0.4;
     }
     PRICE[c] = score;
-    // ...rare, late improving-column rewrite: a running max fires
-    // O(log n) times (producer at iteration end).
-    if (score > bound) {
-      BESTV[0] = score + 0.5;
-    }
+    BESTV[0] = score;             // late write: every column posts
   }
   for (c = 0; c < NC; c = c + 1) { total = total + PRICE[c]; }
   CHK = total + BESTV[0];
@@ -301,18 +303,21 @@ int main() {
     PREC[g] = noise_f64(g + 97) + 0.5;
   }
   for (f = 0; f < NF; f = f + 1) {
-    // Early read of the running normalizer; rare late rewrite below.
-    float norm = NORM[0];
-    float best = -1000.0 + norm * 0.0001;
+    // Every frame stores its normalizer late (blind write); only every
+    // 16th frame reads the previous one back early. Conflicts stay far
+    // below the 80 % serial cutoff but are adjacent, so HELIX would stall
+    // nearly a full iteration while Partial-DOALL pays a rare restart.
+    int probe = f & 15;
+    float best = -1000.0;
+    if (probe == 0) {
+      best = best + NORM[0] * 0.0001;  // early read of last norm (rare)
+    }
     for (g = 0; g < NG; g = g + 1) {
       float s = gauss(FEAT[f], MEAN[g], PREC[g]);
       if (s > best) { best = s; }
     }
     SCORE[f] = best;
-    // Running-max normalizer: rare, late rewrite.
-    if (best > norm) {
-      NORM[0] = best + 0.125;
-    }
+    NORM[0] = best + 0.125;            // late write: every frame stores
   }
   for (f = 0; f < NF; f = f + 1) { total = total + SCORE[f]; }
   CHK = total + NORM[0];

@@ -141,7 +141,9 @@ int main() {
 
 _MCF_06 = r"""
 // mcf_like06: SPP network simplex pricing, bigger arc set than the 2000
-// edition; rare late potential rewrites -> PDOALL wins (Fig. 4 429_mcf).
+// edition; only rare candidate arcs probe the shared dual (early read,
+// late rewrite) -> conflicting iterations stay far below the 80 % serial
+// cutoff and PDOALL wins (Fig. 4 429_mcf).
 int NA = 1800;
 int TAIL[1800]; int HEAD[1800]; int COST[1800];
 int POT[160];
@@ -163,7 +165,11 @@ int main() {
   for (a = 0; a < NA; a = a + 1) { TAIL[a] = (TAIL[a] >> 3) % 160; }
   DUAL[0] = 1000000;
   for (a = 0; a < NA; a = a + 1) {
-    int best = DUAL[0];                  // early read of the running min
+    int probe = COST[a] & 31;            // rare candidate arcs price the dual
+    int best = 0;
+    if (probe == 0) {
+      best = DUAL[0];                    // early read of the running min
+    }
     int red = COST[a] + POT[TAIL[a]] - POT[HEAD[a]];
     int w;
     int score = 0;
@@ -171,8 +177,10 @@ int main() {
       score = score + ((red * (w + 5)) & 511);
     }
     pushes = pushes + (score & 3);
-    if (red < best) {                    // rare (running min), late rewrite
-      DUAL[0] = red;
+    if (probe == 0) {
+      if (red < best) {                  // rare (running min), late rewrite
+        DUAL[0] = red;
+      }
     }
   }
   CHK = pushes;

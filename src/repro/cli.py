@@ -19,6 +19,10 @@ Commands:
 * ``bench``           — list the bundled benchmarks.
 * ``cache``           — inspect (``info``) or wipe (``clear``) the
   persistent profile store.
+* ``runs``            — inspect recorded sweep runs: ``list`` (default),
+  ``show RUN_ID`` (the run manifest: retries, cache hits, quarantines,
+  outcome tallies), ``clean``. Runs are written by ``figures --jobs``/
+  ``--resume`` and ``examples/full_paper_run.py``.
 """
 
 from __future__ import annotations
@@ -134,6 +138,7 @@ def _cmd_figures(args, out):
         format_coverage,
         format_speedup_figure,
     )
+    from .runtime.telemetry import RunTelemetry, format_run_summary
 
     runner = SuiteRunner(cache_dir=args.cache_dir)
     jobs = args.jobs
@@ -146,14 +151,35 @@ def _cmd_figures(args, out):
             print(f"{config.name:30s}{geomean(speedups.values()):>17.2f}x",
                   file=out)
         return 0
-    print(format_speedup_figure(
-        figure2_nonnumeric(runner, jobs=jobs), "Fig. 2 — non-numeric"),
-        file=out)
+    if args.resume:
+        telemetry = RunTelemetry.resume(args.resume, root=args.runs_dir)
+    else:
+        telemetry = RunTelemetry.create(root=args.runs_dir)
+    print(f"run id: {telemetry.run_id} "
+          f"(resume an interrupted run with --resume {telemetry.run_id})",
+          file=out)
+    sweep = {
+        "telemetry": telemetry,
+        "task_timeout": args.task_timeout,
+        "retries": args.retries,
+    }
+    try:
+        print(format_speedup_figure(
+            figure2_nonnumeric(runner, jobs=jobs, sweep=sweep),
+            "Fig. 2 — non-numeric"), file=out)
+        print(file=out)
+        print(format_speedup_figure(
+            figure3_numeric(runner, jobs=jobs, sweep=sweep),
+            "Fig. 3 — numeric"), file=out)
+        print(file=out)
+        print(format_coverage(
+            figure5_coverage(runner, jobs=jobs, sweep=sweep)), file=out)
+    except BaseException:
+        telemetry.finish(status="interrupted")
+        raise
+    telemetry.finish()
     print(file=out)
-    print(format_speedup_figure(
-        figure3_numeric(runner, jobs=jobs), "Fig. 3 — numeric"), file=out)
-    print(file=out)
-    print(format_coverage(figure5_coverage(runner, jobs=jobs)), file=out)
+    print(format_run_summary(telemetry.summary()), file=out)
     return 0
 
 
@@ -173,6 +199,37 @@ def _cmd_cache(args, out):
     print(f"  schema:  {info['schema']}", file=out)
     print(f"  entries: {info['entries']}", file=out)
     print(f"  size:    {info['size_bytes']} bytes", file=out)
+    return 0
+
+
+def _cmd_runs(args, out):
+    from .runtime.telemetry import (
+        format_run_summary,
+        format_runs_table,
+        list_runs,
+        load_manifest,
+        purge_runs,
+        runs_root,
+    )
+
+    root = args.runs_dir if args.runs_dir else runs_root()
+    if args.action == "clean":
+        removed = purge_runs(root)
+        print(f"removed {removed} recorded run(s) from {root}", file=out)
+        return 0
+    if args.action == "show":
+        if not args.run_id:
+            print("error: `repro runs show` needs a RUN_ID", file=sys.stderr)
+            return 1
+        manifest = load_manifest(args.run_id, root)
+        if manifest is None:
+            print(f"error: no run {args.run_id!r} under {root}",
+                  file=sys.stderr)
+            return 1
+        print(format_run_summary(manifest), file=out)
+        return 0
+    print(f"runs at {root}", file=out)
+    print(format_runs_table(list_runs(root)), file=out)
     return 0
 
 
@@ -212,6 +269,7 @@ def build_parser():
         ("figures", _cmd_figures, False),
         ("bench", _cmd_bench, False),
         ("cache", _cmd_cache, False),
+        ("runs", _cmd_runs, False),
     ):
         sub = commands.add_parser(name)
         sub.set_defaults(handler=handler)
@@ -232,6 +290,39 @@ def build_parser():
             sub.add_argument(
                 "--cache-dir", default=None,
                 help="profile-store directory (default: shared user cache)",
+            )
+            sub.add_argument(
+                "--resume", default=None, metavar="RUN_ID",
+                help="resume an interrupted run from its ledger "
+                     "(see `repro runs`)",
+            )
+            sub.add_argument(
+                "--task-timeout", type=float, default=None, metavar="SECONDS",
+                help="per-task result timeout; a timed-out task is retried "
+                     "and eventually quarantined to the serial path",
+            )
+            sub.add_argument(
+                "--retries", type=int, default=2,
+                help="retry attempts (with exponential backoff) before a "
+                     "failing task is quarantined (default: 2)",
+            )
+            sub.add_argument(
+                "--runs-dir", default=None,
+                help="run-ledger directory (default: ~/.cache/repro/runs "
+                     "or REPRO_RUNS_DIR)",
+            )
+        if name == "runs":
+            sub.add_argument(
+                "action", choices=("list", "show", "clean"), nargs="?",
+                default="list", help="list runs, show one manifest, or "
+                "delete all recorded runs",
+            )
+            sub.add_argument("run_id", nargs="?", default=None,
+                             help="run id (for `show`)")
+            sub.add_argument(
+                "--runs-dir", default=None,
+                help="run-ledger directory (default: ~/.cache/repro/runs "
+                     "or REPRO_RUNS_DIR)",
             )
         if name == "cache":
             sub.add_argument(

@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..predictors.hybrid import perfect_hybrid_flags
+from .config import LPConfig
 from ..runtime.cost_models import (
     PDOALL_SERIAL_THRESHOLD,
     ModelOutcome,
@@ -152,6 +153,34 @@ class LoopSummary:
         if reason:
             self.reasons[reason] = self.reasons.get(reason, 0) + 1
 
+    def to_dict(self):
+        """JSON-safe form for the run ledger; floats round-trip exactly."""
+        return {
+            "loop_id": self.loop_id,
+            "invocations": self.invocations,
+            "parallel_invocations": self.parallel_invocations,
+            "serial_cost": self.serial_cost,
+            "parallel_cost": self.parallel_cost,
+            "iterations": self.iterations,
+            "conflicting_iterations": self.conflicting_iterations,
+            "reasons": dict(self.reasons),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        summary = cls(data["loop_id"])
+        summary.invocations = int(data["invocations"])
+        summary.parallel_invocations = int(data["parallel_invocations"])
+        summary.serial_cost = float(data["serial_cost"])
+        summary.parallel_cost = float(data["parallel_cost"])
+        summary.iterations = int(data["iterations"])
+        summary.conflicting_iterations = int(data["conflicting_iterations"])
+        summary.reasons = {
+            reason: int(count)
+            for reason, count in (data.get("reasons") or {}).items()
+        }
+        return summary
+
     def __repr__(self):
         return (
             f"<LoopSummary {self.loop_id} x{self.invocations} "
@@ -174,6 +203,33 @@ class EvaluationResult:
         if self.total_parallel <= 0:
             return 1.0
         return self.total_serial / self.total_parallel
+
+    def to_dict(self):
+        """Ledger checkpoint form. JSON floats round-trip via ``repr``, so
+        a deserialized result renders byte-identical figure text."""
+        return {
+            "config": self.config.name,
+            "total_serial": self.total_serial,
+            "total_parallel": self.total_parallel,
+            "coverage": self.coverage,
+            "loops": {
+                loop_id: summary.to_dict()
+                for loop_id, summary in self.loops.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            LPConfig.parse(data["config"]),
+            float(data["total_serial"]),
+            float(data["total_parallel"]),
+            float(data["coverage"]),
+            {
+                loop_id: LoopSummary.from_dict(entry)
+                for loop_id, entry in (data.get("loops") or {}).items()
+            },
+        )
 
     def __repr__(self):
         return (
@@ -276,8 +332,11 @@ def _apply_model(invocation, static, config, cache, forced_serial, eff_costs,
         return outcome, len(pairs)
     if config.model == "pdoall":
         breaks = pdoall_phase_breaks(pairs, n)
-        outcome = pdoall_cost(eff_costs, breaks, serial)
-        return outcome, len(breaks)
+        # The 80 % cutoff is on conflicting *iterations*, not phase breaks:
+        # conflicts absorbed by an earlier phase break still count.
+        conflicts = sum(1 for consumer in pairs if 0 < consumer < n)
+        outcome = pdoall_cost(eff_costs, breaks, serial, conflicts=conflicts)
+        return outcome, conflicts
     # HELIX: scale serial-time skews by the invocation's shrink factor.
     raw_total = invocation.serial_cost
     scale = (serial / raw_total) if raw_total > 0 else 1.0

@@ -25,6 +25,15 @@ from .serialize import (
     save_profile,
 )
 from .recorder import ProfilingRuntime
+from .telemetry import (
+    RunTelemetry,
+    format_run_summary,
+    format_runs_table,
+    list_runs,
+    load_manifest,
+    purge_runs,
+    runs_root,
+)
 
 __all__ = [
     "CallRecord",
@@ -34,6 +43,13 @@ __all__ = [
     "PDOALL_SERIAL_THRESHOLD",
     "ProfilingRuntime",
     "ProgramProfile",
+    "RunTelemetry",
+    "format_run_summary",
+    "format_runs_table",
+    "list_runs",
+    "load_manifest",
+    "purge_runs",
+    "runs_root",
     "doacross_cost",
     "doall_cost",
     "helix_cost",

@@ -82,12 +82,22 @@ def pdoall_phase_breaks(conflict_pairs, n):
     return breaks
 
 
-def pdoall_cost(iter_costs, breaks, serial=None):
-    """Partial-DOALL phase simulation over precomputed phase breaks."""
+def pdoall_cost(iter_costs, breaks, serial=None, conflicts=None):
+    """Partial-DOALL phase simulation over precomputed phase breaks.
+
+    ``conflicts`` is the number of *conflicting iterations* — the quantity
+    the paper's 80 % serial cutoff is defined on. It can exceed
+    ``len(breaks)``: a conflict whose producer committed in an earlier
+    phase is absorbed (no restart, no break) but still counts against the
+    threshold. Callers that only know the breaks may omit it, in which
+    case the break count is used as a lower bound.
+    """
     n = len(iter_costs)
     if n == 0:
         return ModelOutcome(0.0, True)
-    if len(breaks) / n > PDOALL_SERIAL_THRESHOLD:
+    if conflicts is None:
+        conflicts = len(breaks)
+    if conflicts / n > PDOALL_SERIAL_THRESHOLD:
         return serial_outcome(iter_costs, "conflict-rate", serial)
     costs = np.asarray(iter_costs, dtype=float)
     if breaks:

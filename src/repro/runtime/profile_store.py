@@ -60,9 +60,22 @@ def default_cache_root():
     return pathlib.Path.home() / ".cache" / "repro" / "profiles"
 
 
+#: Environment values that do NOT disable the cache. Historically any
+#: non-empty value (including "0" and "false") turned caching off.
+_FALSY_ENV = frozenset({"", "0", "false", "no", "off"})
+
+
 def cache_enabled():
-    """False when the user disabled the default cache via the environment."""
-    return not os.environ.get("REPRO_NO_PROFILE_CACHE")
+    """False when the user disabled the default cache via the environment.
+
+    ``REPRO_NO_PROFILE_CACHE`` follows the usual boolean-env contract:
+    ``1``/``true``/``yes`` (any casing) disable the cache; unset, empty,
+    ``0``, ``false``, ``no``, and ``off`` leave it enabled.
+    """
+    value = os.environ.get("REPRO_NO_PROFILE_CACHE")
+    if value is None:
+        return True
+    return value.strip().lower() in _FALSY_ENV
 
 
 class ProfileStoreStats:

@@ -82,6 +82,43 @@ class TestPDOALL:
     def test_threshold_constant_matches_paper(self):
         assert PDOALL_SERIAL_THRESHOLD == 0.80
 
+    def test_conflicts_param_overrides_break_count(self):
+        # Regression: the 80 % cutoff is defined on conflicting
+        # *iterations*, not phase breaks. A producer at iteration 0 with
+        # reads everywhere after produces a single break (the first read
+        # commits the write for the rest) but every reader conflicted.
+        costs = [10] * 10
+        assert pdoall_cost(costs, [1], conflicts=1).parallel
+        outcome = pdoall_cost(costs, [1], conflicts=9)
+        assert not outcome.parallel
+        assert outcome.reason == "conflict-rate"
+
+    def test_boundary_exactly_eighty_percent_is_parallel(self):
+        # conflicts / n == 0.8 exactly: the rule is "*more than* 80 %".
+        costs = [1, 2, 3, 4, 50]
+        outcome = pdoall_cost(costs, [4], conflicts=4)
+        assert outcome.parallel
+
+    def test_boundary_just_above_eighty_percent_is_serial(self):
+        costs = [1, 2, 3, 4, 50]
+        outcome = pdoall_cost(costs, [4], conflicts=5)
+        assert not outcome.parallel
+        assert outcome.reason == "conflict-rate"
+        assert outcome.cost == sum(costs)
+
+    def test_conflicts_default_falls_back_to_breaks(self):
+        costs = [10] * 10
+        assert pdoall_cost(costs, list(range(1, 9))).parallel      # 8/10
+        assert not pdoall_cost(costs, list(range(1, 10))).parallel  # 9/10
+
+    def test_exact_tie_with_serial_is_serial(self):
+        # Phases cost exactly the serial sum: the model must not claim a
+        # parallel win on a tie.
+        outcome = pdoall_cost([10, 10], [1], serial=20.0)
+        assert not outcome.parallel
+        assert outcome.reason == "no-gain"
+        assert outcome.cost == 20.0
+
 
 class TestHELIX:
     def test_paper_formula(self):
@@ -105,6 +142,23 @@ class TestHELIX:
         assert outcome.parallel
         assert outcome.cost == 28
 
+    def test_exact_tie_with_serial_is_serial(self):
+        # 2 iterations of 10, delta 5 -> 10 + 5*2 = 20 == serial 20.
+        # Ties break toward serial: no speculative win without real gain.
+        outcome = helix_cost([10, 10], 5.0)
+        assert not outcome.parallel
+        assert outcome.reason == "sync-bound"
+        assert outcome.cost == 20
+
+    def test_explicit_serial_used_for_tie_break(self):
+        # Caller-supplied serial participates in the comparison.
+        assert helix_cost([10, 10], 5.0, serial=21.0).parallel
+        assert not helix_cost([10, 10], 5.0, serial=20.0).parallel
+
+    def test_empty_loop(self):
+        outcome = helix_cost([], 3.0)
+        assert outcome.parallel and outcome.cost == 0
+
 
 class TestDOACROSS:
     def test_single_sync_point_uses_span(self):
@@ -121,3 +175,45 @@ class TestDOACROSS:
     def test_no_deps_parallel(self):
         outcome = doacross_cost([5, 7], [], [])
         assert outcome.parallel and outcome.cost == 7
+
+    def test_empty_loop(self):
+        outcome = doacross_cost([], [3.0], [1.0])
+        assert outcome.parallel and outcome.cost == 0
+
+    def test_span_formula(self):
+        # delta = max(producer) - min(consumer) = 18 - 2 = 16.
+        outcome = doacross_cost([20] * 10, [4.0, 18.0], [2.0, 16.0])
+        assert outcome.parallel
+        assert outcome.cost == 20 + 16.0 * 10
+
+    def test_negative_span_clamped_to_zero(self):
+        # Producers resolve before any consumer needs them: no stall.
+        outcome = doacross_cost([10, 30, 20], [2.0], [5.0])
+        assert outcome.parallel
+        assert outcome.cost == 30
+
+    def test_exact_tie_with_serial_is_serial(self):
+        # span delta 5 on [10, 10]: 10 + 5*2 = 20 == serial 20 -> serial.
+        outcome = doacross_cost([10, 10], [6.0], [1.0])
+        assert not outcome.parallel
+        assert outcome.reason == "sync-bound"
+
+
+class TestSerialOutcome:
+    def test_sums_costs(self):
+        from repro.runtime.cost_models import serial_outcome
+
+        outcome = serial_outcome([1, 2, 3], "why")
+        assert not outcome.parallel
+        assert outcome.cost == 6
+        assert outcome.reason == "why"
+
+    def test_explicit_serial_skips_resum(self):
+        from repro.runtime.cost_models import serial_outcome
+
+        assert serial_outcome([1, 2, 3], "why", serial=6.0).cost == 6.0
+
+    def test_empty(self):
+        from repro.runtime.cost_models import serial_outcome
+
+        assert serial_outcome([], "why").cost == 0.0

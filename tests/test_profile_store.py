@@ -17,6 +17,7 @@ from repro.core.framework import Loopapalooza
 from repro.runtime.profile_store import (
     PROFILE_CACHE_SCHEMA,
     ProfileStore,
+    cache_enabled,
     default_cache_root,
 )
 
@@ -143,3 +144,22 @@ def test_clear_and_info(source, store):
 def test_default_root_override(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
     assert default_cache_root() == tmp_path / "elsewhere"
+
+
+class TestCacheEnabledEnv:
+    """Regression: REPRO_NO_PROFILE_CACHE=0 used to *disable* the cache
+    because any non-empty value was treated as truthy."""
+
+    def test_unset_means_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_PROFILE_CACHE", raising=False)
+        assert cache_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "False", "no", "off", " 0 ", "OFF"])
+    def test_falsy_values_keep_cache_enabled(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_NO_PROFILE_CACHE", value)
+        assert cache_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "TRUE", "yes", "on", "anything"])
+    def test_truthy_values_disable_cache(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_NO_PROFILE_CACHE", value)
+        assert not cache_enabled()

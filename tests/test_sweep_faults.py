@@ -1,0 +1,132 @@
+"""Fault tolerance of the parallel sweep engine.
+
+Pins the tentpole contract: a worker that dies mid-sweep (simulated with
+the ``REPRO_SWEEP_FAULT_SENTINEL`` hook, which SIGKILLs a worker from
+inside the task) must not change a single reported float — the sweep
+retries, or quarantines the task onto the serial path, and the grid comes
+out identical to an undisturbed run. Also covers the ``jobs`` argument
+contract and ledger-based resume through ``evaluate_many``.
+"""
+
+import pytest
+
+import repro.bench.suites as suites_mod
+from repro.bench.suites import FAULT_SENTINEL_ENV, SuiteRunner, suite_programs
+from repro.core.framework import FrameworkError
+from repro.runtime.telemetry import RunTelemetry
+
+CONFIGS = ("doall:reduc1-dep0-fn0", "helix:reduc1-dep1-fn2")
+
+
+def _programs():
+    return suite_programs("eembc")[:3]
+
+
+def _flat(grid):
+    return {
+        (full_name, config_name): (
+            result.speedup, result.coverage,
+            result.total_serial, result.total_parallel,
+        )
+        for full_name, row in grid.items()
+        for config_name, result in row.items()
+    }
+
+
+@pytest.fixture()
+def baseline(tmp_path):
+    runner = SuiteRunner(cache_dir=tmp_path / "baseline")
+    return _flat(runner.evaluate_many(_programs(), CONFIGS))
+
+
+class TestJobsArgument:
+    def test_jobs_below_one_rejected(self, tmp_path):
+        runner = SuiteRunner(cache_dir=tmp_path / "c")
+        for bad in (0, -1, -7):
+            with pytest.raises(FrameworkError, match="positive worker count"):
+                runner.evaluate_many(_programs()[:1], CONFIGS, jobs=bad)
+
+    def test_jobs_one_is_serial_fast_path(self, tmp_path, monkeypatch,
+                                          baseline):
+        # jobs=1 must never spawn a pool: poison the executor to prove it.
+        def _no_pool(*args, **kwargs):
+            raise AssertionError("jobs=1 must not build a process pool")
+
+        monkeypatch.setattr(suites_mod, "ProcessPoolExecutor", _no_pool)
+        runner = SuiteRunner(cache_dir=tmp_path / "one")
+        grid = runner.evaluate_many(_programs(), CONFIGS, jobs=1)
+        assert _flat(grid) == baseline
+
+
+class TestFaultInjection:
+    def test_single_worker_kill_is_retried(self, tmp_path, monkeypatch,
+                                           baseline):
+        # The sentinel file arms exactly one SIGKILL fleet-wide; the sweep
+        # must absorb it via retry and still match the undisturbed grid.
+        monkeypatch.setenv(
+            FAULT_SENTINEL_ENV, str(tmp_path / "fault-sentinel")
+        )
+        runner = SuiteRunner(cache_dir=tmp_path / "faulty")
+        telemetry = RunTelemetry.create(root=tmp_path / "runs")
+        grid = runner.evaluate_many(
+            _programs(), CONFIGS, jobs=2, telemetry=telemetry, retries=3
+        )
+        telemetry.finish()
+        assert (tmp_path / "fault-sentinel").exists()
+        assert _flat(grid) == baseline
+        assert telemetry.retries >= 1
+        assert not telemetry.quarantined
+
+    def test_persistent_crash_quarantines_to_serial(self, tmp_path,
+                                                    monkeypatch, baseline):
+        # "always" kills every pool task on every attempt: the engine must
+        # give up on the pool and finish the grid on the serial path.
+        monkeypatch.setenv(FAULT_SENTINEL_ENV, "always")
+        runner = SuiteRunner(cache_dir=tmp_path / "doomed")
+        telemetry = RunTelemetry.create(root=tmp_path / "runs")
+        grid = runner.evaluate_many(
+            _programs(), CONFIGS, jobs=2, telemetry=telemetry, retries=1
+        )
+        telemetry.finish()
+        assert _flat(grid) == baseline
+        assert telemetry.quarantined
+        manifest = telemetry.summary()
+        assert manifest["tasks_done"] == len(_programs())
+
+
+class TestLedgerResume:
+    def test_resumed_sweep_restores_without_reeval(self, tmp_path, baseline):
+        runs_root = tmp_path / "runs"
+        first = SuiteRunner(cache_dir=tmp_path / "shared")
+        telemetry = RunTelemetry.create(root=runs_root)
+        first.evaluate_many(_programs(), CONFIGS, telemetry=telemetry)
+        telemetry.finish(status="interrupted")
+
+        # A brand-new process (fresh runner, empty in-memory caches, no
+        # profile store) resumes purely from the ledger.
+        resumed = RunTelemetry.resume(telemetry.run_id, root=runs_root)
+        second = SuiteRunner(cache_dir=tmp_path / "cold")
+        grid = second.evaluate_many(_programs(), CONFIGS, telemetry=resumed)
+        resumed.finish()
+        assert _flat(grid) == baseline
+        assert resumed.resumed == len(_programs())
+        assert second.profiles_measured == 0
+
+    def test_partial_ledger_resumes_only_covered_tasks(self, tmp_path,
+                                                       baseline):
+        runs_root = tmp_path / "runs"
+        programs = _programs()
+        first = SuiteRunner(cache_dir=tmp_path / "shared")
+        telemetry = RunTelemetry.create(root=runs_root)
+        # Simulate an interrupt after the first task only.
+        first.evaluate_many(programs[:1], CONFIGS, telemetry=telemetry)
+        telemetry.finish(status="interrupted")
+
+        resumed = RunTelemetry.resume(telemetry.run_id, root=runs_root)
+        second = SuiteRunner(cache_dir=tmp_path / "cold")
+        grid = second.evaluate_many(programs, CONFIGS, telemetry=resumed)
+        resumed.finish()
+        assert _flat(grid) == baseline
+        assert resumed.resumed == 1
+        # Only the uncovered benchmarks were re-profiled.
+        assert second.profiles_measured == len(programs) - 1

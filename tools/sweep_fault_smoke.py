@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""End-to-end fault-tolerance smoke for the sweep engine.
+
+Three sweeps over the same (benchmark x config) slice:
+
+1. **baseline** — undisturbed serial run; its rendered text is the truth.
+2. **faulted** — parallel run with ``REPRO_SWEEP_FAULT_SENTINEL`` armed:
+   exactly one worker SIGKILLs itself mid-sweep. The engine must absorb
+   the kill (retry on a fresh pool), the manifest must record the retry,
+   and the rendered text must match the baseline byte-for-byte.
+3. **resumed** — the faulted run is "interrupted" and resumed by a fresh
+   runner with cold in-process caches and no profile store: every task
+   must be served from the run ledger, re-profiling nothing, and the
+   rendered text must again match byte-for-byte.
+
+Exit status 0 only if all assertions hold. Run via
+``make sweep-fault-smoke``.
+"""
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.suites import (  # noqa: E402
+    FAULT_SENTINEL_ENV,
+    SuiteRunner,
+    suite_programs,
+)
+from repro.runtime.telemetry import RunTelemetry  # noqa: E402
+
+CONFIGS = ("doall:reduc1-dep0-fn0", "pdoall:reduc1-dep2-fn2")
+
+
+def render(grid):
+    """Deterministic figure-style text for a grid (repr-exact floats)."""
+    lines = []
+    for full_name, row in grid.items():
+        for config_name, result in row.items():
+            lines.append(
+                f"{full_name:40s} {config_name:24s} "
+                f"{result.speedup!r} {result.coverage!r}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def main():
+    programs = suite_programs("eembc")[:3]
+    failures = []
+
+    with tempfile.TemporaryDirectory(prefix="repro-fault-smoke-") as tmp:
+        runs_root = os.path.join(tmp, "runs")
+
+        print("== baseline (serial, undisturbed) ==")
+        baseline_runner = SuiteRunner(cache_dir=os.path.join(tmp, "base"))
+        baseline = render(baseline_runner.evaluate_many(programs, CONFIGS))
+        sys.stdout.write(baseline)
+
+        print("== faulted (one worker SIGKILLed mid-sweep) ==")
+        sentinel = os.path.join(tmp, "fault-sentinel")
+        os.environ[FAULT_SENTINEL_ENV] = sentinel
+        try:
+            telemetry = RunTelemetry.create(root=runs_root)
+            faulted_runner = SuiteRunner(cache_dir=os.path.join(tmp, "flt"))
+            faulted = render(faulted_runner.evaluate_many(
+                programs, CONFIGS, jobs=2, telemetry=telemetry, retries=3,
+            ))
+            telemetry.finish(status="interrupted")
+        finally:
+            del os.environ[FAULT_SENTINEL_ENV]
+        sys.stdout.write(faulted)
+
+        if not os.path.exists(sentinel):
+            failures.append("fault was never injected (sentinel not claimed)")
+        if telemetry.retries < 1:
+            failures.append(
+                f"manifest records {telemetry.retries} retries, expected >= 1"
+            )
+        if faulted != baseline:
+            failures.append("faulted sweep text differs from baseline")
+
+        print("== resumed (fresh process, ledger only) ==")
+        resumed_tel = RunTelemetry.resume(telemetry.run_id, root=runs_root)
+        resumed_runner = SuiteRunner(
+            cache_dir=os.path.join(tmp, "cold"))
+        resumed = render(resumed_runner.evaluate_many(
+            programs, CONFIGS, telemetry=resumed_tel,
+        ))
+        resumed_tel.finish()
+        sys.stdout.write(resumed)
+
+        if resumed != baseline:
+            failures.append("resumed sweep text differs from baseline")
+        if resumed_tel.resumed != len(programs):
+            failures.append(
+                f"{resumed_tel.resumed}/{len(programs)} tasks restored "
+                "from the ledger"
+            )
+        if resumed_runner.profiles_measured != 0:
+            failures.append(
+                f"resume re-profiled {resumed_runner.profiles_measured} "
+                "benchmarks (expected 0)"
+            )
+
+        print(f"== manifest == {telemetry.describe()}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("sweep-fault-smoke: OK (retry + resume byte-identical to baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
