@@ -3,7 +3,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: install test bench sweep-smoke sweep-fault-smoke figures examples clean
+.PHONY: install test bench bench-interp sweep-smoke sweep-fault-smoke figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,6 +14,9 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only \
 		--benchmark-json=BENCH_infrastructure.json
+
+bench-interp:
+	python tools/bench_interp.py
 
 sweep-smoke:
 	python -c "\

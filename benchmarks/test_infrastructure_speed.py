@@ -8,6 +8,10 @@
 Run: ``pytest benchmarks/test_infrastructure_speed.py --benchmark-only``
 """
 
+import time
+
+import pytest
+
 from repro.bench import find_program
 from repro.core import BEST_HELIX, Loopapalooza
 from repro.core.evaluator import evaluate_config
@@ -23,11 +27,14 @@ def test_compile_throughput(benchmark):
     assert module.get_function("main").blocks
 
 
-def test_interpreter_throughput(benchmark):
+@pytest.mark.parametrize("backend", ["closure", "jit"])
+def test_interpreter_throughput(benchmark, backend):
     module = compile_source(KERNEL)
+    # Warm run outside the timer: fuses closures / compiles JIT templates.
+    Interpreter(module, backend=backend).run("main")
 
     def run():
-        machine = Interpreter(module)
+        machine = Interpreter(module, backend=backend)
         machine.run("main")
         return machine.cost
 
@@ -37,22 +44,24 @@ def test_interpreter_throughput(benchmark):
     benchmark.extra_info["ir_instructions"] = cost
 
 
-def test_profiling_overhead(benchmark):
+@pytest.mark.parametrize("backend", ["closure", "jit"])
+def test_profiling_overhead(benchmark, backend):
     """One instrumented profiling run over a precompiled module.
 
     Compilation and the uninstrumented baseline happen once, outside the
     timer, so the measurement isolates the profiling overhead itself (and
     never touches the persistent profile store). The assertion is the
-    fast-path invariant: instrumentation — hooks, batching, fused blocks —
-    must not change the dynamic IR instruction count.
+    fast-path invariant: instrumentation — hooks, batching, fused blocks,
+    JIT event buffers — must not change the dynamic IR instruction count.
     """
-    lp = Loopapalooza(KERNEL, "overhead_probe")
+    lp = Loopapalooza(KERNEL, "overhead_probe", backend=backend)
     baseline_cost = lp.run_uninstrumented()[1]
 
     def profile_instrumented():
         runtime = ProfilingRuntime("overhead_probe")
         machine = Interpreter(
-            lp.module, runtime, lp.instrumentation, fuel=lp.fuel
+            lp.module, runtime, lp.instrumentation, fuel=lp.fuel,
+            backend=backend,
         )
         runtime.attach(machine)
         result = machine.run("main")
@@ -61,6 +70,29 @@ def test_profiling_overhead(benchmark):
     cost = benchmark(profile_instrumented)
     assert cost == baseline_cost
     benchmark.extra_info["baseline_cost"] = baseline_cost
+
+
+def _best_wall(module, backend, repeats=3):
+    Interpreter(module, backend=backend).run("main")  # warm
+    times = []
+    for _ in range(repeats):
+        machine = Interpreter(module, backend=backend)
+        start = time.perf_counter()
+        machine.run("main")
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_jit_speed_gate():
+    """The JIT backend's reason to exist: on a numeric kernel it must beat
+    the closure interpreter by a healthy margin (measured ~3x; gated at
+    1.5x to absorb machine noise)."""
+    module = compile_source(KERNEL)
+    closure = _best_wall(module, "closure")
+    jit = _best_wall(module, "jit")
+    assert jit * 1.5 <= closure, (
+        f"JIT {jit:.3f}s vs closure {closure:.3f}s — under the 1.5x gate"
+    )
 
 
 def test_evaluation_latency(benchmark):

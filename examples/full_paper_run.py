@@ -17,6 +17,9 @@ Options:
                            task is quarantined to the serial path
   --runs-dir DIR           run-ledger location (default:
                            ~/.cache/repro/runs or REPRO_RUNS_DIR)
+  --no-jit                 run on the closure interpreter instead of the
+                           JIT backend (REPRO_NO_JIT=1); output is
+                           byte-identical, only slower
 
 A cold run profiles the 48 synthetic benchmarks and sweeps the
 14-configuration grid (~30 s). Warm runs reuse the persistent profile
@@ -26,6 +29,7 @@ and produces byte-identical output.
 """
 
 import argparse
+import os
 import pathlib
 import sys
 import time
@@ -71,7 +75,12 @@ def main(argv):
                         help="retries before quarantining a task")
     parser.add_argument("--runs-dir", default=None,
                         help="run-ledger directory")
+    parser.add_argument("--no-jit", action="store_true",
+                        help="use the closure interpreter backend")
     args = parser.parse_args(argv)
+    if args.no_jit:
+        # Environment so pool workers inherit the backend choice.
+        os.environ["REPRO_NO_JIT"] = "1"
 
     start = time.time()
     runner = SuiteRunner(cache_dir=args.cache_dir)
@@ -114,6 +123,7 @@ def main(argv):
         # completed task, so --resume RUN_ID picks up from here.
         telemetry.finish(status="interrupted")
         raise
+    telemetry.record_cache_stats(_cache_stats(runner))
     telemetry.finish()
 
     for title, text in sections:
@@ -136,6 +146,21 @@ def main(argv):
     if args.write_experiments_md:
         _write_experiments_md(sections)
         print("EXPERIMENTS.md updated.")
+
+
+def _cache_stats(runner):
+    """End-of-run cache snapshot for the manifest. Entry counts and sizes
+    are read from disk (global truth); hit/miss counters only cover this
+    process — pool workers keep their own tallies."""
+    from repro.runtime.profile_store import default_code_cache
+
+    stats = {}
+    if runner.store is not None:
+        stats["profile_store"] = runner.store.info()
+    code_cache = default_code_cache()
+    if code_cache is not None:
+        stats["code_cache"] = code_cache.info()
+    return stats
 
 
 def _write_experiments_md(sections):

@@ -77,10 +77,16 @@ class Loop:
     def single_latch(self):
         return self.latches[0] if len(self.latches) == 1 else None
 
+    def blocks_in_function_order(self):
+        """The loop body in function block order — ``self.blocks`` is a set,
+        so iterating it directly gives a run-to-run varying order; every
+        consumer whose output shape depends on it must use this instead."""
+        return [b for b in self.function.blocks if b in self.blocks]
+
     def exiting_blocks(self, cfg):
         """Blocks inside the loop with a successor outside it."""
         result = []
-        for block in self.blocks:
+        for block in self.blocks_in_function_order():
             if any(succ not in self.blocks for succ in cfg.successors(block)):
                 result.append(block)
         return result
@@ -88,7 +94,7 @@ class Loop:
     def exit_blocks(self, cfg):
         """Blocks outside the loop that are targets of edges from inside."""
         seen = []
-        for block in self.blocks:
+        for block in self.blocks_in_function_order():
             for successor in cfg.successors(block):
                 if successor not in self.blocks and successor not in seen:
                     seen.append(successor)
@@ -97,7 +103,7 @@ class Loop:
     def exit_edges(self, cfg):
         """All ``(inside_block, outside_block)`` edges leaving the loop."""
         edges = []
-        for block in self.blocks:
+        for block in self.blocks_in_function_order():
             for successor in cfg.successors(block):
                 if successor not in self.blocks:
                     edges.append((block, successor))

@@ -17,8 +17,9 @@ Commands:
   the sweep out over a process pool, ``--cache-dir`` relocates the
   profile store).
 * ``bench``           — list the bundled benchmarks.
-* ``cache``           — inspect (``info``) or wipe (``clear``) the
-  persistent profile store.
+* ``cache``           — inspect (``info``), wipe (``clear``), or summarize
+  (``stats``) the persistent caches: the profile store plus the JIT code
+  cache, with hit/miss tallies from the most recent recorded run.
 * ``runs``            — inspect recorded sweep runs: ``list`` (default),
   ``show RUN_ID`` (the run manifest: retries, cache hits, quarantines,
   outcome tallies), ``clean``. Runs are written by ``figures --jobs``/
@@ -28,6 +29,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .core.config import LPConfig, paper_configurations
@@ -194,11 +196,46 @@ def _cmd_cache(args, out):
         print(f"removed {removed} cached profile(s) from {store.root}",
               file=out)
         return 0
+    if args.action == "stats":
+        return _cache_stats(args, out, store)
     info = store.info()
     print(f"profile cache at {info['root']}", file=out)
     print(f"  schema:  {info['schema']}", file=out)
     print(f"  entries: {info['entries']}", file=out)
     print(f"  size:    {info['size_bytes']} bytes", file=out)
+    return 0
+
+
+def _cache_stats(args, out, store):
+    """``repro cache stats`` — both persistent caches side by side, plus
+    the hit/miss tallies recorded by the most recent run."""
+    from .runtime.profile_store import CodeCache, default_code_cache_root
+    from .runtime.telemetry import list_runs
+
+    code_cache = CodeCache(default_code_cache_root())
+    for label, info in (
+        ("profile store", store.info()),
+        ("code cache", code_cache.info()),
+    ):
+        print(f"{label} at {info['root']}", file=out)
+        print(f"  schema:  {info['schema']}", file=out)
+        print(f"  entries: {info['entries']}", file=out)
+        print(f"  size:    {info['size_bytes']} bytes", file=out)
+    runs = list_runs(args.runs_dir)
+    if not runs:
+        print("no recorded runs (hit/miss tallies appear after a sweep)",
+              file=out)
+        return 0
+    manifest = runs[0]
+    print(f"last run {manifest.get('run_id', '?')} "
+          f"[{manifest.get('status', '?')}]", file=out)
+    print(f"  profile cache: {manifest.get('cache_hits', 0)} hits, "
+          f"{manifest.get('cache_misses', 0)} misses", file=out)
+    for name, stats in sorted((manifest.get("cache_stats") or {}).items()):
+        print(f"  {name}: {stats.get('entries', 0)} entries, "
+              f"{stats.get('size_bytes', 0)} bytes, "
+              f"{stats.get('hits', 0)} hits, {stats.get('misses', 0)} misses",
+              file=out)
     return 0
 
 
@@ -258,6 +295,12 @@ def build_parser():
     )
     parser.add_argument("--fuel", type=int, default=200_000_000,
                         help="dynamic IR instruction budget")
+    parser.add_argument(
+        "--no-jit", action="store_true",
+        help="run on the closure interpreter instead of the JIT backend "
+             "(equivalent to REPRO_NO_JIT=1; profiles are identical either "
+             "way, this only trades speed for simplicity)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     for name, handler, needs_file in (
@@ -326,12 +369,18 @@ def build_parser():
             )
         if name == "cache":
             sub.add_argument(
-                "action", choices=("info", "clear"), nargs="?",
-                default="info", help="inspect or wipe the profile store",
+                "action", choices=("info", "clear", "stats"), nargs="?",
+                default="info", help="inspect or wipe the profile store, or "
+                "summarize both caches with the last run's hit/miss tallies",
             )
             sub.add_argument(
                 "--cache-dir", default=None,
                 help="profile-store directory (default: shared user cache)",
+            )
+            sub.add_argument(
+                "--runs-dir", default=None,
+                help="run-ledger directory consulted by `stats` (default: "
+                     "~/.cache/repro/runs or REPRO_RUNS_DIR)",
             )
     return parser
 
@@ -340,6 +389,10 @@ def main(argv=None, out=None):
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.no_jit:
+        # Environment, not a constructor argument: worker processes spawned
+        # by `figures --jobs` must inherit the backend choice too.
+        os.environ["REPRO_NO_JIT"] = "1"
     try:
         return args.handler(args, out)
     except ReproError as error:

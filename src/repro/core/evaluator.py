@@ -56,6 +56,9 @@ class ProfileCache:
         self._raw_serial = {}
         self._invocations = None
         self._lcd_keys = {}
+        self._records = None
+        self._records_static = None
+        self._top = None
 
     def predictor_flags(self, invocation, phi_key):
         """Perfect-hybrid correctness flags for the phi's latch values."""
@@ -119,6 +122,87 @@ class ProfileCache:
                 keys.extend(static.phis_of_class(PHI_REDUCTION))
             self._lcd_keys[key] = keys
         return keys
+
+    def records(self, static_info):
+        """Config-independent per-invocation records, children-first.
+
+        One record per invocation, in the bottom-up order
+        ``_evaluate_once`` walks, with everything that does not depend on
+        the configuration precomputed: the static-loop lookup, child
+        record indices (so outcome arrays can be plain lists instead of
+        ``id()``-keyed dicts), the shared leaf cost arrays with their sum
+        and max, and the fn-flag serialization table. Rebuilding only
+        happens if a different ``static_info`` is passed (never in
+        practice: the cache and the static info belong to one instance).
+        """
+        if self._records is not None and self._records_static is static_info:
+            return self._records
+        reversed_invs = list(reversed(self.invocations()))
+        position = {id(inv): i for i, inv in enumerate(reversed_invs)}
+        loops = static_info.loops
+        records = []
+        for inv in reversed_invs:
+            rec = _InvRecord()
+            rec.inv = inv
+            rec.loop_id = inv.loop_id
+            rec.serial_cost_f = float(inv.serial_cost)
+            rec.num_iterations = inv.num_iterations
+            rec.conflict_pairs = inv.conflict_pairs
+            rec.children = [
+                (position[id(child)], float(child.serial_cost), child.parent_iter)
+                for child in inv.children
+            ]
+            if rec.children:
+                rec.eff_costs = None
+                rec.raw_serial = None
+                rec.raw_max = None
+            else:
+                costs = self.iteration_costs(inv)
+                rec.eff_costs = costs
+                rec.raw_serial = self.raw_serial(inv)
+                rec.raw_max = float(np.max(costs)) if len(costs) else 0.0
+            static = loops.get(inv.loop_id)
+            rec.static = static
+            rec.untracked = static is None or not static.trackable
+            if rec.untracked:
+                rec.fn_serial = (False, False, False, False)
+                rec.reg_keys_r0 = rec.reg_keys_base = ()
+            else:
+                rec.fn_serial = (
+                    static.serial_under_fn(0),
+                    static.serial_under_fn(1),
+                    static.serial_under_fn(2),
+                    False,
+                )
+                base = list(static.phis_of_class(PHI_NONCOMPUTABLE))
+                rec.reg_keys_base = base
+                rec.reg_keys_r0 = base + list(static.phis_of_class(PHI_REDUCTION))
+            records.append(rec)
+        self._top = [
+            (position[id(inv)], float(inv.serial_cost))
+            for inv in self.profile.top_level
+        ]
+        self._records = records
+        self._records_static = static_info
+        return records
+
+    @property
+    def top_records(self):
+        """``(record_index, serial_cost)`` per top-level invocation (in
+        ``profile.top_level`` order); valid after :meth:`records`."""
+        return self._top
+
+
+class _InvRecord:
+    """Config-independent evaluation state of one invocation (see
+    :meth:`ProfileCache.records`)."""
+
+    __slots__ = (
+        "inv", "loop_id", "static", "untracked", "children",
+        "eff_costs", "raw_serial", "raw_max", "serial_cost_f",
+        "num_iterations", "conflict_pairs", "fn_serial",
+        "reg_keys_r0", "reg_keys_base",
+    )
 
 
 class LoopSummary:
@@ -263,30 +347,34 @@ def _reg_skew(invocation, phi_key, restrict_to=None):
     return best
 
 
-def _apply_model(invocation, static, config, cache, forced_serial, eff_costs,
-                 serial, innermost_only=False):
+def _apply_model(rec, config, cache, forced_serial, eff_costs,
+                 serial, eff_max, innermost_only=False):
     """Decide this invocation's outcome; returns (ModelOutcome, n_conflict_iters).
 
     ``serial`` is the caller's precomputed ``float(np.sum(eff_costs))`` —
     the summary needs it too, so the array is summed exactly once.
+    ``eff_max`` is the precomputed max of ``eff_costs`` for untouched leaf
+    arrays (None when the array was adjusted for child savings).
     """
+    invocation = rec.inv
     n = len(eff_costs)
 
     def serial_with(reason):
         return ModelOutcome(serial, False, reason), 0
 
-    if static is None or not static.trackable:
+    if rec.untracked:
         return serial_with("untracked")
-    if innermost_only and invocation.children:
+    if innermost_only and rec.children:
         # Related-work mode (Kejariwal et al., §V): only innermost loops are
         # candidates; outer-loop and nested parallelization are disabled.
         return serial_with("outer-loop")
-    if static.loop_id in forced_serial:
+    if forced_serial and rec.loop_id in forced_serial:
         return serial_with("marked")
-    if static.serial_under_fn(config.fn):
+    fn = config.fn
+    if rec.fn_serial[fn if fn < 3 else 3]:
         return serial_with("fn")
 
-    reg_keys = cache.register_lcd_keys(static, config)
+    reg_keys = rec.reg_keys_r0 if config.reduc == 0 else rec.reg_keys_base
     if config.dep == 0 and reg_keys:
         return serial_with("register-lcd")
 
@@ -328,74 +416,84 @@ def _apply_model(invocation, static, config, cache, forced_serial, eff_costs,
     # dep3: perfect prediction removes every register LCD.
 
     if config.model == "doall":
-        outcome = doall_cost(eff_costs, invocation.conflict_count > 0, serial)
+        outcome = doall_cost(
+            eff_costs, invocation.conflict_count > 0, serial, iter_max=eff_max
+        )
         return outcome, len(pairs)
     if config.model == "pdoall":
         breaks = pdoall_phase_breaks(pairs, n)
         # The 80 % cutoff is on conflicting *iterations*, not phase breaks:
         # conflicts absorbed by an earlier phase break still count.
         conflicts = sum(1 for consumer in pairs if 0 < consumer < n)
-        outcome = pdoall_cost(eff_costs, breaks, serial, conflicts=conflicts)
+        outcome = pdoall_cost(
+            eff_costs, breaks, serial, conflicts=conflicts, iter_max=eff_max
+        )
         return outcome, conflicts
     # HELIX: scale serial-time skews by the invocation's shrink factor.
     raw_total = invocation.serial_cost
     scale = (serial / raw_total) if raw_total > 0 else 1.0
     delta = max(invocation.max_mem_skew, reg_delta) * scale
-    outcome = helix_cost(eff_costs, delta, serial)
+    outcome = helix_cost(eff_costs, delta, serial, iter_max=eff_max)
     return outcome, len(pairs)
 
 
 def _evaluate_once(profile, static_info, config, cache, forced_serial,
                    innermost_only=False):
-    effective = {}
-    covered = {}
+    records = cache.records(static_info)
+    effective = [0.0] * len(records)
+    covered = [0.0] * len(records)
     summaries = {}
 
-    for invocation in reversed(cache.invocations()):
+    for index, rec in enumerate(records):
         child_covered = 0.0
-        if invocation.children:
-            eff_costs = cache.iteration_costs(invocation).copy()
-            for child in invocation.children:
-                saving = child.serial_cost - effective[id(child)]
-                index = child.parent_iter
-                if 0 <= index < len(eff_costs):
-                    eff_costs[index] = max(0.0, eff_costs[index] - saving)
-                child_covered += covered[id(child)]
-            serial = float(np.sum(eff_costs)) if len(eff_costs) else 0.0
+        children = rec.children
+        if children:
+            eff_costs = cache.iteration_costs(rec.inv).copy()
+            n_costs = len(eff_costs)
+            for child_index, child_serial, parent_iter in children:
+                saving = child_serial - effective[child_index]
+                if 0 <= parent_iter < n_costs:
+                    eff_costs[parent_iter] = max(
+                        0.0, eff_costs[parent_iter] - saving
+                    )
+                child_covered += covered[child_index]
+            serial = float(np.sum(eff_costs)) if n_costs else 0.0
+            eff_max = None
         else:
             # Leaf invocations (the vast majority) share the cached array
-            # and its config-independent sum; no model mutates its input.
-            eff_costs = cache.iteration_costs(invocation)
-            serial = cache.raw_serial(invocation)
-        static = static_info.loops.get(invocation.loop_id)
+            # and its config-independent sum/max; no model mutates its input.
+            eff_costs = rec.eff_costs
+            serial = rec.raw_serial
+            eff_max = rec.raw_max
         outcome, n_conflicts = _apply_model(
-            invocation, static, config, cache, forced_serial, eff_costs,
-            serial, innermost_only=innermost_only,
+            rec, config, cache, forced_serial, eff_costs,
+            serial, eff_max, innermost_only=innermost_only,
         )
 
-        summary = summaries.get(invocation.loop_id)
+        loop_id = rec.loop_id
+        summary = summaries.get(loop_id)
         if summary is None:
-            summary = summaries[invocation.loop_id] = LoopSummary(invocation.loop_id)
+            summary = summaries[loop_id] = LoopSummary(loop_id)
         summary.invocations += 1
         summary.serial_cost += serial
         summary.parallel_cost += outcome.cost
-        summary.iterations += invocation.num_iterations
+        summary.iterations += rec.num_iterations
         summary.conflicting_iterations += n_conflicts
         if outcome.parallel:
             summary.parallel_invocations += 1
-            effective[id(invocation)] = outcome.cost
-            covered[id(invocation)] = float(invocation.serial_cost)
+            effective[index] = outcome.cost
+            covered[index] = rec.serial_cost_f
         else:
             summary.note_reason(outcome.reason)
-            effective[id(invocation)] = serial
-            covered[id(invocation)] = child_covered
+            effective[index] = serial
+            covered[index] = child_covered
 
     saved = sum(
-        invocation.serial_cost - effective[id(invocation)]
-        for invocation in profile.top_level
+        serial_cost - effective[index]
+        for index, serial_cost in cache.top_records
     )
     total_parallel = max(1.0, profile.total_cost - saved)
-    total_covered = sum(covered[id(inv)] for inv in profile.top_level)
+    total_covered = sum(covered[index] for index, _ in cache.top_records)
     coverage = (total_covered / profile.total_cost) if profile.total_cost else 0.0
     return EvaluationResult(
         config, float(profile.total_cost), total_parallel, coverage, summaries

@@ -38,12 +38,15 @@ class Loopapalooza:
     """
 
     def __init__(self, source, name="program", fuel=200_000_000,
-                 verify_each=False, inline=False, store=None):
+                 verify_each=False, inline=False, store=None, backend=None):
         self.name = name
         self.fuel = fuel
         self.source = source
         self.inline = inline
         self.store = store
+        #: Interpreter backend ("jit" / "closure"); ``None`` follows the
+        #: ``REPRO_NO_JIT`` environment contract.
+        self.backend = backend
         self.module = compile_source(
             source, module_name=name, verify_each=verify_each, inline=inline
         )
@@ -65,7 +68,8 @@ class Loopapalooza:
         if self._profile is None:
             runtime = ProfilingRuntime(self.name)
             machine = Interpreter(
-                self.module, runtime, self.instrumentation, fuel=self.fuel
+                self.module, runtime, self.instrumentation, fuel=self.fuel,
+                backend=self.backend,
             )
             runtime.attach(machine)
             result = machine.run("main")
@@ -111,7 +115,8 @@ class Loopapalooza:
         Used by tests to confirm instrumentation does not perturb either the
         program's observable behaviour or its dynamic IR instruction count.
         """
-        machine = Interpreter(self.module, None, None, fuel=self.fuel)
+        machine = Interpreter(self.module, None, None, fuel=self.fuel,
+                              backend=self.backend)
         result = machine.run("main")
         return result, machine.cost, machine.output
 

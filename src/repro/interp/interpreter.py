@@ -6,8 +6,18 @@ instruction count as the approximation of execution time"). Cost is charged
 per basic block, matching the paper's hard-coded per-block callbacks; events
 within a block carry ``block_base + position`` timestamps.
 
-Each function is pre-compiled to closures once (operand access resolved to
-register indices), so interpretation is a tight dispatch loop. An optional
+Two execution backends share this module's semantics:
+
+* ``jit`` (the default) — each function is lowered to straight-line Python
+  source by :mod:`repro.interp.codegen`, ``compile()``d once, and executed
+  as a native code object (see docs/internals.md, "Codegen backend").
+* ``closure`` — each function is pre-compiled to closures once (operand
+  access resolved to register indices), interpreted by a tight dispatch
+  loop. Selected with ``backend="closure"`` or ``REPRO_NO_JIT=1``.
+
+Both backends charge fuel identically (per block, at block entry) and
+produce byte-identical profiles (enforced by
+``tests/test_differential_backends.py``). An optional
 :class:`FunctionInstrumentation` plan per function injects the Loopapalooza
 callbacks:
 
@@ -22,6 +32,7 @@ and builds the execution profile.
 
 from __future__ import annotations
 
+import os
 import sys
 
 from ..errors import FuelExhausted, InterpError, TrapError
@@ -51,6 +62,64 @@ _SIGN32 = 0x80000000
 def _wrap32(value):
     value &= _MASK32
     return value - 0x100000000 if value & _SIGN32 else value
+
+
+def backend_from_env():
+    """The default execution backend: ``jit`` unless ``REPRO_NO_JIT`` is a
+    truthy value (``1``/``true``/``yes``; ``0``/``false``/empty keep the
+    JIT on — same boolean-env contract as ``REPRO_NO_PROFILE_CACHE``)."""
+    value = os.environ.get("REPRO_NO_JIT")
+    if value is not None and value.strip().lower() in ("1", "true", "yes", "on"):
+        return "closure"
+    return "jit"
+
+
+# -- shared division semantics (both backends) ----------------------------------
+#
+# C/LLVM truncating division over two's-complement bit patterns. The one
+# hardware edge the obvious Python spellings get wrong is INT_MIN / -1: the
+# mathematical quotient 2**31 is unrepresentable, and 32-bit hardware wraps
+# it back to INT_MIN (with a remainder of 0) rather than trapping.
+
+
+def signed_div(a, b, width=32):
+    """``sdiv``: truncate toward zero, wrap the quotient to ``width`` bits
+    (so ``INT_MIN / -1 == INT_MIN``); a zero divisor traps."""
+    if b == 0:
+        raise TrapError("integer division by zero")
+    q = -(-a // b) if (a < 0) != (b < 0) else a // b
+    span = 1 << width
+    q &= span - 1
+    return q - span if q & (span >> 1) else q
+
+
+def signed_rem(a, b, width=32):
+    """``srem``: remainder of the truncating division (sign follows the
+    dividend; ``INT_MIN % -1 == 0``); a zero divisor traps."""
+    if b == 0:
+        raise TrapError("integer remainder by zero")
+    q = -(-a // b) if (a < 0) != (b < 0) else a // b
+    return a - q * b
+
+
+def unsigned_div(a, b, width=32):
+    """``udiv`` over the unsigned views of the bit patterns."""
+    mask = (1 << width) - 1
+    divisor = b & mask
+    if divisor == 0:
+        raise TrapError("integer division by zero")
+    value = (a & mask) // divisor
+    return _wrap32(value) if width == 32 else value
+
+
+def unsigned_rem(a, b, width=32):
+    """``urem`` over the unsigned views of the bit patterns."""
+    mask = (1 << width) - 1
+    divisor = b & mask
+    if divisor == 0:
+        raise TrapError("integer remainder by zero")
+    value = (a & mask) % divisor
+    return _wrap32(value) if width == 32 else value
 
 
 _INT_OPS = {
@@ -307,13 +376,25 @@ class Interpreter:
         runtime: optional Loopapalooza runtime receiving the events.
         instrumentation: optional ``{function_name: FunctionInstrumentation}``.
         fuel: dynamic IR instruction budget (guards runaway programs).
+        backend: ``"jit"`` (template JIT, the default), ``"closure"``
+            (PR 1 closure interpreter), or ``None`` to follow the
+            ``REPRO_NO_JIT`` environment contract.
     """
 
-    def __init__(self, module, runtime=None, instrumentation=None, fuel=200_000_000):
+    def __init__(self, module, runtime=None, instrumentation=None,
+                 fuel=200_000_000, backend=None):
+        if backend is None:
+            backend = backend_from_env()
+        if backend not in ("jit", "closure"):
+            raise InterpError(
+                f"unknown interpreter backend {backend!r} "
+                "(choose 'jit' or 'closure')"
+            )
         self.module = module
         self.runtime = runtime
         self.instrumentation = instrumentation or {}
         self.fuel = fuel
+        self.backend = backend
         self.space = AddressSpace()
         self.cost = 0
         self.output = []
@@ -321,6 +402,8 @@ class Interpreter:
         self.input_cursor = 0
         self.global_bases = {}
         self._compiled = {}
+        self._jit_entries = {}
+        self._jit_failed = set()
         self._call_depth = 0
         # Per-block batch of (is_write, address, ts) memory events, flushed
         # to the runtime after each call-free block's ops (see _call).
@@ -607,38 +690,17 @@ class Interpreter:
                     if op is not None:
                         return op
                 return _fn_binop(dst, lhs, rhs, fn)
-            if opcode == "sdiv":
-                def op(machine, regs, base, dst=dst, lhs=lhs, rhs=rhs):
-                    divisor = rhs(regs)
-                    if divisor == 0:
-                        raise TrapError("integer division by zero")
-                    regs[dst] = _wrap32(int(lhs(regs) / divisor))
-                return op
-            if opcode == "srem":
-                def op(machine, regs, base, dst=dst, lhs=lhs, rhs=rhs):
-                    divisor = rhs(regs)
-                    if divisor == 0:
-                        raise TrapError("integer remainder by zero")
-                    dividend = lhs(regs)
-                    regs[dst] = dividend - int(dividend / divisor) * divisor
-                return op
-            if opcode in ("udiv", "urem"):
-                # Unsigned division over the two's-complement bit patterns;
-                # like sdiv/srem, a zero divisor traps.
-                mask = (1 << instruction.type.width) - 1
-                is_div = opcode == "udiv"
+            if opcode in ("sdiv", "srem", "udiv", "urem"):
+                # Division semantics (incl. the INT_MIN / -1 wrap and the
+                # zero-divisor trap) live in the module-level helpers so the
+                # JIT backend shares them verbatim.
+                fn = {"sdiv": signed_div, "srem": signed_rem,
+                      "udiv": unsigned_div, "urem": unsigned_rem}[opcode]
+                width = instruction.type.width
 
                 def op(machine, regs, base, dst=dst, lhs=lhs, rhs=rhs,
-                       mask=mask, is_div=is_div):
-                    divisor = rhs(regs) & mask
-                    if divisor == 0:
-                        raise TrapError(
-                            "integer division by zero" if is_div
-                            else "integer remainder by zero"
-                        )
-                    dividend = lhs(regs) & mask
-                    value = dividend // divisor if is_div else dividend % divisor
-                    regs[dst] = _wrap32(value) if mask == _MASK32 else value
+                       fn=fn, width=width):
+                    regs[dst] = fn(lhs(regs), rhs(regs), width)
                 return op
             if opcode in _FLOAT_OPS:
                 return _fn_binop(dst, lhs, rhs, _FLOAT_OPS[opcode])
@@ -917,6 +979,31 @@ class Interpreter:
             return term
         raise InterpError(f"unknown terminator {instruction!r}")
 
+    # -- JIT backend ---------------------------------------------------------------
+
+    def _jit_for(self, function):
+        """The compiled JIT entry for ``function``, or ``None`` when the
+        template JIT cannot lower it (per-function closure fallback)."""
+        name = function.name
+        entry = self._jit_entries.get(name)
+        if entry is not None:
+            return entry
+        if name in self._jit_failed:
+            return None
+        from .codegen import CodegenUnsupported, jit_entry
+        from ..core.instrument import jit_variant_for
+
+        plan = self.instrumentation.get(name)
+        try:
+            entry = jit_entry(
+                function, plan, jit_variant_for(plan, self.runtime)
+            )
+        except CodegenUnsupported:
+            self._jit_failed.add(name)
+            return None
+        self._jit_entries[name] = entry
+        return entry
+
     # -- execution ------------------------------------------------------------------
 
     def _call(self, function, args):
@@ -928,6 +1015,20 @@ class Interpreter:
         if self._call_depth > 2000:
             self._call_depth -= 1
             raise TrapError("call stack depth limit exceeded")
+        if self.backend == "jit":
+            entry = self._jit_for(function)
+            if entry is not None:
+                runtime = self.runtime
+                frame_base = self.space.frame_base()
+                if runtime is not None:
+                    runtime.func_enter(function)
+                try:
+                    return entry(self, args)
+                finally:
+                    self._call_depth -= 1
+                    self.space.release_to(frame_base)
+                    if runtime is not None:
+                        runtime.func_exit(function)
         compiled = self._compiled_for(function)
         regs = [None] * compiled.num_regs
         for slot, value in zip(compiled.arg_regs, args):
@@ -1005,9 +1106,10 @@ def _alloc_zero_is_float(type_):
 
 
 def run_module(module, function_name="main", args=(), runtime=None,
-               instrumentation=None, fuel=200_000_000):
+               instrumentation=None, fuel=200_000_000, backend=None):
     """Convenience: build an interpreter, run, and return
     ``(result, interpreter)``."""
-    interpreter = Interpreter(module, runtime, instrumentation, fuel)
+    interpreter = Interpreter(module, runtime, instrumentation, fuel,
+                              backend=backend)
     result = interpreter.run(function_name, args)
     return result, interpreter

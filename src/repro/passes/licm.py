@@ -83,9 +83,13 @@ def _hoist_loop(loop, cfg, purity_classes):
     store_bases, opaque_writes = _loop_memory_writes(loop, purity_classes)
     hoisted = 0
     changed = True
+    # Walk the body in function block order, not `loop.blocks` set order:
+    # the hoist sequence fixes the preheader's instruction order, and every
+    # downstream profile timestamp depends on it being reproducible.
+    body = loop.blocks_in_function_order()
     while changed:
         changed = False
-        for block in list(loop.blocks):
+        for block in body:
             for instruction in list(block.instructions):
                 if not _hoistable(
                     instruction, loop, store_bases, opaque_writes

@@ -15,13 +15,18 @@ from .stride import StridePredictor
 from .two_delta import TwoDeltaStridePredictor
 
 
+# Table bound of the default order-2 FCM (must match FCMPredictor's
+# ``max_table`` default — the fused fast path below replicates it).
+_FCM_MAX_TABLE = 65536
+
+
 def default_predictors():
     """The paper's four predictors, freshly constructed."""
     return [
         LastValuePredictor(),
         StridePredictor(),
         TwoDeltaStridePredictor(),
-        FCMPredictor(order=2),
+        FCMPredictor(order=2, max_table=_FCM_MAX_TABLE),
     ]
 
 
@@ -30,13 +35,86 @@ def perfect_hybrid_flags(values, predictors=None):
 
     Element ``i`` is ``True`` when *any* predictor, trained online on
     ``values[:i]``, produced exactly ``values[i]``.
+
+    The default-predictor case runs a fused loop over all four predictors
+    rather than four :func:`simulate` passes — the predictors are
+    independent, so interleaving them (and short-circuiting the *predict*
+    side once one hits; training still always happens) is exact. This path
+    dominates evaluation warm-up, hence the hand-inlining.
     """
-    if predictors is None:
-        predictors = default_predictors()
+    if predictors is not None:
+        if not values:
+            return []
+        per_predictor = [simulate(p, values) for p in predictors]
+        return [any(flags) for flags in zip(*per_predictor)]
     if not values:
         return []
-    per_predictor = [simulate(p, values) for p in predictors]
-    return [any(flags) for flags in zip(*per_predictor)]
+    flags = []
+    append = flags.append
+    # Last-value predictor state.
+    lv_last = None
+    lv_seen = False
+    # Stride predictor state.
+    st_last = None
+    st_stride = None
+    # 2-delta stride predictor state.
+    td_last = None
+    td_stride = None
+    td_candidate = None
+    # Order-2 FCM state (unbounded table, bounded by FCM_MAX_TABLE).
+    fcm_h1 = None
+    fcm_h2 = None
+    fcm_count = 0
+    fcm_table = {}
+    fcm_max = _FCM_MAX_TABLE
+    for value in values:
+        # -- predict (pure; short-circuit once any component hits) --
+        # A None prediction is "no prediction", never a hit (matches
+        # ``simulate``'s ``prediction is not None`` guard).
+        hit = lv_last is not None and lv_last == value
+        if not hit and st_stride is not None and st_last is not None:
+            hit = (st_last + st_stride) == value
+        if not hit and td_stride is not None and td_last is not None:
+            hit = (td_last + td_stride) == value
+        if not hit and fcm_count == 2:
+            predicted = fcm_table.get((fcm_h1, fcm_h2))
+            hit = predicted is not None and predicted == value
+        append(hit)
+        # -- train (always, every component) --
+        if lv_seen:
+            # Stride: delta against the previous value.
+            try:
+                st_stride = value - st_last
+            except TypeError:
+                st_stride = None
+            # 2-delta: the predicting stride only updates once the same new
+            # stride repeats (or on first observation).
+            if st_stride is not None:
+                observed = st_stride
+                if observed == td_candidate:
+                    td_stride = observed
+                elif td_stride is None:
+                    td_stride = observed
+                    td_candidate = observed
+                else:
+                    td_candidate = observed
+        st_last = value
+        td_last = value
+        lv_last = value
+        lv_seen = True
+        if fcm_count == 2:
+            context = (fcm_h1, fcm_h2)
+            if len(fcm_table) < fcm_max or context in fcm_table:
+                fcm_table[context] = value
+            fcm_h1 = fcm_h2
+            fcm_h2 = value
+        elif fcm_count == 1:
+            fcm_h2 = value
+            fcm_count = 2
+        else:
+            fcm_h1 = value
+            fcm_count = 1
+    return flags
 
 
 def perfect_hybrid_accuracy(values, predictors=None):

@@ -208,12 +208,19 @@ class ProfileStore:
             "static_loops": _static_loops_to_dict(static_info.loops),
             "output": list(output),
         }
-        entry = {
-            "schema": self.schema,
-            "key": key,
-            "payload": payload,
-            "checksum": _checksum(payload),
-        }
+        # Serialize the (large) payload exactly once, in canonical form, and
+        # reuse the text for both the checksum and the entry body.  json.dump
+        # would stream through the pure-Python encoder; json.dumps uses the C
+        # one, which is the difference between seconds and milliseconds on a
+        # multi-megabyte profile.
+        payload_json = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        checksum = hashlib.sha256(payload_json.encode("utf-8")).hexdigest()
+        entry_text = '{"schema": %s, "key": %s, "payload": %s, "checksum": %s}' % (
+            json.dumps(self.schema),
+            json.dumps(key),
+            payload_json,
+            json.dumps(checksum),
+        )
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             # Atomic publish: concurrent sweep workers may store the same
@@ -223,7 +230,7 @@ class ProfileStore:
             )
             try:
                 with os.fdopen(fd, "w") as handle:
-                    json.dump(entry, handle)
+                    handle.write(entry_text)
                 os.replace(tmp_name, self._path_for(key))
             except BaseException:
                 try:
@@ -293,6 +300,161 @@ def default_store():
     if _DEFAULT_STORE is None:
         _DEFAULT_STORE = ProfileStore()
     return _DEFAULT_STORE
+
+
+# -- code cache ----------------------------------------------------------------
+
+#: Version of the on-disk code-cache entry layout. The *content* of cached
+#: sources is versioned separately by ``repro.interp.codegen.CODEGEN_VERSION``
+#: (part of the entry key).
+CODE_CACHE_SCHEMA = 1
+
+
+def default_code_cache_root():
+    """Where cached JIT sources live: ``<REPRO_CACHE_DIR>/code`` when the
+    override is set, else ``~/.cache/repro/code`` (a sibling of the
+    profile store)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return pathlib.Path(override) / "code"
+    return pathlib.Path.home() / ".cache" / "repro" / "code"
+
+
+class CodeCache:
+    """Content-addressed on-disk store for JIT-generated Python sources.
+
+    Keys come from :func:`repro.interp.codegen.jit_cache_key` (IR text +
+    plan + codegen version), so a warm sweep skips source generation
+    entirely and goes straight to ``compile()``. Same degradation contract
+    as :class:`ProfileStore`: IO failures count as misses/errors and never
+    propagate.
+    """
+
+    def __init__(self, root=None, schema=None):
+        self.root = (
+            pathlib.Path(root) if root is not None else default_code_cache_root()
+        )
+        self.schema = CODE_CACHE_SCHEMA if schema is None else schema
+        self.stats = ProfileStoreStats()
+
+    def _path_for(self, key):
+        return self.root / f"{key}.json"
+
+    def load(self, key):
+        """The cached source for ``key``, or ``None``. Corrupt entries are
+        deleted and counted, then reported as a miss."""
+        path = self._path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            entry = json.loads(text)
+            if entry.get("schema") != self.schema:
+                raise ValueError("schema mismatch")
+            source = entry["source"]
+            if not isinstance(source, str):
+                raise ValueError("bad source payload")
+            checksum = hashlib.sha256(source.encode("utf-8")).hexdigest()
+            if entry.get("checksum") != checksum:
+                raise ValueError("checksum mismatch")
+        except Exception:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return source
+
+    def store(self, key, source, meta=None):
+        """Persist one generated source; failures are swallowed and
+        counted (caching is never a correctness dependency)."""
+        entry = {
+            "schema": self.schema,
+            "key": key,
+            "source": source,
+            "checksum": hashlib.sha256(source.encode("utf-8")).hexdigest(),
+            "meta": dict(meta) if meta else {},
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.root, prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(json.dumps(entry))
+                os.replace(tmp_name, self._path_for(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            self.stats.errors += 1
+            return False
+        self.stats.stores += 1
+        return True
+
+    def entries(self):
+        try:
+            return sorted(self.root.glob("*.json"))
+        except OSError:
+            return []
+
+    def size_bytes(self):
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def clear(self):
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def info(self):
+        """Human-oriented summary used by ``repro cache info``/``stats``."""
+        entries = self.entries()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "size_bytes": self.size_bytes(),
+            "schema": self.schema,
+            **self.stats.as_dict(),
+        }
+
+    def __repr__(self):
+        return f"<CodeCache {self.root} ({len(self.entries())} entries)>"
+
+
+_DEFAULT_CODE_CACHE = None
+
+
+def default_code_cache():
+    """Process-wide shared code cache, or ``None`` when caching is
+    disabled via ``REPRO_NO_PROFILE_CACHE`` (one switch governs both the
+    profile store and the code cache, so cold-start timing runs stay
+    cold)."""
+    global _DEFAULT_CODE_CACHE
+    if not cache_enabled():
+        return None
+    if _DEFAULT_CODE_CACHE is None:
+        _DEFAULT_CODE_CACHE = CodeCache()
+    return _DEFAULT_CODE_CACHE
 
 
 # -- payload helpers -----------------------------------------------------------

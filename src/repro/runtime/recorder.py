@@ -112,10 +112,10 @@ class ProfilingRuntime:
 
     def loop_iter(self, loop_id, ts, lcd_values):
         entry = self._top_for(loop_id)
-        invocation = entry.invocation
         self._finalize_iteration(entry, lcd_values)
-        invocation.iter_starts.append(ts)
-        entry.first_use_off = {}
+        entry.invocation.iter_starts.append(ts)
+        if entry.first_use_off:
+            entry.first_use_off = {}
 
     def loop_exit(self, loop_id, ts):
         entry = self._top_for(loop_id)
@@ -148,6 +148,8 @@ class ProfilingRuntime:
     def _finalize_iteration(self, entry, lcd_values):
         """Close out the iteration that just ended: ship latch values and
         per-iteration def/use offsets into the invocation record."""
+        if not lcd_values and not entry.first_use_off:
+            return  # nothing observed this iteration (the common case)
         invocation = entry.invocation
         iter_start = invocation.iter_starts[-1]
         for phi_key, value in lcd_values:
@@ -232,45 +234,93 @@ class ProfilingRuntime:
         active_calls = self.active_calls
         if not stack and not pending and not active_calls:
             return
-        marks_for = self.machine.marks_for if stack else None
-        depth = len(self.frame_markers)
+        if stack:
+            # One Python frame per event instead of two: the interpreter's
+            # marks_for only delegates to the memory space.
+            marks_for = self.machine.space.marks_for
+            # Per-entry tracking state is loop-invariant across the batch
+            # (batched blocks carry no loop or call events), so hoist the
+            # dicts, ids, and current iteration indices out of the event loop.
+            tracks = [
+                (
+                    entry.last_write,
+                    entry.invocation,
+                    id(entry.invocation),
+                    len(entry.invocation.iter_starts) - 1,
+                )
+                for entry in stack
+            ]
+        else:
+            marks_for = None
+            tracks = ()
+        # The pending-call record for this depth is equally batch-invariant.
+        record = pending.get(len(self.frame_markers)) if pending else None
         for is_write, address, ts in events:
             if is_write:
-                for record in active_calls:
-                    record.write_set.add(address)
-                if stack:
+                for call in active_calls:
+                    call.write_set.add(address)
+                if tracks:
                     marks = marks_for(address)
-                    for entry in stack:
-                        invocation = entry.invocation
-                        if (
-                            marks is not None
-                            and marks.get(id(invocation)) == invocation.current_iter
-                        ):
-                            continue
-                        entry.last_write[address] = (invocation.current_iter, ts)
+                    if marks is None:
+                        for last_write, _invocation, _inv_id, cur in tracks:
+                            last_write[address] = (cur, ts)
+                    else:
+                        for last_write, _invocation, inv_id, cur in tracks:
+                            if marks.get(inv_id) == cur:
+                                continue  # iteration-private (cactus-stack rule)
+                            last_write[address] = (cur, ts)
             else:
-                if pending:
-                    record = pending.get(depth)
-                    if (
-                        record is not None
-                        and record.first_dep_ts is None
-                        and address in record.write_set
-                    ):
-                        record.note_dependence(ts)
-                if stack:
+                if (
+                    record is not None
+                    and record.first_dep_ts is None
+                    and address in record.write_set
+                ):
+                    record.note_dependence(ts)
+                if tracks:
                     marks = marks_for(address)
-                    for entry in stack:
-                        invocation = entry.invocation
-                        if (
-                            marks is not None
-                            and marks.get(id(invocation)) == invocation.current_iter
-                        ):
-                            continue
-                        last = entry.last_write.get(address)
-                        if last is not None and last[0] < invocation.current_iter:
-                            invocation.record_conflict(
-                                last[0], last[1], invocation.current_iter, ts
-                            )
+                    if marks is None:
+                        for last_write, invocation, _inv_id, cur in tracks:
+                            last = last_write.get(address)
+                            if last is not None and last[0] < cur:
+                                invocation.record_conflict(
+                                    last[0], last[1], cur, ts
+                                )
+                    else:
+                        for last_write, invocation, inv_id, cur in tracks:
+                            if marks.get(inv_id) == cur:
+                                continue
+                            last = last_write.get(address)
+                            if last is not None and last[0] < cur:
+                                invocation.record_conflict(
+                                    last[0], last[1], cur, ts
+                                )
+
+    def deliver_block_events(self, mem_events, lcd_events):
+        """One call per JIT basic block: the block's batched memory events
+        (``(is_write, address, ts)``) plus its register-LCD events
+        (``(is_def, loop_id, phi_key, ts)``), each list in program order.
+
+        LCD and memory events touch disjoint tracking state (``last_def_ts``
+        / ``first_use_off`` vs ``last_write`` / conflicts) and carry explicit
+        timestamps, so replaying them as two ordered lists is equivalent to
+        the closure backend's interleaved per-event delivery. Loop and call
+        events never occur inside a batched block, so the stacks are stable
+        across the batch.
+        """
+        if lcd_events:
+            by_loop = self.by_loop
+            for is_def, loop_id, phi_key, ts in lcd_events:
+                entries = by_loop.get(loop_id)
+                if not entries:
+                    continue
+                entry = entries[-1]
+                if is_def:
+                    entry.last_def_ts[phi_key] = ts
+                elif phi_key not in entry.first_use_off:
+                    offset = ts - entry.invocation.iter_starts[-1]
+                    entry.first_use_off[phi_key] = max(0, offset)
+        if mem_events:
+            self.mem_batch(mem_events)
 
     # -- allocation provenance -----------------------------------------------------
 

@@ -113,7 +113,7 @@ def profile_from_dict(data):
 def save_profile(profile, path):
     """Write a profile to ``path`` as JSON."""
     with open(path, "w") as handle:
-        json.dump(profile_to_dict(profile), handle)
+        handle.write(json.dumps(profile_to_dict(profile)))
 
 
 def load_profile(path):

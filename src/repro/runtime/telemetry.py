@@ -97,6 +97,7 @@ class RunTelemetry:
         self._instructions = 0
         self._task_wall_s = 0.0
         self._outcomes = {"parallel_loops": 0, "serial_loops": 0}
+        self._cache_stats = {}
         if _replay:
             self._replay_ledger()
 
@@ -190,6 +191,14 @@ class RunTelemetry:
         self._resumed += 1
         self._append({"type": "resumed", "task": task})
 
+    def record_cache_stats(self, stats):
+        """Snapshot end-of-run cache counters (profile store + code cache):
+        ``{cache_name: {"entries", "size_bytes", "hits", "misses", ...}}``.
+        The latest snapshot wins; ``repro cache stats`` reads it from the
+        manifest of the most recent run."""
+        self._cache_stats = dict(stats)
+        self._append({"type": "cache_stats", "caches": self._cache_stats})
+
     def finish(self, status="complete"):
         self.status = status
         self._append({"type": "finish", "status": status})
@@ -266,6 +275,10 @@ class RunTelemetry:
                 self._resumed += 1
             elif kind == "quarantine":
                 self._quarantined[event.get("task")] = event.get("reason")
+            elif kind == "cache_stats":
+                caches = event.get("caches")
+                if isinstance(caches, dict):
+                    self._cache_stats = caches
 
     # -- persistence ----------------------------------------------------------
 
@@ -308,6 +321,7 @@ class RunTelemetry:
             "instructions": self._instructions,
             "task_wall_s": round(self._task_wall_s, 6),
             "outcomes": dict(self._outcomes),
+            "cache_stats": dict(self._cache_stats),
             "write_errors": self.write_errors,
             "corrupt_lines": self.corrupt_lines,
         }
@@ -441,6 +455,12 @@ def format_run_summary(manifest):
         f"  outcomes:     {outcomes.get('parallel_loops', 0)} parallel / "
         f"{outcomes.get('serial_loops', 0)} serial loop summaries",
     ]
+    for name, stats in sorted((manifest.get("cache_stats") or {}).items()):
+        lines.append(
+            f"  {name}: {stats.get('entries', 0)} entries, "
+            f"{stats.get('size_bytes', 0)} bytes, "
+            f"{stats.get('hits', 0)} hits, {stats.get('misses', 0)} misses"
+        )
     for task, reason in sorted(quarantined.items()):
         lines.append(f"  quarantined:  {task} ({reason})")
     return "\n".join(lines)

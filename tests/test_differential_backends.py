@@ -1,0 +1,34 @@
+"""Differential test: the closure interpreter and the block-template JIT
+must produce byte-identical profiles for every bundled benchmark.
+
+This is the backend equivalence contract in its strongest form — not just
+matching results and instruction counts, but the full serialized
+:class:`ProgramProfile` (loop invocation trees, conflict records, LCD value
+streams and offsets, call-site summaries), compared as canonical JSON.
+Every figure and table is a pure function of the profile, so equality here
+means every downstream artifact is backend-independent.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.suites import all_programs
+from repro.core.framework import Loopapalooza
+from repro.runtime.serialize import profile_to_dict
+
+
+def _canonical_profile(program, backend):
+    lp = Loopapalooza(program.source, name=program.name, backend=backend)
+    text = json.dumps(profile_to_dict(lp.profile()), sort_keys=True)
+    return text, lp.output
+
+
+@pytest.mark.parametrize(
+    "program", all_programs(), ids=lambda p: p.full_name
+)
+def test_backends_profile_identically(program):
+    closure_profile, closure_output = _canonical_profile(program, "closure")
+    jit_profile, jit_output = _canonical_profile(program, "jit")
+    assert closure_profile == jit_profile
+    assert closure_output == jit_output

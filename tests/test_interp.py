@@ -363,3 +363,70 @@ class TestUnsignedIntOps:
         text = print_module(module)
         for opcode in ("lshr", "udiv", "urem"):
             assert opcode in text
+
+
+class TestSignedDivOverflow:
+    """``sdiv``/``srem`` at the INT_MIN / -1 overflow corner: LLVM wraps the
+    quotient to the type (``INT_MIN sdiv -1 == INT_MIN``) and the remainder
+    to zero; a naive Python ``//`` would return ``2**31`` instead."""
+
+    INT_MIN = -(1 << 31)
+
+    @staticmethod
+    def _run(opcode, a, b, backend=None):
+        from repro.ir import I32, IRBuilder, Module
+
+        module = Module("signed_ops")
+        function = module.add_function("f", I32, [I32, I32])
+        builder = IRBuilder(function.append_block("entry"))
+        lhs, rhs = function.arguments
+        builder.ret(builder.binop(opcode, lhs, rhs, "r"))
+        return Interpreter(module, backend=backend).run("f", (a, b))
+
+    def test_sdiv_int_min_by_minus_one_wraps(self):
+        assert self._run("sdiv", self.INT_MIN, -1) == self.INT_MIN
+
+    def test_srem_int_min_by_minus_one_is_zero(self):
+        assert self._run("srem", self.INT_MIN, -1) == 0
+
+    def test_truncation_toward_zero(self):
+        assert self._run("sdiv", -7, 2) == -3
+        assert self._run("sdiv", 7, -2) == -3
+        assert self._run("srem", -7, 2) == -1
+        assert self._run("srem", 7, -2) == 1
+
+    def test_both_backends_agree_on_the_corner(self):
+        for backend in ("closure", "jit"):
+            assert self._run("sdiv", self.INT_MIN, -1, backend) == self.INT_MIN
+            assert self._run("srem", self.INT_MIN, -1, backend) == 0
+
+    def test_zero_divisor_traps(self):
+        from repro.errors import TrapError
+
+        with pytest.raises(TrapError, match="division by zero"):
+            self._run("sdiv", 1, 0)
+        with pytest.raises(TrapError, match="remainder by zero"):
+            self._run("srem", 1, 0)
+
+    def test_constfold_agrees_on_the_corner(self):
+        from repro.ir import I32, IRBuilder, Module
+        from repro.ir.values import ConstantInt
+        from repro.passes.constfold import run_constfold
+
+        for opcode, expected in (("sdiv", self.INT_MIN), ("srem", 0)):
+            module = Module("fold")
+            function = module.add_function("f", I32, [])
+            block = function.append_block("entry")
+            builder = IRBuilder(block)
+            builder.ret(
+                builder.binop(
+                    opcode,
+                    builder.const_int(self.INT_MIN),
+                    builder.const_int(-1),
+                    "r",
+                )
+            )
+            assert run_constfold(function) == 1
+            folded = block.terminator.value
+            assert isinstance(folded, ConstantInt)
+            assert folded.value == expected, opcode

@@ -1,0 +1,202 @@
+"""The block-template JIT backend: selection, parity, fuel accounting,
+the persistent code cache, and the source-dump escape hatch.
+
+The exhaustive closure-vs-JIT comparison over every bundled benchmark
+lives in test_differential_backends.py; these tests pin the individual
+contracts with small targeted programs.
+"""
+
+import pytest
+
+from repro.core.framework import Loopapalooza
+from repro.errors import FuelExhausted, InterpError
+from repro.frontend.codegen import compile_source
+from repro.interp.interpreter import Interpreter, backend_from_env
+
+TIGHT_LOOP = """
+int main() {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < 25; i = i + 1) { s = s + i; }
+  return s;
+}
+"""
+
+MIXED = """
+int N = 16;
+float A[16];
+
+float scale(float x) { return x * 2.5 + sqrt(x); }
+
+int main() {
+  int i; float acc;
+  acc = 0.0;
+  for (i = 0; i < N; i = i + 1) { A[i] = (float)i / 3.0; }
+  for (i = 0; i < N; i = i + 1) { acc = acc + scale(A[i]); }
+  print_float(acc);
+  return (int)acc;
+}
+"""
+
+
+def _run(source, backend, fuel=200_000_000):
+    machine = Interpreter(
+        compile_source(source), fuel=fuel, backend=backend
+    )
+    result = machine.run("main")
+    return result, machine.cost, list(machine.output)
+
+
+class TestBackendSelection:
+    def test_default_is_jit(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_JIT", raising=False)
+        assert backend_from_env() == "jit"
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on"])
+    def test_no_jit_env_selects_closure(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_NO_JIT", value)
+        assert backend_from_env() == "closure"
+
+    def test_falsy_env_values_keep_jit(self, monkeypatch):
+        for value in ("", "0", "false"):
+            monkeypatch.setenv("REPRO_NO_JIT", value)
+            assert backend_from_env() == "jit"
+
+    def test_explicit_backend_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_JIT", "1")
+        machine = Interpreter(compile_source(TIGHT_LOOP), backend="jit")
+        assert machine.backend == "jit"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InterpError, match="backend"):
+            Interpreter(compile_source(TIGHT_LOOP), backend="bytecode")
+
+
+class TestBackendParity:
+    def test_uninstrumented_runs_match(self):
+        assert _run(MIXED, "closure") == _run(MIXED, "jit")
+
+    def test_profiles_serialize_identically(self):
+        import json
+
+        from repro.runtime.serialize import profile_to_dict
+
+        texts = []
+        for backend in ("closure", "jit"):
+            lp = Loopapalooza(MIXED, name="mixed", backend=backend)
+            texts.append(
+                json.dumps(profile_to_dict(lp.profile()), sort_keys=True)
+            )
+        assert texts[0] == texts[1]
+
+
+class TestFuelAccounting:
+    """Both backends charge block costs identically: the run that exactly
+    fits its budget completes on each, and one unit less trips both."""
+
+    def _exact_cost(self, source):
+        return _run(source, "closure")[1]
+
+    @pytest.mark.parametrize("source", [TIGHT_LOOP, MIXED])
+    def test_exact_fuel_completes_on_both(self, source):
+        cost = self._exact_cost(source)
+        for backend in ("closure", "jit"):
+            result, spent, _ = _run(source, backend, fuel=cost)
+            assert spent == cost
+
+    @pytest.mark.parametrize("source", [TIGHT_LOOP, MIXED])
+    def test_one_less_exhausts_on_both(self, source):
+        cost = self._exact_cost(source)
+        for backend in ("closure", "jit"):
+            with pytest.raises(FuelExhausted):
+                _run(source, backend, fuel=cost - 1)
+
+    def test_instrumented_budget_matches_uninstrumented(self):
+        cost = self._exact_cost(TIGHT_LOOP)
+        lp = Loopapalooza(TIGHT_LOOP, fuel=cost, backend="jit")
+        assert lp.profile().total_cost == cost
+        with pytest.raises(FuelExhausted):
+            Loopapalooza(TIGHT_LOOP, fuel=cost - 1, backend="jit").profile()
+
+
+class TestCodeCache:
+    def _function(self):
+        return compile_source(TIGHT_LOOP).get_function("main")
+
+    def test_cache_key_is_stable_across_compiles(self):
+        from repro.interp.codegen import jit_cache_key
+
+        key_a = jit_cache_key(
+            compile_source(TIGHT_LOOP).get_function("main"), None, False
+        )
+        key_b = jit_cache_key(
+            compile_source(TIGHT_LOOP).get_function("main"), None, False
+        )
+        assert key_a == key_b
+
+    def test_variants_get_distinct_keys(self):
+        from repro.interp.codegen import jit_cache_key
+
+        function = self._function()
+        assert jit_cache_key(function, None, False) != jit_cache_key(
+            function, None, True
+        )
+
+    def test_round_trip_through_disk(self, tmp_path, monkeypatch):
+        from repro.interp import codegen
+        from repro.runtime.profile_store import CodeCache
+
+        monkeypatch.setattr(codegen, "_CODE_MEMO", {})
+        cache = CodeCache(tmp_path / "code")
+        entry = codegen.jit_entry(
+            self._function(), None, False, code_cache=cache
+        )
+        assert cache.stats.misses == 1 and cache.stats.stores == 1
+
+        monkeypatch.setattr(codegen, "_CODE_MEMO", {})
+        again = codegen.jit_entry(
+            self._function(), None, False, code_cache=cache
+        )
+        assert cache.stats.hits == 1
+
+        machine = Interpreter(compile_source(TIGHT_LOOP), backend="closure")
+        expected = machine.run("main")
+        fresh = Interpreter(compile_source(TIGHT_LOOP), backend="closure")
+        assert again(fresh, ()) == expected
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path, monkeypatch):
+        from repro.interp import codegen
+        from repro.runtime.profile_store import CodeCache
+
+        monkeypatch.setattr(codegen, "_CODE_MEMO", {})
+        cache = CodeCache(tmp_path / "code")
+        function = self._function()
+        codegen.jit_entry(function, None, False, code_cache=cache)
+        for path in cache.entries():
+            path.write_text("{ not json")
+        monkeypatch.setattr(codegen, "_CODE_MEMO", {})
+        cache = CodeCache(tmp_path / "code")
+        codegen.jit_entry(function, None, False, code_cache=cache)
+        assert cache.stats.corrupt == 1
+
+
+class TestDumpAndFallback:
+    def test_jit_dump_writes_sources(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_JIT_DUMP", str(tmp_path))
+        _run(MIXED, "jit")
+        dumped = sorted(p.name for p in tmp_path.glob("*.py"))
+        assert any(name.startswith("main.plain.") for name in dumped)
+        assert any(name.startswith("scale.plain.") for name in dumped)
+
+    def test_unsupported_function_falls_back_to_closure(self):
+        from repro.ir import F64, IRBuilder, Module
+        from repro.ir.values import ConstantFloat
+
+        module = Module("nanny")
+        function = module.add_function("f", F64, [])
+        builder = IRBuilder(function.append_block("entry"))
+        builder.ret(ConstantFloat(float("nan")))
+        machine = Interpreter(module, backend="jit")
+        result = machine.run("f")
+        assert result != result  # NaN round-tripped through the closure path
+        assert "f" in machine._jit_failed
