@@ -3,13 +3,19 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: install test bench bench-interp sweep-smoke sweep-fault-smoke figures examples clean
+.PHONY: install test lint-ir crosscheck bench bench-interp sweep-smoke sweep-fault-smoke figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+lint-ir:
+	python -m repro lint --bench all
+
+crosscheck:
+	python tools/crosscheck_report.py
 
 bench:
 	pytest benchmarks/ --benchmark-only \

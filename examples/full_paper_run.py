@@ -36,12 +36,14 @@ import time
 
 from repro.bench import SuiteRunner
 from repro.reporting import (
+    crosscheck_suites,
     figure2_nonnumeric,
     figure3_numeric,
     figure4_per_benchmark,
     figure5_coverage,
     format_census,
     format_coverage,
+    format_crosscheck,
     format_figure4,
     format_speedup_figure,
     table1_census,
@@ -118,6 +120,9 @@ def main(argv):
         print("Table I census...", flush=True)
         sections.insert(0, ("Table I", format_census(
             table1_census(runner, jobs=jobs, sweep=sweep))))
+        print("static x dynamic crosscheck...", flush=True)
+        sections.insert(1, ("Static crosscheck", format_crosscheck(
+            crosscheck_suites(runner))))
     except BaseException:
         # Mark the run interrupted; its ledger already holds every
         # completed task, so --resume RUN_ID picks up from here.

@@ -2,11 +2,22 @@
 
 CFG utilities, dominators (Cooper-Harvey-Kennedy), natural-loop detection,
 scalar evolution (the paper's SCEV-based "computable LCD" classifier),
-reduction recurrence detection, function purity, and the call graph.
+reduction recurrence detection, function purity, the call graph, the static
+loop-carried memory dependence engine, and the lint diagnostics framework.
 """
 
 from .callgraph import CallGraph
 from .cfg import CFG
+from .depend import (
+    VERDICT_DOALL,
+    VERDICT_LCD,
+    VERDICT_UNKNOWN,
+    DependenceAnalysis,
+    LoopDependence,
+    analyze_module,
+    classify_header_phis,
+    module_memory_summaries,
+)
 from .dominators import DominatorTree
 from .loop_info import Loop, LoopInfo
 from .purity import FunctionClass, PurityAnalysis
@@ -30,9 +41,11 @@ __all__ = [
     "CFG",
     "COULD_NOT_COMPUTE",
     "CallGraph",
+    "DependenceAnalysis",
     "DominatorTree",
     "FunctionClass",
     "Loop",
+    "LoopDependence",
     "LoopInfo",
     "PurityAnalysis",
     "RecurrenceDescriptor",
@@ -44,8 +57,14 @@ __all__ = [
     "SCEVMul",
     "SCEVUnknown",
     "ScalarEvolution",
+    "VERDICT_DOALL",
+    "VERDICT_LCD",
+    "VERDICT_UNKNOWN",
+    "analyze_module",
+    "classify_header_phis",
     "detect_reduction",
     "loop_reductions",
+    "module_memory_summaries",
     "scev_add",
     "scev_mul",
     "scev_sub",

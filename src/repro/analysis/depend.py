@@ -1,0 +1,717 @@
+"""Static loop-carried memory dependence analysis.
+
+The dynamic profiler observes memory LCDs; this module *proves* them (or
+their absence) at compile time, giving the repo a second, independent source
+of truth. For every loop it emits a conservative verdict:
+
+* ``STATIC_DOALL`` — no loop-carried memory dependence can exist: every pair
+  of accesses that could touch the same storage is proven independent across
+  iterations by a dependence test.
+* ``STATIC_LCD(dist=k)`` — a loop-carried dependence at constant iteration
+  distance ``k`` was derived from the access functions (classic may-
+  dependence semantics: the dependence is assumed unless disproven, and
+  here its distance is known exactly).
+* ``UNKNOWN`` — independence could not be proven (symbolic offsets, opaque
+  pointers, unanalyzable callees, ...).
+
+The machinery mirrors the textbook pipeline on top of :mod:`.scev`:
+
+1. every load/store pointer is linearized into ``base + const + Σ cᵢ·symᵢ +
+   stride·i ± span`` with respect to the loop (``_Linear``); ``span`` bounds
+   the footprint contributed by inner-loop induction variables (the MIV
+   case);
+2. base objects are resolved through GEP chains; distinct concrete objects
+   (different globals, different allocas) never alias in the slot-addressed
+   memory model, and an alloca belonging to the loop body is iteration-
+   private — the static mirror of the runtime's cactus-stack privatization
+   rule;
+3. same-base pairs go through ZIV / strong-SIV / GCD / Banerjee-style
+   subscript tests with the loop's trip count (when constant) bounding the
+   dependence distance;
+4. calls contribute their callee's *memory summary* (reads/writes of global
+   objects and pointer arguments, computed bottom-up over call-graph SCCs)
+   as whole-object footprints.
+
+Soundness contract (checked by ``repro crosscheck`` and the differential
+backend tests): a loop classified ``STATIC_DOALL`` must never record a
+cross-iteration RAW conflict in the dynamic profile, under any backend.
+
+The register half of Table I lives here too: :func:`classify_header_phis`
+re-derives the computable / reduction / non-computable split for a loop's
+header phis purely from ``scev.py`` + ``reduction.py`` so that
+``core.static_info`` and the lint/crosscheck layer share one classifier.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+
+from ..ir.instructions import Alloca, Call, Load, Store
+from ..ir.values import Argument, GlobalVariable
+from .callgraph import CallGraph
+from .loop_info import LoopInfo
+from .purity import _trace_to_base
+from .reduction import detect_reduction
+from .scev import (
+    COULD_NOT_COMPUTE,
+    ZERO,
+    ScalarEvolution,
+    SCEVAdd,
+    SCEVAddRec,
+    SCEVConstant,
+    SCEVMul,
+    SCEVUnknown,
+)
+
+# Verdict strings (stable: surfaced by the CLI and joined by crosscheck).
+VERDICT_DOALL = "STATIC_DOALL"
+VERDICT_LCD = "STATIC_LCD"
+VERDICT_UNKNOWN = "UNKNOWN"
+
+# Register classification strings (match core.static_info's PHI_*).
+REG_COMPUTABLE = "computable"
+REG_REDUCTION = "reduction"
+REG_NONCOMPUTABLE = "noncomputable"
+
+# Memory-summary sentinels (alongside concrete GlobalVariable objects).
+ARGS_OBJECT = "<args>"
+UNKNOWN_OBJECT = "<unknown>"
+
+# SCEV is width-agnostic but the interpreter wraps i32 arithmetic; any
+# derived constant at or beyond this magnitude may have wrapped at run time,
+# so the subscript tests refuse to conclude anything from it.
+_WRAP_LIMIT = 1 << 31
+
+# Pair-testing is quadratic in the number of accesses; loops beyond this are
+# classified UNKNOWN rather than risking pathological analysis times.
+_MAX_ACCESSES = 512
+
+
+def classify_header_phis(loop, scev):
+    """Classify each header phi of ``loop`` statically.
+
+    Returns ``[(position, phi, reg_class, reduction_kind)]`` in header
+    order, where ``reg_class`` is one of :data:`REG_COMPUTABLE`,
+    :data:`REG_REDUCTION`, :data:`REG_NONCOMPUTABLE` and ``reduction_kind``
+    is the recurrence kind string for reductions (else ``None``). This is
+    the single implementation behind Table I's register-LCD split.
+    """
+    result = []
+    for position, phi in enumerate(loop.header.phis()):
+        if scev.is_computable_phi(phi):
+            result.append((position, phi, REG_COMPUTABLE, None))
+            continue
+        descriptor = detect_reduction(phi, loop)
+        if descriptor is not None:
+            result.append((position, phi, REG_REDUCTION, descriptor.kind))
+        else:
+            result.append((position, phi, REG_NONCOMPUTABLE, None))
+    return result
+
+
+# -- function memory summaries ---------------------------------------------------
+
+
+class FunctionMemorySummary:
+    """What a function (transitively) reads and writes, as a set of objects:
+    concrete :class:`GlobalVariable` identities, :data:`ARGS_OBJECT` (memory
+    reachable through pointer arguments) and :data:`UNKNOWN_OBJECT`
+    (anything — analysis gave up). A function's own allocas are excluded:
+    frame storage is private to the call and, when the call happens inside a
+    loop iteration, iteration-private under the runtime's cactus-stack rule.
+    """
+
+    __slots__ = ("reads", "writes")
+
+    def __init__(self):
+        self.reads = set()
+        self.writes = set()
+
+    @property
+    def is_opaque(self):
+        return UNKNOWN_OBJECT in self.reads or UNKNOWN_OBJECT in self.writes
+
+    @property
+    def touches_memory(self):
+        return bool(self.reads or self.writes)
+
+    def __repr__(self):
+        def show(objects):
+            names = sorted(
+                obj.name if isinstance(obj, GlobalVariable) else str(obj)
+                for obj in objects
+            )
+            return "{" + ", ".join(names) + "}"
+
+        return f"<MemSummary reads={show(self.reads)} writes={show(self.writes)}>"
+
+
+def _summary_object(pointer):
+    """Map a pointer to its summary object (``None`` = frame-private)."""
+    base = _trace_to_base(pointer)
+    if isinstance(base, GlobalVariable):
+        return base
+    if isinstance(base, Alloca):
+        return None  # callee frame storage: invisible to callers
+    if isinstance(base, Argument):
+        return ARGS_OBJECT
+    return UNKNOWN_OBJECT
+
+
+def module_memory_summaries(module, callgraph=None):
+    """Bottom-up :class:`FunctionMemorySummary` for every module function."""
+    if callgraph is None:
+        callgraph = CallGraph(module)
+    summaries = {}
+    for component in callgraph.sccs_bottom_up():
+        scc = set(component)
+        for function in component:
+            summary = FunctionMemorySummary()
+            summaries[function] = summary
+            if function.is_intrinsic:
+                info = function.intrinsic
+                if info.reads_memory:
+                    summary.reads.add(ARGS_OBJECT)
+                if info.writes_memory:
+                    summary.writes.add(ARGS_OBJECT)
+                # side_effects / global_state intrinsics (rand, print...)
+                # have no *modeled-memory* traffic: the interpreter never
+                # issues mem_read/mem_write for them, so they are invisible
+                # to the dynamic conflict tracker and safely omitted here.
+                continue
+            if function.is_declaration:
+                summary.reads.add(UNKNOWN_OBJECT)
+                summary.writes.add(UNKNOWN_OBJECT)
+                continue
+            for instruction in function.instructions():
+                if isinstance(instruction, Load):
+                    obj = _summary_object(instruction.pointer)
+                    if obj is not None:
+                        summary.reads.add(obj)
+                elif isinstance(instruction, Store):
+                    if instruction.value.type.is_pointer:
+                        # A stored pointer value creates aliasing routes the
+                        # base-object model cannot track.
+                        summary.writes.add(UNKNOWN_OBJECT)
+                    obj = _summary_object(instruction.pointer)
+                    if obj is not None:
+                        summary.writes.add(obj)
+                elif isinstance(instruction, Call):
+                    callee = instruction.callee
+                    if callee in scc:
+                        # Recursion inside the SCC: punt.
+                        summary.reads.add(UNKNOWN_OBJECT)
+                        summary.writes.add(UNKNOWN_OBJECT)
+                        continue
+                    callee_summary = summaries[callee]
+                    _absorb_call(summary.reads, callee_summary.reads, instruction)
+                    _absorb_call(summary.writes, callee_summary.writes, instruction)
+    return summaries
+
+
+def _absorb_call(target, source, call):
+    """Translate a callee summary across a call site: ``ARGS_OBJECT``
+    entries become the objects behind the call's pointer arguments."""
+    for obj in source:
+        if obj == ARGS_OBJECT:
+            for arg in call.args:
+                if arg.type.is_pointer:
+                    translated = _summary_object(arg)
+                    if translated is not None:
+                        target.add(translated)
+        else:
+            target.add(obj)
+
+
+# -- access model ----------------------------------------------------------------
+
+
+class _Access:
+    """One memory access the loop may perform each iteration."""
+
+    __slots__ = ("is_write", "base", "pointer", "whole_object", "label",
+                 "block")
+
+    def __init__(self, is_write, base, pointer, whole_object, label,
+                 block=None):
+        self.is_write = is_write
+        self.base = base          # GlobalVariable | Alloca | Argument | None
+        self.pointer = pointer    # IR pointer value (None for whole-object)
+        self.whole_object = whole_object
+        self.label = label        # deterministic human-readable description
+        self.block = block        # where the access executes (span bounds)
+
+
+class _Linear:
+    """``const + Σ coeff·sym + stride·i + [span_lo, span_hi]`` w.r.t. a loop."""
+
+    __slots__ = ("const", "terms", "stride", "span_lo", "span_hi")
+
+    def __init__(self, const=0, terms=None, stride=0, span_lo=0, span_hi=0):
+        self.const = const
+        self.terms = terms if terms is not None else {}
+        self.stride = stride
+        self.span_lo = span_lo
+        self.span_hi = span_hi
+
+
+class LoopDependence:
+    """The static memory-dependence verdict for one loop."""
+
+    __slots__ = ("loop_id", "verdict", "distance", "reasons", "tested_pairs",
+                 "access_count")
+
+    def __init__(self, loop_id, verdict, distance=None, reasons=(),
+                 tested_pairs=0, access_count=0):
+        self.loop_id = loop_id
+        self.verdict = verdict
+        self.distance = distance
+        self.reasons = tuple(reasons)
+        self.tested_pairs = tested_pairs
+        self.access_count = access_count
+
+    def describe(self):
+        if self.verdict == VERDICT_LCD and self.distance is not None:
+            return f"{VERDICT_LCD}(dist={self.distance})"
+        return self.verdict
+
+    def to_dict(self):
+        return {
+            "loop_id": self.loop_id,
+            "verdict": self.verdict,
+            "distance": self.distance,
+            "reasons": list(self.reasons),
+            "tested_pairs": self.tested_pairs,
+            "access_count": self.access_count,
+        }
+
+    def __repr__(self):
+        return f"<LoopDependence {self.loop_id} {self.describe()}>"
+
+
+class DependenceAnalysis:
+    """Per-function loop-carried memory dependence analysis."""
+
+    def __init__(self, function, loop_info=None, scev=None, summaries=None):
+        self.function = function
+        self.loop_info = loop_info if loop_info is not None else LoopInfo(function)
+        self.scev = scev if scev is not None else ScalarEvolution(
+            function, self.loop_info)
+        self.summaries = summaries or {}
+        self._footprints = {}  # (id(pointer), id(loop)) -> _Linear | None
+        self._trips = {}       # id(loop) -> int | None
+
+    # -- public API -------------------------------------------------------------
+
+    def loop_verdict(self, loop):
+        accesses, opaque_reasons = self._collect(loop)
+        if len(accesses) > _MAX_ACCESSES:
+            return LoopDependence(
+                loop.loop_id, VERDICT_UNKNOWN,
+                reasons=(f"loop body has {len(accesses)} memory accesses "
+                         f"(analysis cap {_MAX_ACCESSES})",),
+                access_count=len(accesses))
+        may_reasons = list(opaque_reasons)
+        lcd_distances = []
+        tested = 0
+        writes = [a for a in accesses if a.is_write]
+        reads = [a for a in accesses if not a.is_write]
+        trip = self._trip(loop)
+        for index, write in enumerate(writes):
+            # write-vs-write (WAW can carry a RAW chain through memory) and
+            # write-vs-read pairs; a write is also paired with itself (the
+            # same instruction on two different iterations).
+            for other in writes[index:] + reads:
+                tested += 1
+                result = self._test_pair(loop, write, other, trip)
+                kind = result[0]
+                if kind == "lcd":
+                    lcd_distances.append(result[1])
+                elif kind == "may":
+                    may_reasons.append(result[1])
+        if may_reasons:
+            verdict, distance = VERDICT_UNKNOWN, None
+            if lcd_distances:
+                # A dependence is *proven*; unknown pairs cannot undo that.
+                verdict, distance = VERDICT_LCD, min(lcd_distances)
+            reasons = _dedupe(may_reasons)
+        elif lcd_distances:
+            verdict, distance = VERDICT_LCD, min(lcd_distances)
+            reasons = ()
+        else:
+            verdict, distance = VERDICT_DOALL, None
+            reasons = ()
+        return LoopDependence(loop.loop_id, verdict, distance, reasons,
+                              tested, len(accesses))
+
+    # -- access collection -------------------------------------------------------
+
+    def _collect(self, loop):
+        accesses = []
+        opaque = []
+        for block in loop.blocks_in_function_order():
+            for instruction in block.instructions:
+                if isinstance(instruction, Load):
+                    self._add_pointer_access(
+                        accesses, loop, False, instruction.pointer,
+                        f"load in {block.name}", block)
+                elif isinstance(instruction, Store):
+                    if instruction.value.type.is_pointer:
+                        opaque.append(
+                            f"store of a pointer value in {block.name} "
+                            f"(untracked aliasing)")
+                    self._add_pointer_access(
+                        accesses, loop, True, instruction.pointer,
+                        f"store in {block.name}", block)
+                elif isinstance(instruction, Call):
+                    self._add_call_accesses(
+                        accesses, opaque, loop, instruction, block)
+        return accesses, opaque
+
+    def _add_pointer_access(self, accesses, loop, is_write, pointer, label,
+                            block):
+        base = _trace_to_base(pointer)
+        if not isinstance(base, (GlobalVariable, Alloca, Argument)):
+            base = None
+        if self._is_iteration_private(base, loop):
+            return
+        name = base.name if base is not None else "?"
+        accesses.append(_Access(is_write, base, pointer, False,
+                                f"{label} of @{name}", block))
+
+    def _add_call_accesses(self, accesses, opaque, loop, call, block):
+        summary = self.summaries.get(call.callee)
+        if summary is None:
+            opaque.append(
+                f"call @{call.callee.name} in {block.name} has no memory "
+                f"summary")
+            return
+        for is_write, objects in ((False, summary.reads),
+                                  (True, summary.writes)):
+            for obj in objects:
+                if obj == UNKNOWN_OBJECT:
+                    opaque.append(
+                        f"call @{call.callee.name} in {block.name} touches "
+                        f"unanalyzable memory")
+                elif obj == ARGS_OBJECT:
+                    for arg in call.args:
+                        if not arg.type.is_pointer:
+                            continue
+                        base = _trace_to_base(arg)
+                        if not isinstance(
+                                base, (GlobalVariable, Alloca, Argument)):
+                            opaque.append(
+                                f"call @{call.callee.name} in {block.name} "
+                                f"passes an unresolvable pointer")
+                            continue
+                        if self._is_iteration_private(base, loop):
+                            continue
+                        accesses.append(_Access(
+                            is_write, base, None, True,
+                            f"call @{call.callee.name} in {block.name} "
+                            f"{'writes' if is_write else 'reads'} @{base.name}"))
+                else:
+                    accesses.append(_Access(
+                        is_write, obj, None, True,
+                        f"call @{call.callee.name} in {block.name} "
+                        f"{'writes' if is_write else 'reads'} @{obj.name}"))
+
+    @staticmethod
+    def _is_iteration_private(base, loop):
+        """Static mirror of the runtime cactus-stack privatization rule: an
+        alloca inside the loop body is reborn every iteration, so accesses
+        to it can never carry a dependence for this loop."""
+        return isinstance(base, Alloca) and base.parent in loop.blocks
+
+    # -- pair testing ------------------------------------------------------------
+
+    def _test_pair(self, loop, first, second, trip):
+        alias = self._alias(first, second)
+        if alias == "no":
+            return ("independent",)
+        if alias == "may":
+            return ("may",
+                    f"{first.label} may alias {second.label}")
+        # Same base object from here on.
+        if first.whole_object or second.whole_object:
+            return ("may",
+                    f"{first.label} overlaps {second.label} (whole-object)")
+        fp1 = self._footprint(first.pointer, loop, first.block)
+        fp2 = self._footprint(second.pointer, loop, second.block)
+        if fp1 is None or fp2 is None:
+            which = first.label if fp1 is None else second.label
+            return ("may", f"{which} has a non-affine access function")
+        return self._subscript_test(fp1, fp2, trip, first, second)
+
+    def _alias(self, first, second):
+        """Base-object disambiguation: 'no' | 'same' | 'may'.
+
+        The slot-addressed memory model gives every global and alloca its
+        own storage, so distinct concrete objects never overlap. An
+        argument pointer may point anywhere in the caller — except into a
+        fresh alloca of this very function, which no caller can name.
+        """
+        b1, b2 = first.base, second.base
+        if b1 is None or b2 is None:
+            return "may"
+        if b1 is b2:
+            return "same"
+        concrete1 = isinstance(b1, (GlobalVariable, Alloca))
+        concrete2 = isinstance(b2, (GlobalVariable, Alloca))
+        if concrete1 and concrete2:
+            return "no"
+        if isinstance(b1, Argument) and isinstance(b2, Alloca):
+            return "no"
+        if isinstance(b2, Argument) and isinstance(b1, Alloca):
+            return "no"
+        return "may"  # argument vs global / argument vs other argument
+
+    def _trip(self, loop):
+        key = id(loop)
+        if key not in self._trips:
+            self._trips[key] = self.scev.trip_count(loop)
+        return self._trips[key]
+
+    # -- linearization -----------------------------------------------------------
+
+    def _footprint(self, pointer, loop, access_block):
+        """Linear form of the pointer's SCEV w.r.t. ``loop`` with the base
+        object's term removed, or ``None`` when not affine."""
+        key = (id(pointer), id(loop), id(access_block))
+        if key in self._footprints:
+            return self._footprints[key]
+        result = self._compute_footprint(pointer, loop, access_block)
+        self._footprints[key] = result
+        return result
+
+    def _compute_footprint(self, pointer, loop, access_block):
+        expr = self.scev.get(pointer)
+        linear = self._linearize(expr, loop, access_block)
+        if linear is None:
+            return None
+        base = _trace_to_base(pointer)
+        base_term = SCEVUnknown(base)
+        coeff = linear.terms.pop(base_term, 0)
+        if coeff != 1:
+            return None  # base pointer scaled or missing: not a plain offset
+        for term in linear.terms:
+            if isinstance(term, SCEVUnknown) and getattr(
+                    term.value, "type", None) is not None \
+                    and term.value.type.is_pointer:
+                return None  # second pointer in the subscript: give up
+        return linear
+
+    def _linearize(self, expr, loop, access_block):
+        """Decompose ``expr`` into a :class:`_Linear` w.r.t. ``loop``:
+        constant + symbolic loop-invariant terms + a constant stride per
+        iteration of ``loop`` + a bounded span from inner-loop IVs.
+        Returns ``None`` when the expression does not fit the form (or any
+        constant is large enough to have wrapped in i32 arithmetic)."""
+        if isinstance(expr, SCEVConstant):
+            if abs(expr.value) >= _WRAP_LIMIT:
+                return None
+            return _Linear(const=expr.value)
+        if isinstance(expr, SCEVAddRec):
+            return self._linearize_addrec(expr, loop, access_block)
+        if isinstance(expr, SCEVAdd):
+            total = _Linear()
+            for op in expr.operands:
+                part = self._linearize(op, loop, access_block)
+                if part is None:
+                    return None
+                total.const += part.const
+                total.stride += part.stride
+                total.span_lo += part.span_lo
+                total.span_hi += part.span_hi
+                for term, coeff in part.terms.items():
+                    merged = total.terms.get(term, 0) + coeff
+                    if merged:
+                        total.terms[term] = merged
+                    else:
+                        total.terms.pop(term, None)
+            if (abs(total.const) >= _WRAP_LIMIT
+                    or abs(total.stride) >= _WRAP_LIMIT
+                    or abs(total.span_lo) >= _WRAP_LIMIT
+                    or abs(total.span_hi) >= _WRAP_LIMIT):
+                return None
+            return total
+        if isinstance(expr, (SCEVUnknown, SCEVMul)):
+            if expr.is_invariant_in(loop):
+                return _Linear(terms={expr: 1})
+            return None
+        return None  # COULD_NOT_COMPUTE, markers, anything else
+
+    def _linearize_addrec(self, expr, loop, access_block):
+        if expr.loop is loop:
+            if not isinstance(expr.step, SCEVConstant):
+                return None
+            if abs(expr.step.value) >= _WRAP_LIMIT:
+                return None
+            inner = self._linearize(expr.start, loop, access_block)
+            if inner is None or inner.stride != 0:
+                return None
+            inner.stride = expr.step.value
+            return inner
+        if loop.contains_loop(expr.loop):
+            # Inner-loop IV: its contribution within one iteration of
+            # ``loop`` spans [0, step * max_index]. The addrec index equals
+            # the completed latch traversals at evaluation time: body
+            # blocks of the inner loop only ever run with index <=
+            # trip - 1, while the inner header (the trailing exit check)
+            # and any final-value use outside the inner loop can see
+            # index == trip. Requires a constant inner trip count.
+            if not isinstance(expr.step, SCEVConstant):
+                return None
+            inner_trip = self._trip(expr.loop)
+            if inner_trip is None:
+                return None
+            max_index = inner_trip
+            if (access_block is not None
+                    and access_block in expr.loop.blocks
+                    and access_block is not expr.loop.header):
+                max_index = inner_trip - 1
+            extent = expr.step.value * max_index
+            if abs(extent) >= _WRAP_LIMIT:
+                return None
+            outer = self._linearize(expr.start, loop, access_block)
+            if outer is None:
+                return None
+            outer.span_lo += min(0, extent)
+            outer.span_hi += max(0, extent)
+            return outer
+        # Addrec of an outer or disjoint loop: fixed for the whole
+        # invocation of ``loop``. Its *start* may still carry the base
+        # pointer (``{{A,+,8}<outer>,+,1}<inner>`` seen from the inner
+        # loop), so split value = start + {0,+,step}<that-loop>: the start
+        # linearizes normally and the iteration-dependent remainder stays
+        # one symbolic term both accesses of a pair share structurally.
+        start = self._linearize(expr.start, loop, access_block)
+        if start is None:
+            return None
+        offset_term = SCEVAddRec(ZERO, expr.step, expr.loop)
+        start.terms[offset_term] = start.terms.get(offset_term, 0) + 1
+        return start
+
+    # -- subscript tests ----------------------------------------------------------
+
+    def _subscript_test(self, fp1, fp2, trip, first, second):
+        """ZIV / strong-SIV / GCD / Banerjee over two same-base footprints.
+
+        ``fp1`` covers ``c1 + b1·i + [lo1, hi1]`` at iteration ``i``; ``fp2``
+        covers ``c2 + b2·j + [lo2, hi2]`` at iteration ``j``. A loop-carried
+        dependence needs overlap with ``k = j - i ≠ 0``; when the trip count
+        is known, additionally ``|k| <= trip``.
+        """
+        delta_terms = dict(fp1.terms)
+        for term, coeff in fp2.terms.items():
+            merged = delta_terms.get(term, 0) - coeff
+            if merged:
+                delta_terms[term] = merged
+            else:
+                delta_terms.pop(term, None)
+        if delta_terms:
+            return ("may",
+                    f"{first.label} and {second.label} differ by a symbolic "
+                    f"offset")
+        delta = fp2.const - fp1.const  # f2 minus f1 at equal indices
+        if abs(delta) >= _WRAP_LIMIT:
+            return ("may", f"{first.label} offset outside the i32 range")
+        b1, b2 = fp1.stride, fp2.stride
+        # Overlap condition: b2·j - b1·i ∈ [L, U].
+        lower = fp1.span_lo - fp2.span_hi - delta
+        upper = fp1.span_hi - fp2.span_lo - delta
+        exact = (fp1.span_lo == fp1.span_hi == 0
+                 and fp2.span_lo == fp2.span_hi == 0)
+        if trip is not None and (
+                (max(abs(b1), abs(b2)) * (trip + 1)
+                 + max(abs(fp1.span_lo), abs(fp1.span_hi))
+                 + max(abs(fp2.span_lo), abs(fp2.span_hi))) >= _WRAP_LIMIT):
+            return ("may", f"{first.label} index range may wrap i32")
+        if b1 == 0 and b2 == 0:
+            # ZIV: loop-invariant addresses.
+            if lower <= 0 <= upper:
+                if exact:
+                    return ("lcd", 1)  # same cell every iteration
+                return ("may",
+                        f"{first.label} and {second.label} revisit "
+                        f"overlapping invariant storage")
+            return ("independent",)
+        if b1 == b2:
+            # Strong SIV: equal strides, so b·k ∈ [L, U] with k = j - i.
+            solutions = _stride_multiples_in(lower, upper, b1)
+            if solutions is None:
+                return ("may",
+                        f"{first.label} strong-SIV bounds degenerate")
+            k_min, k_max = solutions
+            if trip is not None:
+                k_min = max(k_min, -trip)
+                k_max = min(k_max, trip)
+            if k_min > k_max or (k_min == k_max == 0):
+                return ("independent",)
+            if exact and k_min == k_max:
+                return ("lcd", abs(k_min))
+            return ("may",
+                    f"{first.label} and {second.label} collide at several "
+                    f"possible distances")
+        # Weak SIV / different strides: GCD + Banerjee range test.
+        g = gcd(abs(b1), abs(b2))
+        if g:
+            first_multiple = -(-lower // g) * g  # smallest multiple >= lower
+            if first_multiple > upper:
+                return ("independent",)
+        if trip is not None:
+            # Banerjee bounds: i, j ∈ [0, trip] (inclusive: the trailing
+            # header evaluation uses index == trip).
+            reachable_lo = min(0, b2 * trip) - max(0, b1 * trip)
+            reachable_hi = max(0, b2 * trip) - min(0, b1 * trip)
+            if reachable_hi < lower or reachable_lo > upper:
+                return ("independent",)
+        return ("may",
+                f"{first.label} and {second.label} have unequal strides "
+                f"({b1} vs {b2})")
+
+
+def _stride_multiples_in(lower, upper, stride):
+    """Integer ``k`` range with ``stride·k ∈ [lower, upper]`` (or ``None``
+    if unbounded — stride 0 inside a nonempty interval)."""
+    if stride == 0:
+        if lower <= 0 <= upper:
+            return None
+        return (1, 0)  # empty range
+    if stride > 0:
+        return (-(-lower // stride), upper // stride)
+    return (-(-upper // stride), lower // stride)
+
+
+def _dedupe(reasons, cap=8):
+    seen = []
+    for reason in reasons:
+        if reason not in seen:
+            seen.append(reason)
+    seen.sort()
+    if len(seen) > cap:
+        seen = seen[:cap] + [f"... and {len(seen) - cap} more"]
+    return seen
+
+
+# -- module driver ---------------------------------------------------------------
+
+
+def analyze_module(module, loop_infos=None):
+    """``{loop_id: LoopDependence}`` for every loop in the module.
+
+    ``loop_infos`` may carry precomputed per-function :class:`LoopInfo`
+    objects keyed by function name (as ``ModuleStaticInfo`` holds them) so
+    loop identities line up with the instrumentation's.
+    """
+    summaries = module_memory_summaries(module)
+    verdicts = {}
+    for function in module.defined_functions():
+        loop_info = None
+        if loop_infos is not None:
+            loop_info = loop_infos.get(function.name)
+        analysis = DependenceAnalysis(
+            function, loop_info=loop_info, summaries=summaries)
+        for loop in analysis.loop_info.all_loops():
+            verdicts[loop.loop_id] = analysis.loop_verdict(loop)
+    return verdicts

@@ -1,0 +1,34 @@
+"""repro.analysis.lint — the diagnostics framework behind ``repro lint``.
+
+Importing this package registers the built-in checkers.
+"""
+
+from .core import (
+    CATALOG,
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    LintContext,
+    checker,
+    declare,
+    format_diagnostics,
+    run_lint,
+    worst_severity,
+)
+from . import checkers  # noqa: F401  (registers the built-in checkers)
+
+__all__ = [
+    "CATALOG",
+    "Diagnostic",
+    "ERROR",
+    "INFO",
+    "LintContext",
+    "WARNING",
+    "checker",
+    "checkers",
+    "declare",
+    "format_diagnostics",
+    "run_lint",
+    "worst_severity",
+]

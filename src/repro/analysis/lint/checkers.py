@@ -1,0 +1,226 @@
+"""Built-in lint checkers and the diagnostic catalog.
+
+Diagnostic ID ranges:
+
+* ``LP1xx`` — IR well-formedness and pipeline invariants,
+* ``LP11x`` — instrumentation-plan consistency,
+* ``LP2xx`` — suspicious loop shapes and analysis gaps.
+
+To add a checker: declare its IDs with :func:`~.core.declare`, write a
+``check(context, emit)`` function, and decorate it with
+:func:`~.core.checker`; the catalog table in ``docs/internals.md`` mirrors
+the declarations below.
+"""
+
+from __future__ import annotations
+
+from ...errors import VerificationError
+from ...ir.verifier import verify_function
+from ..depend import VERDICT_UNKNOWN
+from .core import ERROR, INFO, WARNING, checker, declare
+
+LP101 = declare(
+    "LP101", ERROR, "IR verifier violation (structure, SSA dominance, "
+    "phi/CFG mismatch)")
+LP102 = declare(
+    "LP102", WARNING, "unreachable basic block survives in the final module")
+LP103 = declare(
+    "LP103", ERROR, "pass-pipeline invariant violation: a stage produced IR "
+    "that fails the inter-pass verifier")
+LP111 = declare(
+    "LP111", ERROR, "instrumentation edge action targets a CFG edge that "
+    "does not exist")
+LP112 = declare(
+    "LP112", ERROR, "instrumentation hook references an instruction or "
+    "block not present in its function")
+LP113 = declare(
+    "LP113", WARNING, "dead instrumentation: a callback is attached to "
+    "unreachable code and can never fire")
+LP201 = declare(
+    "LP201", WARNING, "loop is not in simplified form (no preheader): it "
+    "cannot be uniquely instrumented")
+LP202 = declare(
+    "LP202", WARNING, "loop has multiple backedges (merged latches)")
+LP203 = declare(
+    "LP203", WARNING, "loop has no exit edge: once entered it can only "
+    "leave by function return")
+LP204 = declare(
+    "LP204", INFO, "loop-carried memory dependence could not be resolved "
+    "statically (verdict UNKNOWN)")
+
+#: Cap per-checker findings of one kind so a badly broken module still
+#: produces a readable report.
+_MAX_PER_FUNCTION = 25
+
+
+@checker("ir-verify")
+def check_ir_verifier(context, emit):
+    """LP101: run the full IR verifier, one diagnostic per problem."""
+    for function in context.module.defined_functions():
+        problems = []
+        verify_function(function, problems)
+        for problem in problems[:_MAX_PER_FUNCTION]:
+            emit(LP101, function.name, -1, problem)
+
+
+@checker("unreachable-blocks")
+def check_unreachable_blocks(context, emit):
+    """LP102: blocks no execution can reach (simplify-cfg should have
+    removed them; they bloat analyses and hide stale instrumentation)."""
+    for function in context.module.defined_functions():
+        loop_info = context.static_info.loop_infos.get(function.name)
+        if loop_info is None:
+            continue
+        cfg = loop_info.cfg
+        for index, block in enumerate(function.blocks):
+            if not cfg.is_reachable(block):
+                emit(LP102, function.name, index,
+                     f"block '{block.name}' is unreachable")
+
+
+@checker("pipeline-verify")
+def check_pipeline_invariants(context, emit):
+    """LP103: recompile from source with verification between every pass;
+    any stage that breaks the IR is reported with its name."""
+    if context.source is None:
+        return
+    from ...frontend.codegen import compile_source
+
+    try:
+        compile_source(context.source, module_name=context.name,
+                       verify_each=True)
+    except VerificationError as error:
+        for problem in error.problems[:_MAX_PER_FUNCTION]:
+            emit(LP103, "", -1, problem)
+
+
+def _block_names(function):
+    return {id(block): block.name for block in function.blocks}
+
+
+@checker("instrumentation-edges")
+def check_instrumentation_edges(context, emit):
+    """LP111/LP113: every planned edge action must lie on a real CFG edge,
+    and its source block must be reachable for the callback to ever fire."""
+    for function in context.module.defined_functions():
+        plan = context.instrumentation.get(function.name)
+        loop_info = context.static_info.loop_infos.get(function.name)
+        if plan is None or loop_info is None:
+            continue
+        cfg = loop_info.cfg
+        names = _block_names(function)
+        edges = set()
+        for block in function.blocks:
+            if block.terminator is None:
+                continue
+            for successor in block.terminator.successors():
+                edges.add((id(block), id(successor)))
+        for (pred_id, succ_id), actions in plan.edge_actions.items():
+            described = ", ".join(
+                f"{kind} {loop_id}" for kind, loop_id in actions)
+            pred_name = names.get(pred_id)
+            succ_name = names.get(succ_id)
+            if pred_name is None or succ_name is None:
+                emit(LP111, function.name, -1,
+                     f"edge action [{described}] references a block that "
+                     f"is no longer in the function")
+                continue
+            if (pred_id, succ_id) not in edges:
+                emit(LP111, function.name, -1,
+                     f"edge action [{described}] on nonexistent edge "
+                     f"{pred_name} -> {succ_name}")
+        reachable_ids = {
+            id(block) for block in function.blocks if cfg.is_reachable(block)
+        }
+        for (pred_id, succ_id), actions in plan.edge_actions.items():
+            if pred_id in names and pred_id not in reachable_ids:
+                described = ", ".join(
+                    f"{kind} {loop_id}" for kind, loop_id in actions)
+                emit(LP113, function.name, -1,
+                     f"edge action [{described}] fires from unreachable "
+                     f"block {names[pred_id]}")
+
+
+@checker("instrumentation-hooks")
+def check_instrumentation_hooks(context, emit):
+    """LP112/LP113: def/use/call hooks must point at live instructions."""
+    for function in context.module.defined_functions():
+        plan = context.instrumentation.get(function.name)
+        loop_info = context.static_info.loop_infos.get(function.name)
+        if plan is None or loop_info is None:
+            continue
+        cfg = loop_info.cfg
+        instruction_block = {}
+        for block in function.blocks:
+            for instruction in block.instructions:
+                instruction_block[id(instruction)] = block
+        names = _block_names(function)
+
+        def hook_target(kind, instruction_id, label):
+            block = instruction_block.get(instruction_id)
+            if block is None:
+                emit(LP112, function.name, -1,
+                     f"{kind} hook for {label} references an instruction "
+                     f"not in the function")
+            elif not cfg.is_reachable(block):
+                emit(LP113, function.name, -1,
+                     f"{kind} hook for {label} sits in unreachable block "
+                     f"{block.name}")
+
+        for instruction_id, specs in plan.def_hooks.items():
+            for _loop_id, phi_key in specs:
+                hook_target("def", instruction_id, phi_key)
+        for instruction_id, specs in plan.use_hooks.items():
+            for _loop_id, phi_key in specs:
+                hook_target("use", instruction_id, phi_key)
+        for instruction_id, site_id in plan.call_sites.items():
+            hook_target("call-site", instruction_id, site_id)
+        for instruction_id, site_ids in plan.call_use_hooks.items():
+            for site_id in site_ids:
+                hook_target("call-use", instruction_id, site_id)
+        for (latch_id, header_id), specs in plan.latch_values.items():
+            keys = ", ".join(key for key, _value in specs)
+            if latch_id not in names or header_id not in names:
+                emit(LP112, function.name, -1,
+                     f"latch-value shipping for [{keys}] references a "
+                     f"block not in the function")
+
+
+@checker("loop-shapes")
+def check_loop_shapes(context, emit):
+    """LP201/LP202/LP203: loops the canonicalizer failed to simplify."""
+    for function in context.module.defined_functions():
+        loop_info = context.static_info.loop_infos.get(function.name)
+        if loop_info is None:
+            continue
+        cfg = loop_info.cfg
+        for loop in loop_info.all_loops():
+            header_index = function.blocks.index(loop.header)
+            if len(loop.latches) > 1:
+                emit(LP202, function.name, header_index,
+                     f"loop {loop.loop_id} has {len(loop.latches)} "
+                     f"backedges")
+            if loop.preheader(cfg) is None:
+                emit(LP201, function.name, header_index,
+                     f"loop {loop.loop_id} has no preheader")
+            if not loop.exit_edges(cfg):
+                emit(LP203, function.name, header_index,
+                     f"loop {loop.loop_id} has no exit edge")
+
+
+@checker("memdep-unknown")
+def check_unresolved_dependence(context, emit):
+    """LP204: where the static dependence engine gave up, and why."""
+    dependence = context.dependence()
+    for function in context.module.defined_functions():
+        loop_info = context.static_info.loop_infos.get(function.name)
+        if loop_info is None:
+            continue
+        for loop in loop_info.all_loops():
+            verdict = dependence.get(loop.loop_id)
+            if verdict is None or verdict.verdict != VERDICT_UNKNOWN:
+                continue
+            header_index = function.blocks.index(loop.header)
+            reason = verdict.reasons[0] if verdict.reasons else "no reason"
+            emit(LP204, function.name, header_index,
+                 f"loop {loop.loop_id}: {reason}")

@@ -1,0 +1,179 @@
+"""The lint framework: diagnostics, checker registry, and the driver.
+
+A *checker* is a function ``check(context, emit)`` registered with
+:func:`checker`; it inspects a compiled program and reports findings through
+``emit``. Every finding is a :class:`Diagnostic` with
+
+* a stable ID (``LPxxx`` — see the catalog in :mod:`.checkers` and
+  ``docs/internals.md``),
+* a severity (:data:`ERROR` > :data:`WARNING` > :data:`INFO`),
+* a location (function name + block index, ``-1`` for whole-function or
+  whole-module findings), and
+* a human-readable message built only from stable names — never from
+  ``id()`` values or set iteration order — so output is byte-identical
+  across hash seeds and runs.
+
+:func:`run_lint` executes every registered checker and returns diagnostics
+sorted by ``(function, block_index, diagnostic ID, message)``; the CLI's
+``repro lint`` renders them and exits non-zero iff any :data:`ERROR` is
+present.
+"""
+
+from __future__ import annotations
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+#: Registered checkers, in registration order: ``(checker_id, fn)``.
+_CHECKERS = []
+
+#: ``diagnostic_id -> (default_severity, one-line meaning)`` — the catalog.
+CATALOG = {}
+
+
+def checker(checker_id):
+    """Decorator registering a checker function under a stable name."""
+
+    def register(fn):
+        if any(existing_id == checker_id for existing_id, _ in _CHECKERS):
+            raise ValueError(f"duplicate checker id {checker_id!r}")
+        _CHECKERS.append((checker_id, fn))
+        return fn
+
+    return register
+
+
+def declare(diagnostic_id, severity, meaning):
+    """Add a diagnostic ID to the catalog (IDs must be declared before any
+    checker emits them; the docs checker-catalog table is generated from
+    this)."""
+    if severity not in _SEVERITY_RANK:
+        raise ValueError(f"unknown severity {severity!r}")
+    if diagnostic_id in CATALOG:
+        raise ValueError(f"duplicate diagnostic id {diagnostic_id!r}")
+    CATALOG[diagnostic_id] = (severity, meaning)
+    return diagnostic_id
+
+
+class Diagnostic:
+    """One lint finding."""
+
+    __slots__ = ("id", "severity", "function", "block_index", "message")
+
+    def __init__(self, diagnostic_id, severity, function, block_index,
+                 message):
+        self.id = diagnostic_id
+        self.severity = severity
+        self.function = function
+        self.block_index = block_index
+        self.message = message
+
+    @property
+    def sort_key(self):
+        return (self.function, self.block_index, self.id, self.message)
+
+    def render(self):
+        location = self.function or "<module>"
+        if self.block_index >= 0:
+            location = f"{location}:{self.block_index}"
+        return f"{self.id} {self.severity:<7} {location}: {self.message}"
+
+    def __repr__(self):
+        return f"<Diagnostic {self.render()}>"
+
+
+class LintContext:
+    """Everything checkers may inspect for one program.
+
+    ``module``/``static_info``/``instrumentation`` describe the compiled
+    program; ``source`` (when available) lets pipeline checkers recompile
+    with inter-pass verification. Built from a
+    :class:`~repro.core.framework.Loopapalooza` with :meth:`for_program`.
+    """
+
+    def __init__(self, module, static_info=None, instrumentation=None,
+                 source=None, name="program"):
+        self.module = module
+        self.name = name
+        self.source = source
+        if static_info is None:
+            from ...core.static_info import ModuleStaticInfo
+
+            static_info = ModuleStaticInfo(module)
+        self.static_info = static_info
+        if instrumentation is None:
+            from ...core.instrument import build_instrumentation
+
+            instrumentation = build_instrumentation(static_info)
+        self.instrumentation = instrumentation
+        self._dependence = None
+
+    @classmethod
+    def for_program(cls, lp):
+        return cls(lp.module, lp.static_info, lp.instrumentation,
+                   source=lp.source, name=lp.name)
+
+    def dependence(self):
+        """{loop_id: LoopDependence}, shared with the crosscheck reporter."""
+        if self._dependence is None:
+            self._dependence = self.static_info.dependence()
+        return self._dependence
+
+
+def run_lint(context, only=None):
+    """Run every registered checker; return sorted diagnostics.
+
+    ``only`` optionally restricts to an iterable of checker IDs.
+    """
+    wanted = set(only) if only is not None else None
+    diagnostics = []
+
+    def make_emit(checker_id):
+        def emit(diagnostic_id, function, block_index, message,
+                 severity=None):
+            if diagnostic_id not in CATALOG:
+                raise ValueError(
+                    f"checker {checker_id} emitted undeclared diagnostic "
+                    f"{diagnostic_id!r}")
+            default_severity, _ = CATALOG[diagnostic_id]
+            diagnostics.append(Diagnostic(
+                diagnostic_id, severity or default_severity, function,
+                block_index, message))
+
+        return emit
+
+    for checker_id, fn in _CHECKERS:
+        if wanted is not None and checker_id not in wanted:
+            continue
+        fn(context, make_emit(checker_id))
+    diagnostics.sort(key=lambda d: d.sort_key)
+    return diagnostics
+
+
+def worst_severity(diagnostics):
+    """The most severe level present, or ``None`` for a clean run."""
+    worst = None
+    for diagnostic in diagnostics:
+        if worst is None or (_SEVERITY_RANK[diagnostic.severity]
+                             < _SEVERITY_RANK[worst]):
+            worst = diagnostic.severity
+    return worst
+
+
+def format_diagnostics(diagnostics, name="program"):
+    """Render a lint report (deterministic, newline-joined)."""
+    lines = [f"lint report for {name}"]
+    if not diagnostics:
+        lines.append("  clean: no diagnostics")
+        return "\n".join(lines)
+    counts = {ERROR: 0, WARNING: 0, INFO: 0}
+    for diagnostic in diagnostics:
+        counts[diagnostic.severity] += 1
+        lines.append("  " + diagnostic.render())
+    lines.append(
+        f"  {counts[ERROR]} error(s), {counts[WARNING]} warning(s), "
+        f"{counts[INFO]} info")
+    return "\n".join(lines)

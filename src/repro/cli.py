@@ -6,6 +6,14 @@ Commands:
   cost, and any ``print_*`` output.
 * ``census FILE``     — the Table-I view: per-loop phi and call-site
   classification.
+* ``lint``            — run the static diagnostics (IR well-formedness,
+  instrumentation consistency, suspicious loop shapes) on a MiniC file or
+  on shipped benchmarks (``--bench all`` / ``--bench suite/name``); exits
+  non-zero iff any error-severity diagnostic fires.
+* ``crosscheck``      — join static dependence verdicts against dynamic
+  profiles (a FILE or the bench suites) and print the agreement table;
+  exits non-zero if any statically-proved DOALL loop conflicted
+  dynamically.
 * ``evaluate FILE``   — evaluate one or more configurations (``--config``,
   repeatable; defaults to the paper's 14).
 * ``diagnose FILE``   — per-loop relaxation ladder: the first configuration
@@ -287,6 +295,70 @@ def _cmd_bench(args, out):
     return 0
 
 
+def _lint_targets(args):
+    """``(name, Loopapalooza)`` pairs for lint/crosscheck file-or-bench
+    selection."""
+    if args.bench:
+        from .bench import SuiteRunner, all_programs, find_program
+        from .bench.suites import ALL_SUITES, suite_programs
+
+        runner = SuiteRunner()
+        if args.bench == "all":
+            programs = all_programs()
+        elif args.bench in ALL_SUITES:
+            programs = suite_programs(args.bench)
+        else:
+            programs = [find_program(args.bench)]
+        return [(p.full_name, runner.instance(p)) for p in programs]
+    if args.file:
+        return [(args.file, _load(args.file, args.fuel))]
+    return None
+
+
+def _cmd_lint(args, out):
+    from .analysis.lint import (
+        ERROR,
+        LintContext,
+        format_diagnostics,
+        run_lint,
+    )
+
+    targets = _lint_targets(args)
+    if targets is None:
+        print("error: `repro lint` needs a FILE or --bench", file=sys.stderr)
+        return 2
+    exit_code = 0
+    for name, lp in targets:
+        diagnostics = run_lint(LintContext.for_program(lp))
+        if args.errors_only:
+            diagnostics = [d for d in diagnostics if d.severity == ERROR]
+        print(format_diagnostics(diagnostics, name=name), file=out)
+        if any(d.severity == ERROR for d in diagnostics):
+            exit_code = 1
+    return exit_code
+
+
+def _cmd_crosscheck(args, out):
+    from .reporting.crosscheck import (
+        CrosscheckReport,
+        crosscheck_program,
+        crosscheck_suites,
+        format_crosscheck,
+    )
+
+    if args.file:
+        lp = _load(args.file, args.fuel)
+        report = CrosscheckReport(crosscheck_program(lp))
+    else:
+        from .bench import SuiteRunner
+
+        runner = SuiteRunner()
+        suites = [args.suite] if args.suite else None
+        report = crosscheck_suites(runner, suites=suites)
+    print(format_crosscheck(report, verbose=args.loops), file=out)
+    return 1 if report.unsound else 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -309,6 +381,8 @@ def build_parser():
         ("evaluate", _cmd_evaluate, True),
         ("diagnose", _cmd_diagnose, True),
         ("calltls", _cmd_calltls, True),
+        ("lint", _cmd_lint, False),
+        ("crosscheck", _cmd_crosscheck, False),
         ("figures", _cmd_figures, False),
         ("bench", _cmd_bench, False),
         ("cache", _cmd_cache, False),
@@ -318,6 +392,30 @@ def build_parser():
         sub.set_defaults(handler=handler)
         if needs_file:
             sub.add_argument("file", help="MiniC source file")
+        if name == "lint":
+            sub.add_argument("file", nargs="?", default=None,
+                             help="MiniC source file")
+            sub.add_argument(
+                "--bench", default=None, metavar="NAME",
+                help="lint shipped benchmarks instead of a file: "
+                     "'suite/name', a whole suite, or 'all'",
+            )
+            sub.add_argument(
+                "--errors-only", action="store_true",
+                help="show only error-severity diagnostics",
+            )
+        if name == "crosscheck":
+            sub.add_argument("file", nargs="?", default=None,
+                             help="MiniC source file (default: all bench "
+                                  "suites)")
+            sub.add_argument(
+                "--suite", default=None,
+                help="restrict the bench crosscheck to one suite",
+            )
+            sub.add_argument(
+                "--loops", action="store_true",
+                help="print the per-loop join, not just the tallies",
+            )
         if name == "evaluate":
             sub.add_argument(
                 "--config", action="append", default=[],

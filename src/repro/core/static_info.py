@@ -16,9 +16,9 @@ situation the paper's loopsimplify requirement avoids.
 
 from __future__ import annotations
 
+from ..analysis.depend import analyze_module, classify_header_phis
 from ..analysis.loop_info import LoopInfo
 from ..analysis.purity import FunctionClass, PurityAnalysis
-from ..analysis.reduction import detect_reduction
 from ..analysis.scev import ScalarEvolution
 from ..ir.instructions import Call
 
@@ -162,8 +162,17 @@ class ModuleStaticInfo:
         self.callgraph = self.purity.callgraph
         self._unsafe_taint = self._compute_unsafe_taint()
         self.loop_infos = {}
+        self._dependence = None
         for function in module.defined_functions():
             self._classify_function(function)
+
+    def dependence(self):
+        """Static memory-dependence verdicts (``{loop_id: LoopDependence}``),
+        computed lazily on first use. Kept out of the serialized
+        classification so profile-cache payloads are unaffected."""
+        if self._dependence is None:
+            self._dependence = analyze_module(self.module, self.loop_infos)
+        return self._dependence
 
     # -- construction -------------------------------------------------------------
 
@@ -210,17 +219,12 @@ class ModuleStaticInfo:
                 static.trackable = False
                 continue
             static.trip_count_hint = scev.trip_count(loop)
-            for position, phi in enumerate(loop.header.phis()):
+            for position, phi, reg_class, kind in classify_header_phis(
+                    loop, scev):
                 key = phi_key_for(loop.loop_id, position, phi)
-                if scev.is_computable_phi(phi):
-                    static.phi_classes[key] = PHI_COMPUTABLE
-                    continue
-                descriptor = detect_reduction(phi, loop)
-                if descriptor is not None:
-                    static.phi_classes[key] = PHI_REDUCTION
-                    static.reduction_kinds[key] = descriptor.kind
-                else:
-                    static.phi_classes[key] = PHI_NONCOMPUTABLE
+                static.phi_classes[key] = reg_class
+                if kind is not None:
+                    static.reduction_kinds[key] = kind
             for block in loop.blocks:
                 for instruction in block.instructions:
                     if isinstance(instruction, Call):

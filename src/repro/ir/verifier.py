@@ -3,7 +3,11 @@
 Checks the invariants the analyses and the interpreter rely on:
 
 * every block ends in exactly one terminator, and only in last position;
-* phi nodes appear only at block tops and have one incoming per predecessor;
+* phi nodes appear only at block tops and their incoming lists match the
+  CFG predecessors *exactly* — as a multiset, so a conditional branch with
+  both targets on the same block needs two incoming entries, duplicate
+  incomings for a single edge are rejected, and incoming blocks from other
+  functions are caught;
 * branch targets belong to the same function;
 * every SSA use is dominated by its definition;
 * def-use chains are consistent (each operand lists the user).
@@ -13,6 +17,8 @@ problems found.
 """
 
 from __future__ import annotations
+
+from collections import Counter
 
 from ..analysis.cfg import CFG
 from ..analysis.dominators import DominatorTree
@@ -69,14 +75,33 @@ def verify_function(function, problems):
 
     cfg = CFG(function)
     for block in function.blocks:
-        predecessors = set(cfg.predecessors(block))
+        predecessors = cfg.predecessors(block)
+        # Multiset comparison by block identity: duplicate CFG edges (a
+        # condbr with both targets here) need matching duplicate incoming
+        # entries, and a duplicated incoming on a single edge is an error
+        # the old set-based check missed.
+        pred_counts = Counter(id(pred) for pred in predecessors)
         for phi in block.phis():
-            incoming_blocks = set(phi.incoming_blocks)
-            if incoming_blocks != predecessors:
+            for incoming_block in phi.incoming_blocks:
+                if incoming_block not in blocks:
+                    problems.append(
+                        f"@{function.name}/{block.name}: phi incoming block "
+                        f"{incoming_block.name} is not in this function"
+                    )
+            incoming_counts = Counter(id(b) for b in phi.incoming_blocks)
+            if incoming_counts != pred_counts:
+                incoming_names = sorted(
+                    b.name for b in phi.incoming_blocks)
+                pred_names = sorted(p.name for p in predecessors)
                 problems.append(
                     f"@{function.name}/{block.name}: phi incoming blocks "
-                    f"{sorted(b.name for b in incoming_blocks)} do not match "
-                    f"predecessors {sorted(b.name for b in predecessors)}"
+                    f"{incoming_names} do not match predecessor edges "
+                    f"{pred_names}"
+                )
+            if not predecessors:
+                problems.append(
+                    f"@{function.name}/{block.name}: phi in a block with "
+                    f"no predecessors"
                 )
 
     _verify_dominance(function, cfg, problems)

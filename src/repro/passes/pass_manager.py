@@ -7,11 +7,17 @@ then canonicalizes with loopsimplify/indvars. Our equivalent pipeline is:
     -> loop-simplify -> licm -> indvars
 
 with verification after every stage when ``verify_each`` is set (the default
-in tests; off by default for speed in large sweeps).
+in tests; off by default for speed in large sweeps). Setting the
+``REPRO_VERIFY_PASSES=1`` environment variable forces inter-pass
+verification everywhere — CI runs the full suite under it — and verifier
+failures are attributed to the stage that introduced them.
 """
 
 from __future__ import annotations
 
+import os
+
+from ..errors import VerificationError
 from ..ir.verifier import verify_module
 from .constfold import run_constfold_module
 from .dce import run_dce_module
@@ -44,30 +50,46 @@ class PipelineResult:
         )
 
 
+def verify_passes_forced():
+    """Is inter-pass verification forced via ``REPRO_VERIFY_PASSES``?"""
+    return os.environ.get("REPRO_VERIFY_PASSES", "0") not in ("", "0")
+
+
+def _checkpoint(module, stage):
+    """Verify and attribute any failure to the pipeline stage that ran."""
+    try:
+        verify_module(module)
+    except VerificationError as error:
+        raise VerificationError(
+            [f"after {stage}: {problem}" for problem in error.problems]
+        ) from None
+
+
 def run_standard_pipeline(module, verify_each=False):
     """Run the study's compilation pipeline on ``module`` in place."""
     result = PipelineResult()
+    verify_each = verify_each or verify_passes_forced()
 
-    def checkpoint():
+    def checkpoint(stage):
         if verify_each:
-            verify_module(module)
+            _checkpoint(module, stage)
 
     result.cfg_edits += run_simplify_cfg_module(module)
-    checkpoint()
+    checkpoint("simplify-cfg")
     result.promoted_allocas = run_mem2reg_module(module)
-    checkpoint()
+    checkpoint("mem2reg")
     result.folded_constants = run_constfold_module(module)
-    checkpoint()
+    checkpoint("constfold")
     result.gvn_removed = run_gvn_module(module)
-    checkpoint()
+    checkpoint("gvn")
     result.removed_instructions = run_dce_module(module)
-    checkpoint()
+    checkpoint("dce")
     result.cfg_edits += run_simplify_cfg_module(module)
-    checkpoint()
+    checkpoint("simplify-cfg (late)")
     result.loop_edits = run_loop_simplify_module(module)
-    checkpoint()
+    checkpoint("loop-simplify")
     result.hoisted = run_licm_module(module)
-    checkpoint()
+    checkpoint("licm")
     result.indvars = run_indvars_module(module)
-    verify_module(module)
+    _checkpoint(module, "indvars")
     return result

@@ -1,5 +1,12 @@
 """repro.reporting — experiment harness regenerating the paper's figures."""
 
+from .crosscheck import (
+    CrosscheckReport,
+    CrosscheckRow,
+    crosscheck_program,
+    crosscheck_suites,
+    format_crosscheck,
+)
 from .dynamic_census import (
     FREQUENT_RATE,
     PREDICTABLE_ACCURACY,
@@ -24,10 +31,15 @@ from .stats import arith_mean, geomean, speedup_percent
 
 __all__ = [
     "COVERAGE_CONFIGS",
+    "CrosscheckReport",
+    "CrosscheckRow",
     "FREQUENT_RATE",
     "LoopDynamicCensus",
     "PREDICTABLE_ACCURACY",
+    "crosscheck_program",
+    "crosscheck_suites",
     "dynamic_census_of",
+    "format_crosscheck",
     "format_dynamic_census",
     "suite_dynamic_census",
     "arith_mean",

@@ -1,0 +1,149 @@
+"""Static-vs-dynamic crosscheck reporter tests."""
+
+import io
+
+from repro.analysis.depend import (
+    VERDICT_DOALL,
+    VERDICT_LCD,
+    VERDICT_UNKNOWN,
+    LoopDependence,
+)
+from repro.cli import main
+from repro.core.framework import Loopapalooza
+from repro.reporting.crosscheck import (
+    CATEGORY_ORDER,
+    CrosscheckReport,
+    CrosscheckRow,
+    _categorize,
+    crosscheck_program,
+    format_crosscheck,
+)
+
+# One proven-LCD loop (the recurrence), one DOALL loop (the fill).
+DEMO = """
+int A[64]; int B[64];
+int main() {
+  int i;
+  A[0] = 3;
+  for (i = 1; i < 64; i = i + 1) { A[i] = A[i-1] + i; }
+  for (i = 0; i < 64; i = i + 1) { B[i] = A[i] * 2; }
+  return B[63];
+}
+"""
+
+
+def demo_report():
+    lp = Loopapalooza(DEMO, name="demo")
+    return CrosscheckReport(crosscheck_program(lp))
+
+
+class TestCategorization:
+    def test_matrix(self):
+        assert _categorize(VERDICT_DOALL, 0, 5) == "static-proved"
+        assert _categorize(VERDICT_DOALL, 3, 5) == "unsound-static-doall"
+        assert _categorize(VERDICT_LCD, 0, 5) == "static-missed"
+        assert _categorize(VERDICT_LCD, 3, 5) == "confirmed-lcd"
+        assert _categorize(VERDICT_UNKNOWN, 0, 5) == "dynamic-only"
+        assert _categorize(VERDICT_UNKNOWN, 3, 5) == "dynamic-lcd"
+        for verdict in (VERDICT_DOALL, VERDICT_LCD, VERDICT_UNKNOWN):
+            assert _categorize(verdict, 0, 0) == "unobserved"
+
+    def test_category_order_is_exhaustive(self):
+        observed = {
+            _categorize(v, c, n)
+            for v in (VERDICT_DOALL, VERDICT_LCD, VERDICT_UNKNOWN)
+            for c in (0, 1)
+            for n in (0, 1)
+        }
+        assert observed == set(CATEGORY_ORDER)
+
+
+class TestDemoProgram:
+    def test_recurrence_is_confirmed_and_fill_is_proved(self):
+        report = demo_report()
+        by_category = {row.category: row for row in report.rows}
+        assert set(by_category) == {"confirmed-lcd", "static-proved"}
+        confirmed = by_category["confirmed-lcd"]
+        assert confirmed.verdict == "STATIC_LCD(dist=1)"
+        assert confirmed.conflicts > 0
+        proved = by_category["static-proved"]
+        assert proved.verdict == "STATIC_DOALL"
+        assert proved.conflicts == 0
+        assert proved.iterations >= 64
+        assert not report.unsound
+
+    def test_counts_tally_every_row(self):
+        report = demo_report()
+        counts = report.counts()
+        assert sum(counts.values()) == len(report.rows) == 2
+        assert counts["confirmed-lcd"] == 1
+        assert counts["static-proved"] == 1
+
+    def test_rows_are_sorted(self):
+        report = demo_report()
+        keys = [(row.program, row.loop_id) for row in report.rows]
+        assert keys == sorted(keys)
+
+    def test_row_to_dict(self):
+        report = demo_report()
+        payload = report.rows[0].to_dict()
+        assert payload["program"] == "demo"
+        assert payload["category"] in CATEGORY_ORDER
+        assert set(payload) == {"program", "loop_id", "verdict", "conflicts",
+                                "invocations", "iterations", "category"}
+
+
+class TestFormatting:
+    def test_clean_report_mentions_soundness(self):
+        text = format_crosscheck(demo_report())
+        assert text.startswith(
+            "static x dynamic dependence crosscheck — 2 loops")
+        assert "confirmed-lcd" in text
+        assert "soundness: no statically-proved DOALL loop" in text
+        # Zero categories are suppressed (except the unsound one).
+        assert "dynamic-only" not in text
+        assert "unsound-static-doall" in text
+
+    def test_verbose_lists_every_loop(self):
+        report = demo_report()
+        text = format_crosscheck(report, verbose=True)
+        for row in report.rows:
+            assert row.loop_id in text
+
+    def test_violations_block_and_exit_signal(self):
+        # Fabricate an unsound row: the formatter must call it out and the
+        # report must expose it so the CLI exits non-zero.
+        dep = LoopDependence("f.loop", VERDICT_DOALL)
+        row = CrosscheckRow("prog", "f.loop", dep, conflicts=7,
+                            invocations=1, iterations=10)
+        report = CrosscheckReport([row])
+        assert row.category == "unsound-static-doall"
+        assert [r.loop_id for r in report.unsound] == ["f.loop"]
+        text = format_crosscheck(report)
+        assert "SOUNDNESS VIOLATIONS" in text
+        assert "7 dynamic conflict(s)" in text
+
+    def test_output_is_deterministic(self):
+        assert format_crosscheck(demo_report(), verbose=True) \
+            == format_crosscheck(demo_report(), verbose=True)
+
+
+class TestCLI:
+    def test_crosscheck_file_exit_zero(self, tmp_path):
+        path = tmp_path / "demo.c"
+        path.write_text(DEMO)
+        out = io.StringIO()
+        assert main(["crosscheck", str(path)], out=out) == 0
+        assert "crosscheck — 2 loops" in out.getvalue()
+
+    def test_crosscheck_file_verbose_loops(self, tmp_path):
+        path = tmp_path / "demo.c"
+        path.write_text(DEMO)
+        out = io.StringIO()
+        assert main(["crosscheck", "--loops", str(path)], out=out) == 0
+        assert "main.for.cond" in out.getvalue()
+
+    def test_crosscheck_one_suite_is_sound(self):
+        out = io.StringIO()
+        assert main(["crosscheck", "--suite", "eembc"], out=out) == 0
+        assert "soundness: no statically-proved DOALL loop" in out.getvalue()

@@ -32,3 +32,32 @@ def test_backends_profile_identically(program):
     jit_profile, jit_output = _canonical_profile(program, "jit")
     assert closure_profile == jit_profile
     assert closure_output == jit_output
+
+
+@pytest.mark.parametrize(
+    "backend", ["closure", "jit"]
+)
+def test_static_doall_never_conflicts(backend):
+    """Soundness of the static dependence engine against both backends: a
+    loop proved STATIC_DOALL must never record a cross-iteration conflict
+    in the dynamic profile, whichever interpreter produced it."""
+    from repro.analysis.depend import VERDICT_DOALL
+
+    proved_loops = 0
+    for program in all_programs():
+        lp = Loopapalooza(program.source, name=program.name, backend=backend)
+        dependence = lp.static_info.dependence()
+        conflicts = {}
+        for invocation in lp.profile().all_invocations():
+            conflicts[invocation.loop_id] = (
+                conflicts.get(invocation.loop_id, 0)
+                + invocation.conflict_count)
+        for loop_id, verdict in dependence.items():
+            if verdict.verdict != VERDICT_DOALL:
+                continue
+            proved_loops += 1
+            assert conflicts.get(loop_id, 0) == 0, (
+                f"{program.full_name} {loop_id}: STATIC_DOALL but "
+                f"{conflicts[loop_id]} dynamic conflict(s) on {backend}")
+    # The suites must actually exercise the engine, not vacuously pass.
+    assert proved_loops >= 100

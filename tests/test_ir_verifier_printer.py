@@ -178,3 +178,84 @@ class TestPrinterParser:
         reparsed = parse_module(text, name="g")
         assert reparsed.get_global("scalar").initializer == 7
         assert reparsed.get_global("arr").flat_initializer() == [1.5, 2.5, 0.0]
+
+
+class TestPhiEdgeMultisets:
+    """The phi/CFG match is a *multiset* comparison: duplicate CFG edges
+    need duplicate incoming entries, and vice versa."""
+
+    def _diamond_to_same_target(self):
+        # entry --condbr--> merge on BOTH edges: merge has two
+        # predecessor edges from the same block.
+        module = Module("t")
+        f = module.add_function("f", I32, [])
+        entry = f.append_block("entry")
+        merge = f.append_block("merge")
+        b = IRBuilder(entry)
+        cond = b.icmp("eq", b.const_int(0), b.const_int(0))
+        b.condbr(cond, merge, merge)
+        return module, f, entry, merge
+
+    def test_condbr_same_target_needs_two_incomings(self):
+        module, f, entry, merge = self._diamond_to_same_target()
+        phi = Phi(I32, "p")
+        merge.insert_phi(phi)
+        phi.add_incoming(ConstantInt(I32, 1), entry)  # only one entry
+        IRBuilder(merge).ret(phi)
+        with pytest.raises(VerificationError, match="phi incoming"):
+            verify_module(module)
+
+    def test_condbr_same_target_with_both_incomings_verifies(self):
+        module, f, entry, merge = self._diamond_to_same_target()
+        phi = Phi(I32, "p")
+        merge.insert_phi(phi)
+        phi.add_incoming(ConstantInt(I32, 1), entry)
+        phi.add_incoming(ConstantInt(I32, 2), entry)
+        IRBuilder(merge).ret(phi)
+        assert verify_module(module)
+
+    def test_duplicated_incoming_on_single_edge_rejected(self):
+        # One real edge entry->merge, but the phi lists entry twice: the
+        # old set-based comparison used to accept this silently.
+        module = Module("t")
+        f = module.add_function("f", I32, [])
+        entry = f.append_block("entry")
+        merge = f.append_block("merge")
+        IRBuilder(entry).br(merge)
+        phi = Phi(I32, "p")
+        merge.insert_phi(phi)
+        phi.add_incoming(ConstantInt(I32, 1), entry)
+        phi.add_incoming(ConstantInt(I32, 2), entry)
+        IRBuilder(merge).ret(phi)
+        with pytest.raises(VerificationError, match="phi incoming"):
+            verify_module(module)
+
+    def test_incoming_block_from_other_function_rejected(self):
+        module = Module("t")
+        f = module.add_function("f", I32, [])
+        g = module.add_function("g", I32, [])
+        foreign = g.append_block("g_entry")
+        IRBuilder(foreign).ret(ConstantInt(I32, 0))
+        entry = f.append_block("entry")
+        merge = f.append_block("merge")
+        IRBuilder(entry).br(merge)
+        phi = Phi(I32, "p")
+        merge.insert_phi(phi)
+        phi.add_incoming(ConstantInt(I32, 1), entry)
+        phi.add_incoming(ConstantInt(I32, 2), foreign)
+        IRBuilder(merge).ret(phi)
+        with pytest.raises(VerificationError,
+                           match="not in this function"):
+            verify_module(module)
+
+    def test_phi_in_predecessorless_block_rejected(self):
+        module = Module("t")
+        f = module.add_function("f", I32, [])
+        entry = f.append_block("entry")
+        IRBuilder(entry).ret(ConstantInt(I32, 0))
+        orphan = f.append_block("orphan")
+        phi = Phi(I32, "p")
+        orphan.insert_phi(phi)
+        IRBuilder(orphan).ret(phi)
+        with pytest.raises(VerificationError, match="no predecessors"):
+            verify_module(module)

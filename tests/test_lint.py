@@ -1,0 +1,235 @@
+"""Lint framework tests: registry, checkers, determinism, CLI exit codes."""
+
+import io
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.lint import (
+    CATALOG,
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    LintContext,
+    checker,
+    declare,
+    format_diagnostics,
+    run_lint,
+    worst_severity,
+)
+from repro.cli import main
+from repro.core.framework import Loopapalooza
+from repro.frontend import compile_source
+from repro.ir import I32, IRBuilder, Module, Phi
+
+CLEAN = """
+int A[64];
+int main() {
+  for (int i = 0; i < 64; i = i + 1) { A[i] = i * 3; }
+  return A[7];
+}
+"""
+
+UNKNOWN_DEP = """
+int A[128];
+int main() {
+  int k = 0;
+  for (int i = 0; i < 63; i = i + 1) { A[2*i] = A[i] + 1; k = k + 1; }
+  return k;
+}
+"""
+
+
+def lint_source(source, name="t", only=None):
+    lp = Loopapalooza(source, name=name)
+    return run_lint(LintContext.for_program(lp), only=only)
+
+
+class TestRegistry:
+    def test_duplicate_diagnostic_id_rejected(self):
+        with pytest.raises(ValueError, match="duplicate diagnostic"):
+            declare("LP101", ERROR, "already taken")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            declare("LP999", "fatal", "bad severity")
+        assert "LP999" not in CATALOG
+
+    def test_duplicate_checker_id_rejected(self):
+        with pytest.raises(ValueError, match="duplicate checker"):
+            @checker("ir-verify")
+            def shadow(context, emit):
+                pass
+
+    def test_catalog_is_complete_and_prefixed(self):
+        assert set(CATALOG) >= {
+            "LP101", "LP102", "LP103", "LP111", "LP112", "LP113",
+            "LP201", "LP202", "LP203", "LP204",
+        }
+        for diagnostic_id, (severity, meaning) in CATALOG.items():
+            assert diagnostic_id.startswith("LP")
+            assert severity in (ERROR, WARNING, INFO)
+            assert meaning
+
+    def test_undeclared_emission_rejected(self):
+        module = compile_source(CLEAN)
+        context = LintContext(module, name="t")
+
+        @checker("test-undeclared-emitter")
+        def rogue(ctx, emit):
+            emit("LP777", "main", -1, "never declared")
+
+        try:
+            with pytest.raises(ValueError, match="undeclared diagnostic"):
+                run_lint(context, only=["test-undeclared-emitter"])
+        finally:
+            from repro.analysis.lint.core import _CHECKERS
+            _CHECKERS[:] = [(cid, fn) for cid, fn in _CHECKERS
+                            if cid != "test-undeclared-emitter"]
+
+
+class TestDiagnostics:
+    def test_render_and_sort_key(self):
+        d = Diagnostic("LP204", INFO, "main", 2, "msg")
+        assert d.render() == "LP204 info    main:2: msg"
+        assert d.sort_key == ("main", 2, "LP204", "msg")
+        whole = Diagnostic("LP103", ERROR, "", -1, "pipeline broke")
+        assert whole.render().startswith("LP103 error   <module>:")
+
+    def test_worst_severity(self):
+        assert worst_severity([]) is None
+        infos = [Diagnostic("LP204", INFO, "f", 0, "a")]
+        assert worst_severity(infos) == INFO
+        mixed = infos + [Diagnostic("LP201", WARNING, "f", 0, "b")]
+        assert worst_severity(mixed) == WARNING
+        mixed.append(Diagnostic("LP101", ERROR, "f", 0, "c"))
+        assert worst_severity(mixed) == ERROR
+
+    def test_format_clean(self):
+        text = format_diagnostics([], name="demo")
+        assert text == "lint report for demo\n  clean: no diagnostics"
+
+    def test_format_counts_footer(self):
+        text = format_diagnostics([
+            Diagnostic("LP204", INFO, "f", 0, "a"),
+            Diagnostic("LP201", WARNING, "f", 1, "b"),
+        ], name="demo")
+        assert text.endswith("0 error(s), 1 warning(s), 1 info")
+
+
+class TestCheckers:
+    def test_clean_program_has_no_diagnostics(self):
+        assert lint_source(CLEAN) == []
+
+    def test_unknown_dependence_reports_lp204(self):
+        diagnostics = lint_source(UNKNOWN_DEP)
+        assert [d.id for d in diagnostics] == ["LP204"]
+        assert diagnostics[0].severity == INFO
+        assert "unequal strides" in diagnostics[0].message
+
+    def test_broken_ir_reports_lp101(self):
+        # Hand-built module with a phi missing an incoming entry; the
+        # stubbed static_info/instrumentation keep LintContext from
+        # running loop analyses over broken IR.
+        module = Module("broken")
+        f = module.add_function("f", I32, [])
+        entry = f.append_block("entry")
+        merge = f.append_block("merge")
+        IRBuilder(entry).br(merge)
+        phi = Phi(I32, "p")
+        merge.insert_phi(phi)
+        IRBuilder(merge).ret(phi)
+        context = LintContext(
+            module,
+            static_info=SimpleNamespace(loop_infos={}),
+            instrumentation={},
+            name="broken")
+        diagnostics = run_lint(context, only=["ir-verify"])
+        assert [d.id for d in diagnostics] == ["LP101"]
+        assert diagnostics[0].severity == ERROR
+        assert "phi incoming" in diagnostics[0].message
+
+    def test_unsimplified_loop_reports_shape_warnings(self):
+        # A hand-built self-loop with no preheader block: entry branches
+        # straight into the header, which loops on itself forever.
+        module = Module("shape")
+        f = module.add_function("f", I32, [])
+        entry = f.append_block("entry")
+        header = f.append_block("header")
+        b = IRBuilder(entry)
+        cond = b.icmp("eq", b.const_int(0), b.const_int(0))
+        exit_block = f.append_block("exit")
+        b.condbr(cond, header, exit_block)
+        IRBuilder(header).br(header)
+        IRBuilder(exit_block).ret(b.const_int(0))
+
+        from repro.core.static_info import ModuleStaticInfo
+
+        context = LintContext(module, static_info=ModuleStaticInfo(module),
+                              instrumentation={}, name="shape")
+        diagnostics = run_lint(context, only=["loop-shapes"])
+        ids = sorted(d.id for d in diagnostics)
+        assert "LP201" in ids  # no preheader (entry is not a dedicated one)
+        assert "LP203" in ids  # no exit edge
+
+    def test_all_shipped_benches_lint_clean_of_errors(self):
+        # Spot-check a couple of real programs: zero error severity.
+        from repro.bench import SuiteRunner, find_program
+
+        runner = SuiteRunner()
+        for name in ("specint2000/mcf_like", "eembc/viterbi_like"):
+            lp = runner.instance(find_program(name))
+            diagnostics = run_lint(LintContext.for_program(lp))
+            assert worst_severity(diagnostics) in (None, WARNING, INFO)
+
+
+class TestDeterminism:
+    def test_report_is_stable_across_runs(self):
+        first = format_diagnostics(lint_source(UNKNOWN_DEP), name="d")
+        second = format_diagnostics(lint_source(UNKNOWN_DEP), name="d")
+        assert first == second
+
+    def test_ordering_follows_sort_key(self):
+        diagnostics = lint_source(UNKNOWN_DEP)
+        assert diagnostics == sorted(diagnostics, key=lambda d: d.sort_key)
+
+
+class TestCLI:
+    def test_lint_file_clean_exit_zero(self, tmp_path):
+        path = tmp_path / "clean.c"
+        path.write_text(CLEAN)
+        out = io.StringIO()
+        assert main(["lint", str(path)], out=out) == 0
+        assert "clean: no diagnostics" in out.getvalue()
+
+    def test_lint_file_with_infos_still_exit_zero(self, tmp_path):
+        path = tmp_path / "unknown.c"
+        path.write_text(UNKNOWN_DEP)
+        out = io.StringIO()
+        assert main(["lint", str(path)], out=out) == 0
+        assert "LP204" in out.getvalue()
+
+    def test_lint_errors_only_filter(self, tmp_path):
+        path = tmp_path / "unknown.c"
+        path.write_text(UNKNOWN_DEP)
+        out = io.StringIO()
+        assert main(["lint", "--errors-only", str(path)], out=out) == 0
+        assert "LP204" not in out.getvalue()
+
+    def test_lint_without_target_is_usage_error(self):
+        out = io.StringIO()
+        assert main(["lint"], out=out) == 2
+
+    def test_lint_single_bench(self):
+        out = io.StringIO()
+        assert main(["lint", "--bench", "eembc/viterbi_like"], out=out) == 0
+        assert "lint report for eembc/viterbi_like" in out.getvalue()
+
+    def test_lint_whole_suite(self):
+        from repro.bench.suites import suite_programs
+
+        out = io.StringIO()
+        assert main(["lint", "--bench", "eembc"], out=out) == 0
+        reports = out.getvalue().count("lint report for eembc/")
+        assert reports == len(suite_programs("eembc"))

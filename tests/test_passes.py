@@ -438,3 +438,38 @@ class TestLoopSimplifyIndvars:
         run_standard_pipeline(opt)
         _, opt_machine = run_module(opt)
         assert opt_machine.cost < unopt_machine.cost
+
+
+class TestForcedVerification:
+    """The REPRO_VERIFY_PASSES env contract: CI sets it to verify between
+    every pipeline stage, and failures name the stage that broke the IR."""
+
+    def test_env_flag_parsing(self, monkeypatch):
+        from repro.passes.pass_manager import verify_passes_forced
+
+        monkeypatch.delenv("REPRO_VERIFY_PASSES", raising=False)
+        assert not verify_passes_forced()
+        monkeypatch.setenv("REPRO_VERIFY_PASSES", "0")
+        assert not verify_passes_forced()
+        monkeypatch.setenv("REPRO_VERIFY_PASSES", "")
+        assert not verify_passes_forced()
+        monkeypatch.setenv("REPRO_VERIFY_PASSES", "1")
+        assert verify_passes_forced()
+
+    def test_checkpoint_attributes_the_stage(self):
+        from repro.errors import VerificationError
+        from repro.ir import I32, Module
+        from repro.passes.pass_manager import _checkpoint
+
+        module = Module("t")
+        f = module.add_function("f", I32, [])
+        f.append_block("entry")  # no terminator: invalid
+        with pytest.raises(VerificationError) as excinfo:
+            _checkpoint(module, "gvn")
+        assert all(p.startswith("after gvn: ") for p in excinfo.value.problems)
+
+    def test_forced_pipeline_passes_on_valid_input(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY_PASSES", "1")
+        module = compile_unoptimized(SAMPLE)
+        run_standard_pipeline(module)  # must not raise
+        assert verify_module(module)

@@ -310,3 +310,105 @@ class TestTripCount:
         )
         loop = info.all_loops()[0]
         assert scev.trip_count(loop) is None
+
+
+class TestEdgeCaseRecurrences:
+    """Shapes the dependence engine leans on: descending IVs, non-unit
+    steps, and multi-loop (MIV) pointer expressions."""
+
+    def test_descending_iv_forms_negative_step_addrec(self):
+        module, f, info, scev = scev_for(
+            """
+            int A[64];
+            int main() {
+              int s = 0;
+              for (int i = 62; i >= 0; i = i - 1) { s = s + A[i]; }
+              return s;
+            }
+            """
+        )
+        loop, phis = header_phis(info)
+        expr = scev.get(phis["i"])
+        assert isinstance(expr, SCEVAddRec)
+        assert expr.start == SCEVConstant(62)
+        assert expr.step == SCEVConstant(-1)
+        # The trip-count machinery only handles ascending slt/sle bounds;
+        # descending loops must answer None, never a wrong count.
+        assert scev.trip_count(loop) is None
+
+    def test_non_unit_step_addrec_and_trip(self):
+        module, f, info, scev = scev_for(
+            """
+            int A[64];
+            int main() {
+              int s = 0;
+              for (int i = 1; i < 60; i = i + 3) { s = s + A[i]; }
+              return s;
+            }
+            """
+        )
+        loop, phis = header_phis(info)
+        expr = scev.get(phis["i"])
+        assert isinstance(expr, SCEVAddRec)
+        assert expr.start == SCEVConstant(1)
+        assert expr.step == SCEVConstant(3)
+        assert scev.trip_count(loop) == 20
+
+    def test_huge_step_stays_algebraic(self):
+        # SCEV itself is width-agnostic: a step near 2^27 still folds into
+        # an exact addrec (the *dependence* layer is what refuses to draw
+        # conclusions from values that may wrap i32 at run time).
+        module, f, info, scev = scev_for(
+            """
+            int main() {
+              int s = 0;
+              for (int i = 0; i < 64; i = i + 1) { s = s + i * 134217728; }
+              return s;
+            }
+            """
+        )
+        loop, phis = header_phis(info)
+        expr = scev.get(phis["i"])
+        assert isinstance(expr, SCEVAddRec)
+        assert expr.step == SCEVConstant(1)
+
+    def test_nested_pointer_scev_mixes_both_loops(self):
+        # &A[i*8+j] must mention the outer addrec (step 8) and the inner
+        # addrec (step 1) — the MIV form the dependence tests linearize.
+        from repro.ir.instructions import Store
+
+        module, f, info, scev = scev_for(
+            """
+            int A[64];
+            int main() {
+              for (int i = 0; i < 8; i = i + 1)
+                for (int j = 0; j < 8; j = j + 1)
+                  A[i*8+j] = i;
+              return A[0];
+            }
+            """
+        )
+        stores = [ins for block in f.blocks for ins in block.instructions
+                  if isinstance(ins, Store)]
+        assert len(stores) == 1
+        expr = scev.get(stores[0].pointer)
+        text = repr(expr)
+        outer = [l for l in info.all_loops() if l.depth == 1][0]
+        inner = [l for l in info.all_loops() if l.depth == 2][0]
+        assert outer.loop_id in text and inner.loop_id in text
+        assert ",+,8}" in text and ",+,1}" in text
+
+    def test_inner_trip_count_known_per_invocation(self):
+        module, f, info, scev = scev_for(
+            """
+            int A[64];
+            int main() {
+              for (int i = 0; i < 8; i = i + 1)
+                for (int j = 0; j < 8; j = j + 1)
+                  A[i*8+j] = i;
+              return A[0];
+            }
+            """
+        )
+        for loop in info.all_loops():
+            assert scev.trip_count(loop) == 8

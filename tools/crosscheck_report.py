@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Static-vs-dynamic soundness smoke over every bundled benchmark.
+
+Runs the full crosscheck (every suite, every program, every loop), prints
+the verbose per-loop table as a CI artifact, and enforces two gates:
+
+1. **soundness** — no loop classified ``STATIC_DOALL`` recorded a dynamic
+   cross-iteration conflict (the must-hold contract of the static
+   dependence engine);
+2. **yield** — the engine actually proves a substantial share of loops
+   (guards against a regression that silently classifies everything
+   ``UNKNOWN``, which would be vacuously "sound").
+
+Exit status 0 only if both hold. Run via ``make crosscheck``.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import SuiteRunner  # noqa: E402
+from repro.reporting import crosscheck_suites, format_crosscheck  # noqa: E402
+
+#: The engine currently proves ~half of all bench loops (117 DOALL + 57
+#: LCD of 225); regressions below this floor deserve investigation.
+MIN_RESOLVED_FRACTION = 0.40
+
+
+def main():
+    runner = SuiteRunner()
+    report = crosscheck_suites(runner)
+    print(format_crosscheck(report, verbose=True))
+    print()
+
+    failures = 0
+    counts = report.counts()
+    total = len(report.rows)
+    if report.unsound:
+        print(f"FAIL: {len(report.unsound)} unsound STATIC_DOALL loop(s)")
+        failures += 1
+    else:
+        print(f"ok: soundness holds over {total} loops")
+
+    resolved = (counts["static-proved"] + counts["static-missed"]
+                + counts["confirmed-lcd"])
+    fraction = resolved / total if total else 0.0
+    if fraction < MIN_RESOLVED_FRACTION:
+        print(f"FAIL: only {resolved}/{total} loops resolved statically "
+              f"({fraction:.0%} < {MIN_RESOLVED_FRACTION:.0%} floor)")
+        failures += 1
+    else:
+        print(f"ok: {resolved}/{total} loops resolved statically "
+              f"({fraction:.0%})")
+
+    if counts["unobserved"]:
+        print(f"note: {counts['unobserved']} loop(s) never ran under the "
+              f"profiling input")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
