@@ -20,6 +20,9 @@ Options:
   --no-jit                 run on the closure interpreter instead of the
                            JIT backend (REPRO_NO_JIT=1); output is
                            byte-identical, only slower
+  --no-vec                 disable the vectorized kernel tier and run the
+                           scalar JIT (REPRO_NO_VEC=1); output is
+                           byte-identical
 
 A cold run profiles the 48 synthetic benchmarks and sweeps the
 14-configuration grid (~30 s). Warm runs reuse the persistent profile
@@ -79,10 +82,14 @@ def main(argv):
                         help="run-ledger directory")
     parser.add_argument("--no-jit", action="store_true",
                         help="use the closure interpreter backend")
+    parser.add_argument("--no-vec", action="store_true",
+                        help="disable the vectorized kernel tier")
     args = parser.parse_args(argv)
     if args.no_jit:
         # Environment so pool workers inherit the backend choice.
         os.environ["REPRO_NO_JIT"] = "1"
+    if args.no_vec:
+        os.environ["REPRO_NO_VEC"] = "1"
 
     start = time.time()
     runner = SuiteRunner(cache_dir=args.cache_dir)
@@ -129,6 +136,7 @@ def main(argv):
         telemetry.finish(status="interrupted")
         raise
     telemetry.record_cache_stats(_cache_stats(runner))
+    telemetry.record_vec_decisions(_vec_decisions())
     telemetry.finish()
 
     for title, text in sections:
@@ -166,6 +174,24 @@ def _cache_stats(runner):
     if code_cache is not None:
         stats["code_cache"] = code_cache.info()
     return stats
+
+
+def _vec_decisions():
+    """Vectorizer decision summary over the run's workload (the bundled
+    suites): how many innermost loops the vector tier takes and why the
+    rest bail out. Planner-only — no execution — so it is cheap even on
+    a warm run where every profile came from the cache."""
+    from repro.bench import all_programs
+    from repro.frontend.codegen import compile_source
+    from repro.interp.veccodegen import (
+        summarize_vec_decisions,
+        vector_decisions,
+    )
+
+    decisions = []
+    for program in all_programs():
+        decisions.extend(vector_decisions(compile_source(program.source)))
+    return summarize_vec_decisions(decisions)
 
 
 def _write_experiments_md(sections):

@@ -284,13 +284,23 @@ class SuiteRunner:
             abandoned = False
             pool = ProcessPoolExecutor(max_workers=jobs)
             try:
-                futures = [
-                    (full_name, pool.submit(
-                        _sweep_worker, full_name, config_names, self.fuel,
-                        cache_root,
-                    ))
-                    for full_name in remaining
-                ]
+                futures = []
+                for full_name in remaining:
+                    try:
+                        futures.append((full_name, pool.submit(
+                            _sweep_worker, full_name, config_names,
+                            self.fuel, cache_root,
+                        )))
+                    except BrokenExecutor:
+                        # An abrupt worker death can break the pool while
+                        # submissions are still in flight, in which case
+                        # submit itself raises; everything not yet
+                        # submitted fails over to the retry rounds.
+                        pool_broken = True
+                        for missed in remaining[len(futures):]:
+                            attempts[missed] += 1
+                            failed.append((missed, "worker-crash"))
+                        break
                 # Collect in submission (= input) order: pool completion
                 # order must never influence the result structure.
                 for full_name, future in futures:

@@ -24,7 +24,13 @@ Commands:
   synthetic suites (optionally ``--suite`` to restrict; ``--jobs N`` fans
   the sweep out over a process pool, ``--cache-dir`` relocates the
   profile store).
-* ``bench``           — list the bundled benchmarks.
+* ``bench``           — list the bundled benchmarks; with ``--tiers
+  closure,jit,vec`` time them on each execution tier instead
+  (``--loops`` switches to the loop-throughput kernel suite, ``--json``
+  appends the speedup table to a BENCH file).
+* ``vec-report``      — per-loop vectorizer decisions (a FILE or
+  ``--bench``): which innermost loops the vector tier takes, each
+  bailout's reason, and the aggregate histogram.
 * ``cache``           — inspect (``info``), wipe (``clear``), or summarize
   (``stats``) the persistent caches: the profile store plus the JIT code
   cache, with hit/miss tallies from the most recent recorded run.
@@ -290,8 +296,105 @@ def _cmd_calltls(args, out):
 def _cmd_bench(args, out):
     from .bench import all_programs
 
-    for program in all_programs():
-        print(f"{program.full_name:36s} {program.description}", file=out)
+    if not args.tiers:
+        if args.loops:
+            from .bench.loop_kernels import loop_kernels
+
+            for kernel in loop_kernels():
+                print(f"{kernel.name:20s} [{kernel.derived_from}] "
+                      f"{kernel.description}", file=out)
+            return 0
+        for program in all_programs():
+            print(f"{program.full_name:36s} {program.description}", file=out)
+        return 0
+
+    from .bench.tiers import (
+        bench_loop_kernels,
+        bench_programs,
+        bench_row,
+        format_tier_table,
+        parse_tiers,
+    )
+
+    try:
+        tiers = parse_tiers(args.tiers)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.loops:
+        result = bench_loop_kernels(tiers, repeats=args.repeats)
+    else:
+        result = bench_programs(tiers, suite=args.suite, repeats=args.repeats)
+    print(format_tier_table(result), file=out)
+    if args.json:
+        import json
+
+        row = bench_row(result, args.repeats)
+        try:
+            with open(args.json) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+        data.setdefault("tier_bench_rows", []).append(row)
+        with open(args.json, "w") as handle:
+            json.dump(data, handle, indent=2)
+            handle.write("\n")
+        print(f"appended tier_bench row to {args.json}", file=out)
+    return 0
+
+
+def _cmd_vec_report(args, out):
+    """Per-loop vectorizer decisions: which loops the vector tier takes,
+    and why the rest bail out."""
+    from .frontend.codegen import compile_source
+    from .interp.veccodegen import summarize_vec_decisions, vector_decisions
+
+    if args.bench:
+        from .bench import all_programs, find_program
+        from .bench.suites import ALL_SUITES, suite_programs
+
+        if args.bench == "all":
+            programs = all_programs()
+        elif args.bench in ALL_SUITES:
+            programs = suite_programs(args.bench)
+        else:
+            programs = [find_program(args.bench)]
+        targets = [
+            (p.full_name, compile_source(p.source)) for p in programs
+        ]
+    elif args.file:
+        with open(args.file) as handle:
+            source = handle.read()
+        targets = [(args.file, compile_source(source))]
+    else:
+        print("error: `repro vec-report` needs a FILE or --bench",
+              file=sys.stderr)
+        return 2
+
+    combined = []
+    for name, module in targets:
+        decisions = vector_decisions(module)
+        combined.extend(decisions)
+        print(name, file=out)
+        if not decisions:
+            print("  (no innermost loops)", file=out)
+        for decision in decisions:
+            if decision["status"] == "vectorized":
+                print(f"  {decision['loop_id']:32s} vectorized "
+                      f"(trip {decision['trip']})", file=out)
+            else:
+                print(f"  {decision['loop_id']:32s} bailout: "
+                      f"{decision['reason']}", file=out)
+    summary = summarize_vec_decisions(combined)
+    print(file=out)
+    print(f"{summary['loops']} innermost loop(s): "
+          f"{summary['vectorized']} vectorized "
+          f"({summary['static_trip']} static trip, "
+          f"{summary['runtime_trip']} runtime trip)", file=out)
+    for reason, count in sorted(
+        summary["bailouts"].items(), key=lambda item: (-item[1], item[0])
+    ):
+        print(f"  {reason:32s} {count}", file=out)
     return 0
 
 
@@ -373,6 +476,12 @@ def build_parser():
              "(equivalent to REPRO_NO_JIT=1; profiles are identical either "
              "way, this only trades speed for simplicity)",
     )
+    parser.add_argument(
+        "--no-vec", action="store_true",
+        help="disable the vectorized kernel tier and run the scalar JIT "
+             "(equivalent to REPRO_NO_VEC=1; profiles are identical either "
+             "way)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     for name, handler, needs_file in (
@@ -385,6 +494,7 @@ def build_parser():
         ("crosscheck", _cmd_crosscheck, False),
         ("figures", _cmd_figures, False),
         ("bench", _cmd_bench, False),
+        ("vec-report", _cmd_vec_report, False),
         ("cache", _cmd_cache, False),
         ("runs", _cmd_runs, False),
     ):
@@ -465,6 +575,40 @@ def build_parser():
                 help="run-ledger directory (default: ~/.cache/repro/runs "
                      "or REPRO_RUNS_DIR)",
             )
+        if name == "bench":
+            sub.add_argument(
+                "--tiers", default=None, metavar="TIERS",
+                help="time execution tiers instead of listing benchmarks: "
+                     "a comma-separated subset of closure,jit,vec",
+            )
+            sub.add_argument(
+                "--loops", action="store_true",
+                help="use the loop-throughput kernel suite (isolated "
+                     "proved-DOALL loops from the Fig. 3 numeric "
+                     "benchmarks) instead of whole programs",
+            )
+            sub.add_argument(
+                "--suite", default=None,
+                help="restrict whole-program timing to one suite",
+            )
+            sub.add_argument(
+                "--repeats", type=int, default=3,
+                help="repetitions per (benchmark, tier); best time wins "
+                     "(default: 3)",
+            )
+            sub.add_argument(
+                "--json", default=None, metavar="PATH",
+                help="append the result as a tier_bench row to this JSON "
+                     "file (BENCH_infrastructure.json schema)",
+            )
+        if name == "vec-report":
+            sub.add_argument("file", nargs="?", default=None,
+                             help="MiniC source file")
+            sub.add_argument(
+                "--bench", default=None, metavar="NAME",
+                help="report on shipped benchmarks instead of a file: "
+                     "'suite/name', a whole suite, or 'all'",
+            )
         if name == "cache":
             sub.add_argument(
                 "action", choices=("info", "clear", "stats"), nargs="?",
@@ -491,6 +635,8 @@ def main(argv=None, out=None):
         # Environment, not a constructor argument: worker processes spawned
         # by `figures --jobs` must inherit the backend choice too.
         os.environ["REPRO_NO_JIT"] = "1"
+    if args.no_vec:
+        os.environ["REPRO_NO_VEC"] = "1"
     try:
         return args.handler(args, out)
     except ReproError as error:

@@ -44,7 +44,7 @@ class Loopapalooza:
         self.source = source
         self.inline = inline
         self.store = store
-        #: Interpreter backend ("jit" / "closure"); ``None`` follows the
+        #: Interpreter backend ("vec" / "jit" / "closure"); ``None`` follows the
         #: ``REPRO_NO_JIT`` environment contract.
         self.backend = backend
         self.module = compile_source(

@@ -24,12 +24,20 @@ a ``try``/``finally`` and around every call, so fuel accounting and every
 event timestamp match the closure backend bit for bit (enforced by
 ``tests/test_differential_backends.py``).
 
+With ``vectorize=True`` (the ``vec`` backend) the emitter additionally
+consults :mod:`repro.interp.veccodegen`: innermost loops proved
+STATIC_DOALL with affine accesses and an exactly-known trip count get a
+*vector section* planted on the preheader's branch — the whole loop runs
+as NumPy array operations with profile events derived in closed form,
+and any runtime guard failure falls through to the unmodified scalar
+path for that invocation.
+
 Generated sources are cached in-process (keyed by IR text + plan + flags)
-and on disk via :class:`repro.runtime.profile_store.CodeCache`; set
-``REPRO_JIT_DUMP=<dir>`` to dump each generated source for debugging.
-Anything the emitter cannot lower raises :class:`CodegenUnsupported` and
-the interpreter silently falls back to the closure backend for that one
-function.
+and on disk via :class:`repro.runtime.profile_store.CodeCache` with a
+tier tag (``jit`` vs ``vec``); set ``REPRO_JIT_DUMP=<dir>`` to dump each
+generated source for debugging. Anything the emitter cannot lower raises
+:class:`CodegenUnsupported` and the interpreter silently falls back to
+the closure backend for that one function.
 """
 
 from __future__ import annotations
@@ -66,10 +74,17 @@ from .interpreter import (
     unsigned_rem,
 )
 from .intrinsics import INTRINSICS
+from .veccodegen import (
+    VEC_VERSION,
+    emit_vec_section,
+    plan_vector_loops,
+    vec_available,
+    vec_namespace,
+)
 
 #: Bump whenever the generated-source template changes; part of the code
 #: cache key, so stale cached sources are never reused.
-CODEGEN_VERSION = 1
+CODEGEN_VERSION = 2
 
 
 class CodegenUnsupported(Exception):
@@ -153,11 +168,16 @@ def _canonical_plan(function, plan):
     return json.dumps(data, sort_keys=True, default=repr)
 
 
-def jit_cache_key(function, plan, instrumented):
+def jit_cache_key(function, plan, instrumented, vectorize=False):
     """Content hash identifying one generated source: codegen version,
-    intrinsic cost table, variant, instrumentation plan, and the printed
-    IR of the function."""
-    tag = f"{CODEGEN_VERSION}|{int(bool(instrumented))}|{_intrinsic_signature()}|"
+    intrinsic cost table, variant, tier (scalar vs vector, with the
+    vector template version), instrumentation plan, and the printed IR of
+    the function."""
+    tier = f"v{VEC_VERSION}" if vectorize else "nv"
+    tag = (
+        f"{CODEGEN_VERSION}|{int(bool(instrumented))}|{tier}|"
+        f"{_intrinsic_signature()}|"
+    )
     plan_text = _canonical_plan(function, plan) if instrumented else "none"
     digest = hashlib.sha256()
     digest.update(tag.encode("utf-8"))
@@ -170,12 +190,15 @@ def jit_cache_key(function, plan, instrumented):
 class _Emitter:
     """Builds the generated source for one (function, plan, variant)."""
 
-    def __init__(self, function, plan, instrumented):
+    def __init__(self, function, plan, instrumented, vectorize=False):
         self.function = function
         # The uninstrumented variant ignores the plan entirely: every hook
         # in the closure backend is a no-op without a runtime attached.
         self.plan = plan if instrumented else None
         self.instrumented = instrumented
+        self.vectorize = vectorize
+        self.vec_loops = {}     # id(preheader block) -> VecLoopPlan
+        self.vec_decisions = []
         self.labels = {}        # id(block) -> int label
         self.reg = {}           # id(value) -> local name
         self.batch = {}         # id(block) -> bool
@@ -245,6 +268,11 @@ class _Emitter:
                 if not instruction.type.is_void:
                     self.reg[id(instruction)] = f"r{counter}"
                     counter += 1
+
+        if self.vectorize:
+            self.vec_loops, self.vec_decisions = plan_vector_loops(
+                function, self.plan, self.instrumented
+            )
 
         for block in blocks:
             if not self.instrumented:
@@ -383,6 +411,11 @@ class _Emitter:
             return out
         if isinstance(terminator, Br):
             target = terminator.target
+            vec = self.vec_loops.get(id(block))
+            if vec is not None and target is vec.header:
+                # Vector fast path first; falling through it lands on the
+                # unmodified scalar entry edge below.
+                out.extend(emit_vec_section(self, vec))
             for text in self._edge_lines(block, target):
                 out.append((1, text))
             out.append((1, f"_L = {self.labels[id(target)]}"))
@@ -413,14 +446,16 @@ class _Emitter:
             return out
         raise CodegenUnsupported(f"unknown terminator {terminator!r}")
 
-    def _edge_lines(self, pred, succ):
+    def _edge_lines(self, pred, succ, skip_actions=False):
         """Code run when control flows pred -> succ, in the closure
         backend's order: edge actions at the current cost, then the
-        parallel phi copies, then the phi def/use hooks."""
+        parallel phi copies, then the phi def/use hooks.
+        ``skip_actions`` serves the vector sections, whose bulk delivery
+        has already produced the edge's loop events."""
         out = []
         plan = self.plan
         edge_key = (id(pred), id(succ))
-        if plan is not None:
+        if plan is not None and not skip_actions:
             actions = plan.edge_actions.get(edge_key)
             if actions:
                 for kind, loop_id in actions:
@@ -716,9 +751,9 @@ class _Emitter:
         return lines
 
 
-def generate_source(function, plan, instrumented):
+def generate_source(function, plan, instrumented, vectorize=False):
     """Emit the Python source of one variant of ``function``."""
-    return _Emitter(function, plan, instrumented).generate()
+    return _Emitter(function, plan, instrumented, vectorize).generate()
 
 
 # -- compilation and entry points -----------------------------------------------
@@ -746,6 +781,7 @@ def _base_namespace():
             "_udiv": unsigned_div,
             "_urem": unsigned_rem,
         }
+        _NAMESPACE_TEMPLATE.update(vec_namespace())
     return dict(_NAMESPACE_TEMPLATE)
 
 
@@ -763,7 +799,7 @@ def _dump_source(function, instrumented, key, source):
         pass  # debugging aid only; never break a run
 
 
-def jit_entry(function, plan, instrumented, code_cache=None):
+def jit_entry(function, plan, instrumented, code_cache=None, vectorize=False):
     """Return the compiled entry ``fn(machine, args) -> result`` for one
     variant of ``function``, consulting the in-process memo and the
     persistent code cache before generating source.
@@ -771,7 +807,10 @@ def jit_entry(function, plan, instrumented, code_cache=None):
     Raises :class:`CodegenUnsupported` when the function cannot be
     lowered; the caller is expected to fall back to the closure backend.
     """
-    key = jit_cache_key(function, plan, instrumented)
+    # A vector-tagged source must never be produced (or reused) in an
+    # environment without NumPy: normalize the tier before keying.
+    vectorize = bool(vectorize) and vec_available()
+    key = jit_cache_key(function, plan, instrumented, vectorize)
     memo = _CODE_MEMO.get(key)
     if memo is not None:
         _dump_source(function, instrumented, key, memo[1])
@@ -784,7 +823,7 @@ def jit_entry(function, plan, instrumented, code_cache=None):
 
     source = code_cache.load(key) if code_cache is not None else None
     if source is None:
-        source = generate_source(function, plan, instrumented)
+        source = generate_source(function, plan, instrumented, vectorize)
         if code_cache is not None:
             code_cache.store(
                 key,
@@ -792,6 +831,7 @@ def jit_entry(function, plan, instrumented, code_cache=None):
                 meta={
                     "function": function.name,
                     "variant": "instr" if instrumented else "plain",
+                    "tier": "vec" if vectorize else "jit",
                     "codegen_version": CODEGEN_VERSION,
                 },
             )

@@ -6,16 +6,19 @@ instruction count as the approximation of execution time"). Cost is charged
 per basic block, matching the paper's hard-coded per-block callbacks; events
 within a block carry ``block_base + position`` timestamps.
 
-Two execution backends share this module's semantics:
+Three execution backends share this module's semantics:
 
-* ``jit`` (the default) — each function is lowered to straight-line Python
-  source by :mod:`repro.interp.codegen`, ``compile()``d once, and executed
-  as a native code object (see docs/internals.md, "Codegen backend").
+* ``vec`` (the default) — the template JIT below, plus whole-loop NumPy
+  kernels for loops the static dependence engine proves STATIC_DOALL
+  (see :mod:`repro.interp.veccodegen`). Disabled with ``REPRO_NO_VEC=1``.
+* ``jit`` — each function is lowered to straight-line Python source by
+  :mod:`repro.interp.codegen`, ``compile()``d once, and executed as a
+  native code object (see docs/internals.md, "Codegen backend").
 * ``closure`` — each function is pre-compiled to closures once (operand
   access resolved to register indices), interpreted by a tight dispatch
   loop. Selected with ``backend="closure"`` or ``REPRO_NO_JIT=1``.
 
-Both backends charge fuel identically (per block, at block entry) and
+All backends charge fuel identically (per block, at block entry) and
 produce byte-identical profiles (enforced by
 ``tests/test_differential_backends.py``). An optional
 :class:`FunctionInstrumentation` plan per function injects the Loopapalooza
@@ -64,14 +67,24 @@ def _wrap32(value):
     return value - 0x100000000 if value & _SIGN32 else value
 
 
+def _truthy_env(name):
+    value = os.environ.get(name)
+    return value is not None and value.strip().lower() in (
+        "1", "true", "yes", "on"
+    )
+
+
 def backend_from_env():
-    """The default execution backend: ``jit`` unless ``REPRO_NO_JIT`` is a
-    truthy value (``1``/``true``/``yes``; ``0``/``false``/empty keep the
-    JIT on — same boolean-env contract as ``REPRO_NO_PROFILE_CACHE``)."""
-    value = os.environ.get("REPRO_NO_JIT")
-    if value is not None and value.strip().lower() in ("1", "true", "yes", "on"):
+    """The default execution backend: the vector-enabled JIT (``vec``)
+    unless ``REPRO_NO_VEC`` is truthy (scalar ``jit``) or ``REPRO_NO_JIT``
+    is truthy (``closure``); ``1``/``true``/``yes`` are truthy,
+    ``0``/``false``/empty are not — same boolean-env contract as
+    ``REPRO_NO_PROFILE_CACHE``."""
+    if _truthy_env("REPRO_NO_JIT"):
         return "closure"
-    return "jit"
+    if _truthy_env("REPRO_NO_VEC"):
+        return "jit"
+    return "vec"
 
 
 # -- shared division semantics (both backends) ----------------------------------
@@ -376,8 +389,9 @@ class Interpreter:
         runtime: optional Loopapalooza runtime receiving the events.
         instrumentation: optional ``{function_name: FunctionInstrumentation}``.
         fuel: dynamic IR instruction budget (guards runaway programs).
-        backend: ``"jit"`` (template JIT, the default), ``"closure"``
-            (PR 1 closure interpreter), or ``None`` to follow the
+        backend: ``"vec"`` (vector-enabled template JIT, the default),
+            ``"jit"`` (scalar template JIT), ``"closure"`` (PR 1 closure
+            interpreter), or ``None`` to follow the ``REPRO_NO_VEC`` /
             ``REPRO_NO_JIT`` environment contract.
     """
 
@@ -385,10 +399,10 @@ class Interpreter:
                  fuel=200_000_000, backend=None):
         if backend is None:
             backend = backend_from_env()
-        if backend not in ("jit", "closure"):
+        if backend not in ("vec", "jit", "closure"):
             raise InterpError(
                 f"unknown interpreter backend {backend!r} "
-                "(choose 'jit' or 'closure')"
+                "(choose 'vec', 'jit' or 'closure')"
             )
         self.module = module
         self.runtime = runtime
@@ -404,6 +418,11 @@ class Interpreter:
         self._compiled = {}
         self._jit_entries = {}
         self._jit_failed = set()
+        # Vector-tier observability: loop_id -> count of committed kernel
+        # runs / of runtime-guard bailouts (kernel fell through to the
+        # scalar path for that invocation).
+        self.vec_runs = {}
+        self.vec_bailouts = {}
         self._call_depth = 0
         # Per-block batch of (is_write, address, ts) memory events, flushed
         # to the runtime after each call-free block's ops (see _call).
@@ -996,7 +1015,8 @@ class Interpreter:
         plan = self.instrumentation.get(name)
         try:
             entry = jit_entry(
-                function, plan, jit_variant_for(plan, self.runtime)
+                function, plan, jit_variant_for(plan, self.runtime),
+                vectorize=(self.backend == "vec"),
             )
         except CodegenUnsupported:
             self._jit_failed.add(name)
@@ -1015,7 +1035,7 @@ class Interpreter:
         if self._call_depth > 2000:
             self._call_depth -= 1
             raise TrapError("call stack depth limit exceeded")
-        if self.backend == "jit":
+        if self.backend != "closure":
             entry = self._jit_for(function)
             if entry is not None:
                 runtime = self.runtime

@@ -139,6 +139,40 @@ class ProfilingRuntime:
         if stack_for_loop:
             stack_for_loop.pop()
 
+    def vec_loop(self, loop_id, enter_ts, trip, step_cost, exit_ts,
+                 accesses=()):
+        """Closed-form delivery of one whole loop invocation, emitted by
+        the vector tier after a kernel commits: equivalent to one
+        ``loop_enter``, ``trip`` ``loop_iter`` events at ``enter_ts +
+        k * step_cost``, the loop's memory events in iteration-major
+        program order, and the ``loop_exit`` — byte-identical to what the
+        scalar tiers produce for the same (hook-free, DOALL) loop.
+
+        ``accesses`` holds ``(is_write, offset, base, stride)`` per
+        static access: iteration ``k`` touches ``base + stride * k`` at
+        ``enter_ts + k * step_cost + offset``.
+
+        The kernel's own invocation can never record a conflict (the
+        static DOALL proof excludes cross-iteration overlaps, and a
+        same-iteration pair never trips the ``last[0] < cur`` test), so
+        memory events only matter to *enclosing* trackers: when this
+        invocation is outermost and no call records are live, they are
+        unobservable and skipped wholesale — that short-circuit is where
+        the closed form's speed comes from."""
+        self.loop_enter(loop_id, enter_ts)
+        entry = self.stack[-1]
+        entry.invocation.iter_starts.extend(
+            enter_ts + k * step_cost for k in range(1, trip + 1)
+        )
+        if accesses and (len(self.stack) > 1 or self.pending_calls
+                         or self.active_calls):
+            self.mem_batch(
+                (is_write, base + stride * k, enter_ts + k * step_cost + off)
+                for k in range(trip)
+                for is_write, off, base, stride in accesses
+            )
+        self.loop_exit(loop_id, exit_ts)
+
     def _top_for(self, loop_id):
         entries = self.by_loop.get(loop_id)
         if not entries:

@@ -98,6 +98,7 @@ class RunTelemetry:
         self._task_wall_s = 0.0
         self._outcomes = {"parallel_loops": 0, "serial_loops": 0}
         self._cache_stats = {}
+        self._vec_decisions = {}
         if _replay:
             self._replay_ledger()
 
@@ -199,6 +200,18 @@ class RunTelemetry:
         self._cache_stats = dict(stats)
         self._append({"type": "cache_stats", "caches": self._cache_stats})
 
+    def record_vec_decisions(self, summary):
+        """Snapshot the vectorizer's aggregate decisions for the run's
+        workload (see :func:`repro.interp.veccodegen.summarize_vec_decisions`):
+        ``{"loops", "vectorized", "static_trip", "runtime_trip",
+        "bailouts": {reason: count}}``. The latest snapshot wins and lands
+        in the manifest, so `repro runs show` answers "how much of this
+        sweep ran vectorized" without rerunning the planner."""
+        self._vec_decisions = dict(summary)
+        self._append({
+            "type": "vec_decisions", "summary": self._vec_decisions,
+        })
+
     def finish(self, status="complete"):
         self.status = status
         self._append({"type": "finish", "status": status})
@@ -279,6 +292,10 @@ class RunTelemetry:
                 caches = event.get("caches")
                 if isinstance(caches, dict):
                     self._cache_stats = caches
+            elif kind == "vec_decisions":
+                summary = event.get("summary")
+                if isinstance(summary, dict):
+                    self._vec_decisions = summary
 
     # -- persistence ----------------------------------------------------------
 
@@ -322,6 +339,7 @@ class RunTelemetry:
             "task_wall_s": round(self._task_wall_s, 6),
             "outcomes": dict(self._outcomes),
             "cache_stats": dict(self._cache_stats),
+            "vec_decisions": dict(self._vec_decisions),
             "write_errors": self.write_errors,
             "corrupt_lines": self.corrupt_lines,
         }
@@ -461,6 +479,20 @@ def format_run_summary(manifest):
             f"{stats.get('size_bytes', 0)} bytes, "
             f"{stats.get('hits', 0)} hits, {stats.get('misses', 0)} misses"
         )
+    vec = manifest.get("vec_decisions") or {}
+    if vec:
+        bailouts = vec.get("bailouts") or {}
+        lines.append(
+            f"  vectorizer:   {vec.get('vectorized', 0)}/"
+            f"{vec.get('loops', 0)} innermost loops vectorized "
+            f"({vec.get('static_trip', 0)} static / "
+            f"{vec.get('runtime_trip', 0)} runtime trip), "
+            f"{sum(bailouts.values())} bailouts"
+        )
+        for reason, count in sorted(
+            bailouts.items(), key=lambda item: (-item[1], item[0])
+        ):
+            lines.append(f"    bailout {reason}: {count}")
     for task, reason in sorted(quarantined.items()):
         lines.append(f"  quarantined:  {task} ({reason})")
     return "\n".join(lines)

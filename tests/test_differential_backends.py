@@ -1,12 +1,14 @@
-"""Differential test: the closure interpreter and the block-template JIT
-must produce byte-identical profiles for every bundled benchmark.
+"""Differential test: the closure interpreter, the block-template JIT,
+and the vector tier must produce byte-identical profiles for every
+bundled benchmark.
 
 This is the backend equivalence contract in its strongest form — not just
 matching results and instruction counts, but the full serialized
 :class:`ProgramProfile` (loop invocation trees, conflict records, LCD value
 streams and offsets, call-site summaries), compared as canonical JSON.
 Every figure and table is a pure function of the profile, so equality here
-means every downstream artifact is backend-independent.
+means every downstream artifact is backend-independent — including the
+vector tier's closed-form loop and memory event accounting.
 """
 
 import json
@@ -30,17 +32,22 @@ def _canonical_profile(program, backend):
 def test_backends_profile_identically(program):
     closure_profile, closure_output = _canonical_profile(program, "closure")
     jit_profile, jit_output = _canonical_profile(program, "jit")
+    vec_profile, vec_output = _canonical_profile(program, "vec")
     assert closure_profile == jit_profile
     assert closure_output == jit_output
+    assert jit_profile == vec_profile
+    assert jit_output == vec_output
 
 
 @pytest.mark.parametrize(
-    "backend", ["closure", "jit"]
+    "backend", ["closure", "jit", "vec"]
 )
 def test_static_doall_never_conflicts(backend):
-    """Soundness of the static dependence engine against both backends: a
+    """Soundness of the static dependence engine against every backend: a
     loop proved STATIC_DOALL must never record a cross-iteration conflict
-    in the dynamic profile, whichever interpreter produced it."""
+    in the dynamic profile, whichever interpreter produced it. This is
+    also the vector tier's safety argument — its kernels only ever replace
+    loops carrying that verdict."""
     from repro.analysis.depend import VERDICT_DOALL
 
     proved_loops = 0

@@ -48,19 +48,32 @@ def _run(source, backend, fuel=200_000_000):
 
 
 class TestBackendSelection:
-    def test_default_is_jit(self, monkeypatch):
+    def test_default_is_vec(self, monkeypatch):
         monkeypatch.delenv("REPRO_NO_JIT", raising=False)
-        assert backend_from_env() == "jit"
+        monkeypatch.delenv("REPRO_NO_VEC", raising=False)
+        assert backend_from_env() == "vec"
 
     @pytest.mark.parametrize("value", ["1", "true", "yes", "on"])
     def test_no_jit_env_selects_closure(self, monkeypatch, value):
         monkeypatch.setenv("REPRO_NO_JIT", value)
         assert backend_from_env() == "closure"
 
-    def test_falsy_env_values_keep_jit(self, monkeypatch):
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on"])
+    def test_no_vec_env_selects_scalar_jit(self, monkeypatch, value):
+        monkeypatch.delenv("REPRO_NO_JIT", raising=False)
+        monkeypatch.setenv("REPRO_NO_VEC", value)
+        assert backend_from_env() == "jit"
+
+    def test_no_jit_outranks_no_vec(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_JIT", "1")
+        monkeypatch.setenv("REPRO_NO_VEC", "1")
+        assert backend_from_env() == "closure"
+
+    def test_falsy_env_values_keep_vec(self, monkeypatch):
         for value in ("", "0", "false"):
             monkeypatch.setenv("REPRO_NO_JIT", value)
-            assert backend_from_env() == "jit"
+            monkeypatch.setenv("REPRO_NO_VEC", value)
+            assert backend_from_env() == "vec"
 
     def test_explicit_backend_overrides_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_NO_JIT", "1")

@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Interpreter backend throughput tracker: ``make bench-interp``.
 
-Times the closure and JIT backends — uninstrumented execution and one
-instrumented profiling run — on a numeric kernel, then appends the
+Times the closure, scalar-JIT, and vector backends — uninstrumented
+execution and one instrumented profiling run — on a numeric kernel,
+then appends the
 measurement as a row under ``interp_backend_rows`` in
 BENCH_infrastructure.json (the same file ``make bench`` writes its
 pytest-benchmark dump to; the rows ride alongside and survive that
@@ -41,7 +42,7 @@ def measure(kernel_name=KERNEL_NAME):
     module = compile_source(source)
     lp = Loopapalooza(source, "bench_interp")
     row = {"kernel": kernel_name, "time": time.time(), "backends": {}}
-    for backend in ("closure", "jit"):
+    for backend in ("closure", "jit", "vec"):
 
         def run_plain():
             machine = Interpreter(module, backend=backend)
@@ -69,9 +70,14 @@ def measure(kernel_name=KERNEL_NAME):
         }
     closure = row["backends"]["closure"]
     jit = row["backends"]["jit"]
+    vec = row["backends"]["vec"]
     row["jit_speedup_plain"] = round(closure["plain_s"] / jit["plain_s"], 3)
     row["jit_speedup_instrumented"] = round(
         closure["instrumented_s"] / jit["instrumented_s"], 3
+    )
+    row["vec_speedup_plain"] = round(jit["plain_s"] / vec["plain_s"], 3)
+    row["vec_speedup_instrumented"] = round(
+        jit["instrumented_s"] / vec["instrumented_s"], 3
     )
     return row
 
@@ -94,8 +100,10 @@ def main():
         print(f"{backend:8s} plain {stats['plain_s']:.3f}s "
               f"({stats['minstr_per_s']:.2f} M instr/s), "
               f"instrumented {stats['instrumented_s']:.3f}s")
-    print(f"JIT speedup: {row['jit_speedup_plain']}x plain, "
+    print(f"JIT speedup over closure: {row['jit_speedup_plain']}x plain, "
           f"{row['jit_speedup_instrumented']}x instrumented")
+    print(f"vec speedup over JIT: {row['vec_speedup_plain']}x plain, "
+          f"{row['vec_speedup_instrumented']}x instrumented")
     print(f"row appended to {BENCH_FILE.name}")
     return 0
 
