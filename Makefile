@@ -3,7 +3,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: install test lint-ir crosscheck bench bench-interp sweep-smoke sweep-fault-smoke figures examples clean
+.PHONY: install test lint-ir crosscheck transform-report bench bench-interp sweep-smoke sweep-fault-smoke figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -16,6 +16,9 @@ lint-ir:
 
 crosscheck:
 	python tools/crosscheck_report.py
+
+transform-report:
+	python tools/transform_report.py
 
 bench:
 	pytest benchmarks/ --benchmark-only \

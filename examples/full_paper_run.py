@@ -49,7 +49,9 @@ from repro.reporting import (
     format_crosscheck,
     format_figure4,
     format_speedup_figure,
+    format_transform_figure,
     table1_census,
+    transform_suites,
 )
 from repro.runtime.telemetry import RunTelemetry, format_run_summary
 
@@ -130,6 +132,9 @@ def main(argv):
         print("static x dynamic crosscheck...", flush=True)
         sections.insert(1, ("Static crosscheck", format_crosscheck(
             crosscheck_suites(runner))))
+        print("transform unlock figure...", flush=True)
+        sections.insert(2, ("Transform unlock", format_transform_figure(
+            transform_suites())))
     except BaseException:
         # Mark the run interrupted; its ledger already holds every
         # completed task, so --resume RUN_ID picks up from here.

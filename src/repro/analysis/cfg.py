@@ -7,15 +7,21 @@ O(blocks) `BasicBlock.predecessors` scan, and provides the traversal orders
 
 from __future__ import annotations
 
+from .invalidation import check_fresh, register_snapshot
+
 
 class CFG:
     """Immutable snapshot of a function's control-flow graph.
 
     Invalidated by any CFG edit; passes rebuild it after mutating blocks.
+    Once the pass manager marks the snapshot stale (between pipeline
+    stages), queries raise :class:`~repro.errors.StaleAnalysisError`.
     """
 
     def __init__(self, function):
         self.function = function
+        self._stale = False
+        register_snapshot(self)
         self._succs = {}
         self._preds = {block: [] for block in function.blocks}
         for block in function.blocks:
@@ -26,17 +32,29 @@ class CFG:
         self._reachable = self._compute_reachable()
         self._rpo = None
 
+    def invalidate(self):
+        """Mark this snapshot stale; further queries raise."""
+        self._stale = True
+
     def successors(self, block):
+        if self._stale:
+            check_fresh(self, "CFG")
         return self._succs[block]
 
     def predecessors(self, block):
+        if self._stale:
+            check_fresh(self, "CFG")
         return self._preds[block]
 
     def is_reachable(self, block):
+        if self._stale:
+            check_fresh(self, "CFG")
         return block in self._reachable
 
     def reachable_blocks(self):
         """Reachable blocks in function order."""
+        if self._stale:
+            check_fresh(self, "CFG")
         return [b for b in self.function.blocks if b in self._reachable]
 
     def _compute_reachable(self):
@@ -57,6 +75,8 @@ class CFG:
         Computed lazily and cached; uses an explicit stack so deep CFGs do
         not hit Python's recursion limit.
         """
+        if self._stale:
+            check_fresh(self, "CFG")
         if self._rpo is not None:
             return self._rpo
         entry = self.function.entry_block

@@ -46,8 +46,22 @@ from __future__ import annotations
 
 from math import gcd
 
-from ..ir.instructions import Alloca, Call, Load, Store
-from ..ir.values import Argument, GlobalVariable
+from ..ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    GEP,
+    ICmp,
+    Load,
+    Phi,
+    Select,
+    Store,
+)
+from ..ir.values import Argument, Constant, GlobalVariable
 from .callgraph import CallGraph
 from .loop_info import LoopInfo
 from .purity import _trace_to_base
@@ -304,6 +318,36 @@ class DependenceAnalysis:
     # -- public API -------------------------------------------------------------
 
     def loop_verdict(self, loop):
+        return self._verdict(loop, front=0, back=0)
+
+    def loop_verdict_if_peeled(self, loop, front=0, back=0):
+        """Verdict of the residual loop after peeling ``front`` leading and
+        ``back`` trailing iterations — the static trial the peeling pass
+        runs before committing to a transform. Requires a constant trip
+        count large enough that the residual loop still runs."""
+        if front < 0 or back < 0 or front + back == 0:
+            raise ValueError("peel trial needs front/back >= 0, not both 0")
+        trip = self._trip(loop)
+        if trip is None:
+            return LoopDependence(
+                loop.loop_id, VERDICT_UNKNOWN,
+                reasons=("peel trial needs a constant trip count",))
+        if trip - front - back < 1:
+            return LoopDependence(
+                loop.loop_id, VERDICT_UNKNOWN,
+                reasons=(f"peeling {front}+{back} of {trip} iterations "
+                         f"leaves no residual loop",))
+        return self._verdict(loop, front=front, back=back)
+
+    def _verdict(self, loop, front, back):
+        if loop.latches and loop.single_latch() is None:
+            # Multiple back edges: the loop has no unique iteration point,
+            # so access functions (and the instrumentation) cannot key on
+            # "the iteration". An explicit bailout — not absence of a loop.
+            return LoopDependence(
+                loop.loop_id, VERDICT_UNKNOWN,
+                reasons=(f"loop has {len(loop.latches)} latches "
+                         f"(multi-latch bailout)",))
         accesses, opaque_reasons = self._collect(loop)
         if len(accesses) > _MAX_ACCESSES:
             return LoopDependence(
@@ -317,13 +361,16 @@ class DependenceAnalysis:
         writes = [a for a in accesses if a.is_write]
         reads = [a for a in accesses if not a.is_write]
         trip = self._trip(loop)
+        if trip is not None:
+            trip -= front + back
         for index, write in enumerate(writes):
             # write-vs-write (WAW can carry a RAW chain through memory) and
             # write-vs-read pairs; a write is also paired with itself (the
             # same instruction on two different iterations).
             for other in writes[index:] + reads:
                 tested += 1
-                result = self._test_pair(loop, write, other, trip)
+                result = self._test_pair(loop, write, other, trip,
+                                         front=front)
                 kind = result[0]
                 if kind == "lcd":
                     lcd_distances.append(result[1])
@@ -423,9 +470,169 @@ class DependenceAnalysis:
         to it can never carry a dependence for this loop."""
         return isinstance(base, Alloca) and base.parent in loop.blocks
 
+    # -- statement-level dependence graph ----------------------------------------
+
+    def statement_graph(self, loop):
+        """Build the :class:`StatementGraph` for ``loop`` (see its
+        docstring). Returns a graph whose ``failure`` is set when the loop
+        cannot be modeled: non-canonical shape, calls, possibly-trapping
+        division, allocas, or pointer-typed stores in the body."""
+        shape, reason = canonical_loop_shape(loop, self.loop_info.cfg)
+        if shape is None:
+            return StatementGraph(loop, failure=reason)
+        statements = []
+        for block in shape.chain:
+            for instruction in block.instructions:
+                if instruction.is_terminator:
+                    continue
+                statements.append(instruction)
+        for statement in statements:
+            if isinstance(statement, Call):
+                return StatementGraph(loop, failure="call in loop body")
+            if isinstance(statement, Alloca):
+                return StatementGraph(loop, failure="alloca in loop body")
+            if isinstance(statement, Store) \
+                    and statement.value.type.is_pointer:
+                return StatementGraph(
+                    loop, failure="pointer-typed store in loop body")
+            if isinstance(statement, BinaryOp) \
+                    and statement.opcode in TRAPPING_DIV_OPS \
+                    and not is_nonzero_constant(statement.rhs):
+                # Reordering relative to other traps would change which
+                # trap fires first; only provably safe divisions pass.
+                return StatementGraph(
+                    loop, failure="possibly trapping division in body")
+        index_of = {id(s): i for i, s in enumerate(statements)}
+        edges = [set() for _ in statements]
+        serial = set()
+
+        # SSA def -> use edges (defs precede uses in a straight-line body).
+        for i, statement in enumerate(statements):
+            for operand in statement.operands:
+                j = index_of.get(id(operand))
+                if j is not None and j != i:
+                    edges[j].add(i)
+
+        # Memory dependences.
+        accesses = {}
+        for i, statement in enumerate(statements):
+            if isinstance(statement, (Load, Store)):
+                access = self._statement_access(loop, statement)
+                if access is not None:
+                    accesses[i] = access
+        trip = self._trip(loop)
+        ordered = sorted(accesses)
+        for position, i in enumerate(ordered):
+            first = accesses[i]
+            if first.is_write:
+                # Same store on two different iterations.
+                if self._test_pair(loop, first, first, trip)[0] != "independent":
+                    serial.add(i)
+            for j in ordered[position + 1:]:
+                second = accesses[j]
+                if not (first.is_write or second.is_write):
+                    continue
+                if self._alias(first, second) == "no":
+                    continue
+                if self._test_pair(loop, first, second, trip)[0] == "independent":
+                    # No cross-iteration overlap; a forward edge keeps the
+                    # groups in program order so any same-iteration overlap
+                    # still observes its original write/read order.
+                    edges[i].add(j)
+                else:
+                    edges[i].add(j)
+                    edges[j].add(i)
+                    serial.add(i)
+                    serial.add(j)
+
+        # Register recurrences: everything feeding a non-computable (or
+        # reduction) header phi must stay in one loop with the phi.
+        phi_groups = []
+        for _, phi, reg_class, _ in classify_header_phis(loop, self.scev):
+            if reg_class == REG_COMPUTABLE:
+                continue
+            members = set()
+            latch_value = phi.incoming_for_block(shape.latch)
+            j = index_of.get(id(latch_value))
+            if j is not None:
+                members.add(j)
+            for i, statement in enumerate(statements):
+                if any(operand is phi for operand in statement.operands):
+                    members.add(i)
+            for i in members:
+                for j in members:
+                    if i != j:
+                        edges[i].add(j)
+            if reg_class == REG_NONCOMPUTABLE:
+                serial |= members
+            phi_groups.append((phi, reg_class, frozenset(members)))
+        return StatementGraph(loop, shape, statements, edges, serial,
+                              phi_groups)
+
+    def _statement_access(self, loop, instruction):
+        """The :class:`_Access` for one load/store statement (``None`` when
+        iteration-private)."""
+        is_write = isinstance(instruction, Store)
+        pointer = instruction.pointer
+        base = _trace_to_base(pointer)
+        if not isinstance(base, (GlobalVariable, Alloca, Argument)):
+            base = None
+        if self._is_iteration_private(base, loop):
+            return None
+        name = base.name if base is not None else "?"
+        label = f"{'store' if is_write else 'load'} in " \
+                f"{instruction.parent.name} of @{name}"
+        return _Access(is_write, base, pointer, False, label,
+                       instruction.parent)
+
+    def load_duplicable(self, loop, load, write_accesses, trip=None):
+        """May this load be re-executed by any distributed sibling of
+        ``loop``? True when it provably never overlaps any write of the
+        loop — same iteration or across iterations — so every copy reads
+        memory the distributed loops never touch."""
+        access = self._statement_access(loop, load)
+        if access is None:
+            return True  # iteration-private: each copy has its own storage
+        if trip is None:
+            trip = self._trip(loop)
+        for write in write_accesses:
+            alias = self._alias(access, write)
+            if alias == "no":
+                continue
+            if alias == "may":
+                return False
+            fp1 = self._footprint(access.pointer, loop, access.block)
+            fp2 = self._footprint(write.pointer, loop, write.block)
+            if fp1 is None or fp2 is None:
+                return False
+            if self._subscript_test(
+                    fp1, fp2, trip, access, write)[0] != "independent":
+                return False
+            # Cross-iteration independence proven; still reject any
+            # same-iteration overlap (k = 0).
+            if not (fp1.span_lo == fp1.span_hi == 0
+                    and fp2.span_lo == fp2.span_hi == 0):
+                return False
+            delta = fp2.const - fp1.const
+            if fp1.stride == fp2.stride:
+                if delta == 0:
+                    return False
+            else:
+                # Same-iteration overlap at iteration t needs
+                # (b2 - b1)·t == -delta for some t in [0, trip].
+                db = fp2.stride - fp1.stride
+                if db == 0:
+                    if delta == 0:
+                        return False
+                elif (-delta) % db == 0:
+                    t = (-delta) // db
+                    if 0 <= t <= (trip if trip is not None else 1 << 62):
+                        return False
+        return True
+
     # -- pair testing ------------------------------------------------------------
 
-    def _test_pair(self, loop, first, second, trip):
+    def _test_pair(self, loop, first, second, trip, front=0):
         alias = self._alias(first, second)
         if alias == "no":
             return ("independent",)
@@ -441,6 +648,15 @@ class DependenceAnalysis:
         if fp1 is None or fp2 is None:
             which = first.label if fp1 is None else second.label
             return ("may", f"{which} has a non-affine access function")
+        if front:
+            # Peel trial: iteration i of the residual loop is iteration
+            # i + front of the original, so c + b·i becomes
+            # (c + b·front) + b·i. The cached footprints stay unshifted.
+            fp1 = _shift_footprint(fp1, front)
+            fp2 = _shift_footprint(fp2, front)
+            if fp1 is None or fp2 is None:
+                return ("may", f"{first.label} peel-shifted offset outside "
+                               f"the i32 range")
         return self._subscript_test(fp1, fp2, trip, first, second)
 
     def _alias(self, first, second):
@@ -644,8 +860,10 @@ class DependenceAnalysis:
                         f"{first.label} strong-SIV bounds degenerate")
             k_min, k_max = solutions
             if trip is not None:
-                k_min = max(k_min, -trip)
-                k_max = min(k_max, trip)
+                # Accesses execute in the body only: indices span
+                # [0, trip-1], so distances span at most trip-1.
+                k_min = max(k_min, -(trip - 1))
+                k_max = min(k_max, trip - 1)
             if k_min > k_max or (k_min == k_max == 0):
                 return ("independent",)
             if exact and k_min == k_max:
@@ -660,15 +878,25 @@ class DependenceAnalysis:
             if first_multiple > upper:
                 return ("independent",)
         if trip is not None:
-            # Banerjee bounds: i, j ∈ [0, trip] (inclusive: the trailing
-            # header evaluation uses index == trip).
-            reachable_lo = min(0, b2 * trip) - max(0, b1 * trip)
-            reachable_hi = max(0, b2 * trip) - min(0, b1 * trip)
+            # Banerjee bounds: i, j ∈ [0, trip-1] — loads and stores run
+            # in the body only, never at the trailing header evaluation.
+            last = trip - 1
+            reachable_lo = min(0, b2 * last) - max(0, b1 * last)
+            reachable_hi = max(0, b2 * last) - min(0, b1 * last)
             if reachable_hi < lower or reachable_lo > upper:
                 return ("independent",)
         return ("may",
                 f"{first.label} and {second.label} have unequal strides "
                 f"({b1} vs {b2})")
+
+
+def _shift_footprint(fp, front):
+    """``fp`` advanced by ``front`` iterations (``None`` if it may wrap)."""
+    const = fp.const + fp.stride * front
+    if abs(const) >= _WRAP_LIMIT:
+        return None
+    return _Linear(const=const, terms=dict(fp.terms), stride=fp.stride,
+                   span_lo=fp.span_lo, span_hi=fp.span_hi)
 
 
 def _stride_multiples_in(lower, upper, stride):
@@ -692,6 +920,257 @@ def _dedupe(reasons, cap=8):
     if len(seen) > cap:
         seen = seen[:cap] + [f"... and {len(seen) - cap} more"]
     return seen
+
+
+# -- canonical loop shape ---------------------------------------------------------
+
+# Division/remainder opcodes trap on a zero divisor; restructuring passes
+# must not move one relative to other traps unless the divisor is a
+# provably nonzero constant.
+TRAPPING_DIV_OPS = ("sdiv", "srem", "udiv", "urem", "fdiv")
+
+
+def is_nonzero_constant(value):
+    return isinstance(value, Constant) and value.value != 0
+
+
+class LoopShape:
+    """A canonical counted loop: preheader -> header (phis + compare +
+    CondBr) -> straight-line body chain -> latch -> header, with one
+    dedicated exit block. The only shape the transform passes restructure."""
+
+    __slots__ = ("preheader", "header", "compare", "body_entry", "chain",
+                 "latch", "exit_block")
+
+    def __init__(self, preheader, header, compare, body_entry, chain, latch,
+                 exit_block):
+        self.preheader = preheader
+        self.header = header
+        self.compare = compare
+        self.body_entry = body_entry
+        self.chain = chain
+        self.latch = latch
+        self.exit_block = exit_block
+
+
+def canonical_loop_shape(loop, cfg):
+    """``(LoopShape, None)`` when the loop is canonical, else
+    ``(None, reason)``. Mirrors the vec planner's shape screen so every
+    loop the transform tier restructures is one the other tiers already
+    know how to reason about."""
+    if loop.subloops:
+        return None, "contains an inner loop"
+    preheader = loop.preheader(cfg)
+    if preheader is None:
+        return None, "no preheader"
+    latch = loop.single_latch()
+    if latch is None:
+        return None, f"{len(loop.latches)} latches (multi-latch bailout)"
+    if not isinstance(preheader.terminator, Br):
+        return None, "guarded preheader"
+    header = loop.header
+    if latch is header:
+        return None, "body folded into the header"
+    instructions = header.instructions
+    compare = None
+    for position, instruction in enumerate(instructions):
+        if isinstance(instruction, Phi):
+            if compare is not None:
+                return None, "complex header"
+            continue
+        if isinstance(instruction, ICmp):
+            if compare is not None or position != len(instructions) - 2:
+                return None, "complex header"
+            compare = instruction
+            continue
+        if isinstance(instruction, CondBr):
+            if compare is None or instruction.condition is not compare:
+                return None, "complex header"
+            continue
+        return None, "complex header"
+    if compare is None or not isinstance(header.terminator, CondBr):
+        return None, "complex header"
+    successors = header.terminator.successors()
+    inside = [s for s in successors if s in loop.blocks]
+    outside = [s for s in successors if s not in loop.blocks]
+    if len(inside) != 1 or len(outside) != 1:
+        return None, "complex header"
+    if set(loop.exiting_blocks(cfg)) != {header}:
+        return None, "multiple exiting blocks"
+    exit_block = outside[0]
+    if cfg.predecessors(exit_block) != [header]:
+        return None, "shared exit block"
+    body_entry = inside[0]
+    chain = []
+    seen = set()
+    block = body_entry
+    while True:
+        if block is header or id(block) in seen:
+            return None, "control flow in body"
+        seen.add(id(block))
+        chain.append(block)
+        terminator = block.terminator
+        if not isinstance(terminator, Br):
+            return None, "control flow in body"
+        if block is latch:
+            if terminator.target is not header:
+                return None, "control flow in body"
+            break
+        block = terminator.target
+        if block not in loop.blocks:
+            return None, "control flow in body"
+    if set(chain) | {header} != loop.blocks:
+        return None, "control flow in body"
+    for block in chain:
+        for instruction in block.instructions:
+            if isinstance(instruction, Phi):
+                return None, "phi in body"
+    return LoopShape(preheader, header, compare, body_entry, chain, latch,
+                     exit_block), None
+
+
+# -- statement-level dependence graph ---------------------------------------------
+
+
+class StatementGraph:
+    """Statement-level dependence graph of one canonical loop body.
+
+    Nodes are the non-terminator instructions of the body chain in program
+    order. A forward edge ``i -> j`` means statement ``j`` must not run in
+    an *earlier* distributed loop than ``i``; a bidirectional pair means
+    the two statements must stay in the same loop (a dependence cycle).
+    ``serial`` marks statements that carry an iteration-ordering constraint
+    (a proven or unrefuted cross-iteration memory dependence, or a
+    non-computable register recurrence) — the statements fission wants to
+    quarantine away from the DOALL-able remainder.
+
+    ``failure`` is ``None`` when the graph was built, else the reason the
+    loop cannot be modeled at statement level.
+    """
+
+    __slots__ = ("loop", "shape", "statements", "edges", "serial",
+                 "phi_groups", "failure")
+
+    def __init__(self, loop, shape=None, statements=(), edges=(),
+                 serial=(), phi_groups=(), failure=None):
+        self.loop = loop
+        self.shape = shape
+        self.statements = list(statements)
+        self.edges = [set(successors) for successors in edges]
+        self.serial = set(serial)
+        self.phi_groups = list(phi_groups)  # (phi, reg_class, member set)
+        self.failure = failure
+
+    def sccs(self):
+        """Strongly connected components, deterministic (Tarjan, ordered
+        neighbor expansion), each sorted by statement index."""
+        count = len(self.statements)
+        index = [None] * count
+        low = [0] * count
+        onstack = [False] * count
+        stack = []
+        result = []
+        counter = 0
+        for root in range(count):
+            if index[root] is not None:
+                continue
+            index[root] = low[root] = counter
+            counter += 1
+            stack.append(root)
+            onstack[root] = True
+            work = [(root, iter(sorted(self.edges[root])))]
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for succ in successors:
+                    if index[succ] is None:
+                        index[succ] = low[succ] = counter
+                        counter += 1
+                        stack.append(succ)
+                        onstack[succ] = True
+                        work.append((succ, iter(sorted(self.edges[succ]))))
+                        advanced = True
+                        break
+                    if onstack[succ]:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        onstack[member] = False
+                        component.append(member)
+                        if member == node:
+                            break
+                    result.append(sorted(component))
+        result.sort(key=lambda component: component[0])
+        return result
+
+    def fission_groups(self):
+        """Partition into distributable groups: a topological order of the
+        SCC condensation with consecutive same-kind (serial / parallel)
+        components merged. Returns ``[(sorted_statement_indices,
+        is_serial)]`` in execution order, or ``[]`` when the loop is not
+        worth distributing (fewer than two groups)."""
+        if self.failure is not None or not self.statements:
+            return []
+        components = self.sccs()
+        if len(components) < 2:
+            return []
+        component_of = {}
+        for ci, component in enumerate(components):
+            for member in component:
+                component_of[member] = ci
+        successors = [set() for _ in components]
+        indegree = [0] * len(components)
+        for i in range(len(self.statements)):
+            for j in self.edges[i]:
+                a, b = component_of[i], component_of[j]
+                if a != b and b not in successors[a]:
+                    successors[a].add(b)
+                    indegree[b] += 1
+        # Kahn with a min-index priority: deterministic, and valid even
+        # when components interleave in program order.
+        ready = sorted(
+            (ci for ci in range(len(components)) if indegree[ci] == 0),
+            key=lambda ci: components[ci][0])
+        order = []
+        while ready:
+            ci = ready.pop(0)
+            order.append(ci)
+            changed = False
+            for succ in successors[ci]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+                    changed = True
+            if changed:
+                ready.sort(key=lambda ci: components[ci][0])
+        if len(order) != len(components):  # defensive: cycle across SCCs
+            return []
+        groups = []
+        for ci in order:
+            component = components[ci]
+            is_serial = any(member in self.serial for member in component)
+            if groups and groups[-1][1] == is_serial:
+                groups[-1][0].extend(component)
+            else:
+                groups.append((list(component), is_serial))
+        return [(sorted(members), is_serial) for members, is_serial in groups]
+
+    def describe(self):
+        if self.failure is not None:
+            return f"no statement graph: {self.failure}"
+        kinds = ["serial" if i in self.serial else "parallel"
+                 for i in range(len(self.statements))]
+        return (f"{len(self.statements)} statements "
+                f"({kinds.count('serial')} serial, "
+                f"{kinds.count('parallel')} parallel)")
 
 
 # -- module driver ---------------------------------------------------------------

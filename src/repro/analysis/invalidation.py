@@ -1,0 +1,61 @@
+"""Snapshot-analysis invalidation registry.
+
+:class:`~repro.analysis.cfg.CFG` and
+:class:`~repro.analysis.loop_info.LoopInfo` are immutable snapshots of a
+function's control flow. Historically nothing stopped a caller from keeping
+one across a CFG-mutating pass and silently reading blocks that no longer
+exist. Every snapshot now registers itself here on construction; the pass
+manager calls :func:`invalidate_module_analyses` between pipeline stages,
+after which any query against a stale snapshot raises
+:class:`~repro.errors.StaleAnalysisError`.
+
+The registry holds weak references only — snapshots die with their owners
+and invalidation is O(live snapshots), which in practice is a handful.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from ..errors import StaleAnalysisError
+
+# Live analysis snapshots. Each member has a `function` attribute (whose
+# owning module identifies it for scoped invalidation) and a `_stale` flag.
+_LIVE_SNAPSHOTS = weakref.WeakSet()
+
+
+def register_snapshot(analysis):
+    """Track a newly built analysis snapshot for later invalidation."""
+    _LIVE_SNAPSHOTS.add(analysis)
+
+
+def invalidate_module_analyses(module=None, function=None):
+    """Mark live CFG/LoopInfo snapshots stale.
+
+    With ``function`` set, only snapshots of that function are invalidated;
+    with ``module`` set, snapshots of any function belonging to it; with
+    neither, every live snapshot. Returns the number invalidated.
+    """
+    count = 0
+    for analysis in list(_LIVE_SNAPSHOTS):
+        if analysis._stale:
+            continue
+        owner = getattr(analysis, "function", None)
+        if function is not None and owner is not function:
+            continue
+        if module is not None and getattr(owner, "module", None) is not module:
+            continue
+        analysis._stale = True
+        count += 1
+    return count
+
+
+def check_fresh(analysis, kind):
+    """Raise :class:`StaleAnalysisError` if ``analysis`` was invalidated."""
+    if analysis._stale:
+        owner = getattr(analysis, "function", None)
+        name = getattr(owner, "name", "<unknown>")
+        raise StaleAnalysisError(
+            f"stale {kind} snapshot for function '{name}' queried after a "
+            f"CFG-mutating pass; rebuild the analysis instead of reusing it"
+        )

@@ -47,6 +47,10 @@ LP203 = declare(
 LP204 = declare(
     "LP204", INFO, "loop-carried memory dependence could not be resolved "
     "statically (verdict UNKNOWN)")
+LP205 = declare(
+    "LP205", INFO, "loop excluded from the static census: multiple latches "
+    "prevent unique instrumentation (loop-simplify never merges backedges, "
+    "so the shape is terminal)")
 
 #: Cap per-checker findings of one kind so a badly broken module still
 #: produces a readable report.
@@ -206,6 +210,12 @@ def check_loop_shapes(context, emit):
             if not loop.exit_edges(cfg):
                 emit(LP203, function.name, header_index,
                      f"loop {loop.loop_id} has no exit edge")
+            static = context.static_info.loops.get(loop.loop_id)
+            if (static is not None and not static.trackable
+                    and static.untrackable_reason == "multi-latch"):
+                emit(LP205, function.name, header_index,
+                     f"loop {loop.loop_id} dropped from the census: "
+                     f"{len(loop.latches)} latches")
 
 
 @checker("memdep-unknown")

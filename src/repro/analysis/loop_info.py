@@ -15,6 +15,79 @@ from __future__ import annotations
 
 from .cfg import CFG
 from .dominators import DominatorTree
+from .invalidation import check_fresh, register_snapshot
+
+# -- provenance ---------------------------------------------------------------
+#
+# The ICC opt-report taxonomy (see SNIPPETS.md): every loop the transform
+# passes create or rewrite records where it came from, so figures can fold
+# DISTR/PEEL/FUSED descendants back onto their source loop. Loops with no
+# recorded origin are MAIN (written by the programmer, never restructured).
+
+ORIGIN_MAIN = "MAIN"
+ORIGIN_DISTR = "DISTR"
+ORIGIN_FUSED = "FUSED"
+ORIGIN_PEEL = "PEEL"
+ORIGIN_REMAINDER = "REMAINDER"
+ORIGIN_TAGS = (
+    ORIGIN_MAIN, ORIGIN_DISTR, ORIGIN_FUSED, ORIGIN_PEEL, ORIGIN_REMAINDER,
+)
+
+
+class LoopOrigin:
+    """Provenance of one loop: how it was produced and from which loop."""
+
+    __slots__ = ("tag", "source", "note")
+
+    def __init__(self, tag, source, note=""):
+        if tag not in ORIGIN_TAGS:
+            raise ValueError(f"unknown loop origin tag {tag!r}")
+        self.tag = tag
+        self.source = source  # loop_id of the loop this one derives from
+        self.note = note
+
+    def to_dict(self):
+        return {"tag": self.tag, "source": self.source, "note": self.note}
+
+    def describe(self):
+        suffix = f" ({self.note})" if self.note else ""
+        return f"{self.tag} <- {self.source}{suffix}"
+
+    def __repr__(self):
+        return f"<LoopOrigin {self.describe()}>"
+
+
+def record_loop_origin(module, loop_id, tag, source, note=""):
+    """Attach provenance for ``loop_id`` on its module (latest write wins)."""
+    origin = LoopOrigin(tag, source, note)
+    module.loop_origins[loop_id] = origin
+    return origin
+
+
+def loop_origin_of(module, loop_id):
+    """The recorded origin of ``loop_id``, defaulting to MAIN."""
+    origin = getattr(module, "loop_origins", {}).get(loop_id)
+    if origin is None:
+        return LoopOrigin(ORIGIN_MAIN, loop_id)
+    return origin
+
+
+def loop_origin_root(module, loop_id):
+    """Follow the origin chain back to the source loop's id.
+
+    A DISTR loop distributed out of a PEEL product resolves to the original
+    MAIN loop, which is the id figures group descendants under.
+    """
+    seen = {loop_id}
+    current = loop_id
+    while True:
+        origin = getattr(module, "loop_origins", {}).get(current)
+        if origin is None or origin.source == current:
+            return current
+        if origin.source in seen:  # defensive: malformed cycle
+            return current
+        seen.add(origin.source)
+        current = origin.source
 
 
 class Loop:
@@ -27,12 +100,25 @@ class Loop:
         self.latches = []
         self.parent = None
         self.subloops = []
+        self._info = None  # owning LoopInfo snapshot (None if hand-built)
+
+    def _check_fresh(self):
+        if self._info is not None and self._info._stale:
+            check_fresh(self._info, "LoopInfo")
 
     # -- identity ---------------------------------------------------------------
 
     @property
     def loop_id(self):
         return f"{self.function.name}.{self.header.name}"
+
+    @property
+    def origin(self):
+        """Provenance of this loop (MAIN unless a transform produced it)."""
+        module = getattr(self.function, "module", None)
+        if module is None:
+            return LoopOrigin(ORIGIN_MAIN, self.loop_id)
+        return loop_origin_of(module, self.loop_id)
 
     @property
     def depth(self):
@@ -63,6 +149,7 @@ class Loop:
     def preheader(self, cfg):
         """The unique out-of-loop predecessor of the header with a single
         successor, or ``None`` if the loop is not in simplified form."""
+        self._check_fresh()
         outside = [
             pred for pred in cfg.predecessors(self.header)
             if pred not in self.blocks
@@ -75,12 +162,14 @@ class Loop:
         return candidate
 
     def single_latch(self):
+        self._check_fresh()
         return self.latches[0] if len(self.latches) == 1 else None
 
     def blocks_in_function_order(self):
         """The loop body in function block order — ``self.blocks`` is a set,
         so iterating it directly gives a run-to-run varying order; every
         consumer whose output shape depends on it must use this instead."""
+        self._check_fresh()
         return [b for b in self.function.blocks if b in self.blocks]
 
     def exiting_blocks(self, cfg):
@@ -126,11 +215,18 @@ class LoopInfo:
 
     def __init__(self, function, cfg=None, domtree=None):
         self.function = function
+        self._stale = False
+        register_snapshot(self)
         self.cfg = cfg if cfg is not None else CFG(function)
         self.domtree = domtree if domtree is not None else DominatorTree(function, self.cfg)
         self.top_level = []
         self._loop_of_block = {}
         self._discover()
+
+    def invalidate(self):
+        """Mark this snapshot (and its CFG) stale; further queries raise."""
+        self._stale = True
+        self.cfg.invalidate()
 
     def _discover(self):
         # 1. find back edges and group them by header.
@@ -144,6 +240,7 @@ class LoopInfo:
         loops = {}
         for header, latches in back_edges.items():
             loop = Loop(header, self.function)
+            loop._info = self
             loop.latches = list(latches)
             worklist = [l for l in latches if l is not header]
             while worklist:
@@ -187,14 +284,20 @@ class LoopInfo:
 
     def loop_for_block(self, block):
         """Innermost loop containing ``block`` (or ``None``)."""
+        if self._stale:
+            check_fresh(self, "LoopInfo")
         return self._loop_of_block.get(block)
 
     def all_loops(self):
         """Every loop, outer loops before their subloops."""
+        if self._stale:
+            check_fresh(self, "LoopInfo")
         return list(self.all_loops_list)
 
     def loops_in_postorder(self):
         """Innermost loops first — the order cost propagation wants."""
+        if self._stale:
+            check_fresh(self, "LoopInfo")
         result = []
 
         def visit(loop):

@@ -14,6 +14,11 @@ Commands:
   profiles (a FILE or the bench suites) and print the agreement table;
   exits non-zero if any statically-proved DOALL loop conflicted
   dynamically.
+* ``transform``       — before/after view of the structural-transform
+  pipeline (loop fission/peeling/fusion) on a FILE or the bench suites:
+  the "parallelism unlocked by transformation" figure, per-loop joins via
+  loop provenance (``--loops``), and optional dynamic re-verification of
+  every post-transform DOALL proof (``--crosscheck``).
 * ``evaluate FILE``   — evaluate one or more configurations (``--config``,
   repeatable; defaults to the paper's 14).
 * ``diagnose FILE``   — per-loop relaxation ladder: the first configuration
@@ -441,6 +446,57 @@ def _cmd_lint(args, out):
     return exit_code
 
 
+def _cmd_transform(args, out):
+    """Before/after view of the structural-transform pipeline
+    (fission/peeling/fusion): which loops gained a DOALL proof."""
+    from .reporting.transform_report import (
+        TransformReport,
+        format_transform_figure,
+        transform_program,
+        transform_suites,
+    )
+
+    if args.file:
+        with open(args.file) as handle:
+            source = handle.read()
+        rows, log = transform_program(source, args.file)
+        report = TransformReport(rows, log)
+        sources = [(args.file, source)]
+    else:
+        from .bench.suites import ALL_SUITES, suite_programs
+
+        suites = [args.suite] if args.suite else None
+        report = transform_suites(suites=suites)
+        sources = [
+            (program.full_name, program.source)
+            for suite in (suites if suites else list(ALL_SUITES))
+            for program in suite_programs(suite)
+        ]
+    print(format_transform_figure(report, verbose=args.loops), file=out)
+    if not args.crosscheck:
+        return 0
+
+    # Re-verification: profile the *transformed* programs and join their
+    # static verdicts against observed conflicts. Any post-transform
+    # STATIC_DOALL with a dynamic conflict is a soundness bug in a
+    # transform pass (or in the dependence engine it leaned on).
+    from .reporting.crosscheck import (
+        CrosscheckReport,
+        crosscheck_program,
+        format_crosscheck,
+    )
+
+    rows = []
+    for name, source in sources:
+        lp = Loopapalooza(source, name=name, fuel=args.fuel, transform=True)
+        rows.extend(crosscheck_program(lp, name))
+    crosscheck = CrosscheckReport(rows)
+    print(file=out)
+    print("post-transform re-verification", file=out)
+    print(format_crosscheck(crosscheck), file=out)
+    return 1 if crosscheck.unsound else 0
+
+
 def _cmd_crosscheck(args, out):
     from .reporting.crosscheck import (
         CrosscheckReport,
@@ -492,6 +548,7 @@ def build_parser():
         ("calltls", _cmd_calltls, True),
         ("lint", _cmd_lint, False),
         ("crosscheck", _cmd_crosscheck, False),
+        ("transform", _cmd_transform, False),
         ("figures", _cmd_figures, False),
         ("bench", _cmd_bench, False),
         ("vec-report", _cmd_vec_report, False),
@@ -513,6 +570,25 @@ def build_parser():
             sub.add_argument(
                 "--errors-only", action="store_true",
                 help="show only error-severity diagnostics",
+            )
+        if name == "transform":
+            sub.add_argument("file", nargs="?", default=None,
+                             help="MiniC source file (default: all bench "
+                                  "suites)")
+            sub.add_argument(
+                "--suite", default=None,
+                help="restrict the bench comparison to one suite",
+            )
+            sub.add_argument(
+                "--loops", action="store_true",
+                help="print the per-loop before/after join, not just the "
+                     "figure",
+            )
+            sub.add_argument(
+                "--crosscheck", action="store_true",
+                help="also profile the transformed programs and re-verify "
+                     "every post-transform STATIC_DOALL against observed "
+                     "conflicts; exits non-zero on any unsound verdict",
             )
         if name == "crosscheck":
             sub.add_argument("file", nargs="?", default=None,

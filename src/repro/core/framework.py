@@ -38,7 +38,8 @@ class Loopapalooza:
     """
 
     def __init__(self, source, name="program", fuel=200_000_000,
-                 verify_each=False, inline=False, store=None, backend=None):
+                 verify_each=False, inline=False, store=None, backend=None,
+                 transform=None):
         self.name = name
         self.fuel = fuel
         self.source = source
@@ -47,8 +48,16 @@ class Loopapalooza:
         #: Interpreter backend ("vec" / "jit" / "closure"); ``None`` follows the
         #: ``REPRO_NO_JIT`` environment contract.
         self.backend = backend
+        if transform is None:
+            from ..passes.pass_manager import transform_enabled
+
+            transform = transform_enabled()
+        #: Structural-transform pipeline flag (fission/peel/fusion); part of
+        #: the profile-store key because it changes the loop population.
+        self.transform = bool(transform)
         self.module = compile_source(
-            source, module_name=name, verify_each=verify_each, inline=inline
+            source, module_name=name, verify_each=verify_each, inline=inline,
+            transform=self.transform,
         )
         self.static_info = ModuleStaticInfo(self.module)
         self.instrumentation = build_instrumentation(self.static_info)
@@ -80,13 +89,15 @@ class Loopapalooza:
                 self.store.store(
                     self.source, self.fuel, self._profile, self.static_info,
                     self._output, inline=self.inline,
+                    transform=self.transform,
                 )
         return self._profile
 
     def _load_cached_profile(self):
         from ..core.static_info import loop_static_to_dict
 
-        cached = self.store.load(self.source, self.fuel, inline=self.inline)
+        cached = self.store.load(self.source, self.fuel, inline=self.inline,
+                                 transform=self.transform)
         if cached is None:
             return
         mine = {

@@ -44,6 +44,7 @@ class LoopStatic:
     __slots__ = (
         "loop_id", "function_name", "depth", "phi_classes",
         "reduction_kinds", "call_classes", "trackable", "trip_count_hint",
+        "untrackable_reason",
     )
 
     def __init__(self, loop_id, function_name, depth):
@@ -55,6 +56,7 @@ class LoopStatic:
         self.call_classes = set()  # CALL_* present in the loop body
         self.trackable = True
         self.trip_count_hint = None
+        self.untrackable_reason = None  # "multi-latch" | "no-preheader"
 
     def phis_of_class(self, wanted):
         return [key for key, cls in self.phi_classes.items() if cls == wanted]
@@ -97,6 +99,7 @@ def loop_static_to_dict(static):
         "call_classes": sorted(static.call_classes),
         "trackable": static.trackable,
         "trip_count_hint": static.trip_count_hint,
+        "untrackable_reason": static.untrackable_reason,
     }
 
 
@@ -108,6 +111,9 @@ def loop_static_from_dict(data):
     static.call_classes = set(data["call_classes"])
     static.trackable = data["trackable"]
     static.trip_count_hint = data["trip_count_hint"]
+    # Absent in entries written before the field existed; those entries
+    # miss on the schema version anyway, but stay lenient.
+    static.untrackable_reason = data.get("untrackable_reason")
     return static
 
 
@@ -215,8 +221,16 @@ class ModuleStaticInfo:
         for loop in loop_info.all_loops():
             static = LoopStatic(loop.loop_id, function.name, loop.depth)
             self.loops[loop.loop_id] = static
-            if loop.preheader(loop_info.cfg) is None or loop.single_latch() is None:
+            if loop.single_latch() is None:
+                # loop-simplify never merges backedges, so this shape is
+                # terminal — report it distinctly (LP205) rather than as
+                # a generic unsimplified loop.
                 static.trackable = False
+                static.untrackable_reason = "multi-latch"
+                continue
+            if loop.preheader(loop_info.cfg) is None:
+                static.trackable = False
+                static.untrackable_reason = "no-preheader"
                 continue
             static.trip_count_hint = scev.trip_count(loop)
             for position, phi, reg_class, kind in classify_header_phis(

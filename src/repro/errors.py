@@ -75,6 +75,16 @@ class FuelExhausted(InterpError):
         super().__init__(f"dynamic instruction budget of {budget} exhausted")
 
 
+class StaleAnalysisError(ReproError):
+    """A CFG/LoopInfo snapshot was queried after the IR it describes changed.
+
+    Analyses are immutable snapshots; CFG-mutating passes must rebuild them.
+    The pass manager invalidates every live snapshot between pipeline stages,
+    so reusing one across a stage boundary raises instead of silently
+    answering from blocks that may no longer exist.
+    """
+
+
 class ConfigError(ReproError):
     """Invalid Loopapalooza configuration (unknown flag, illegal combination)."""
 

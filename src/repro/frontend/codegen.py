@@ -372,13 +372,15 @@ class CodeGenerator:
 
 
 def compile_source(source, module_name="program", optimize=True,
-                   verify_each=False, inline=False):
+                   verify_each=False, inline=False, transform=None):
     """Compile MiniC source to an IR module.
 
     With ``optimize`` (the default) the standard pass pipeline runs, leaving
     the module in the canonical form the Loopapalooza compile-time component
     expects. ``inline`` additionally runs the (non-default) function inliner
     first — used by the inlining ablation, not by the study itself.
+    ``transform`` opts the pipeline into the structural loop stage
+    (fission/peel/fusion); ``None`` defers to ``REPRO_TRANSFORM``.
     """
     program = parse(source)
     sema_result = analyze(program)
@@ -394,5 +396,6 @@ def compile_source(source, module_name="program", optimize=True,
     if optimize:
         from ..passes.pass_manager import run_standard_pipeline
 
-        run_standard_pipeline(module, verify_each=verify_each)
+        run_standard_pipeline(module, verify_each=verify_each,
+                              transform=transform)
     return module

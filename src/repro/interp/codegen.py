@@ -171,11 +171,22 @@ def _canonical_plan(function, plan):
 def jit_cache_key(function, plan, instrumented, vectorize=False):
     """Content hash identifying one generated source: codegen version,
     intrinsic cost table, variant, tier (scalar vs vector, with the
-    vector template version), instrumentation plan, and the printed IR of
-    the function."""
+    vector template version), pipeline fingerprint, instrumentation plan,
+    and the printed IR of the function.
+
+    The pipeline fingerprint matters even though the IR is hashed: two
+    pipeline configurations can print byte-identical IR for one function
+    while other compiled artifacts keyed alongside it (vector plans,
+    static metadata) differ — and a pipeline version bump must invalidate
+    everything it ever produced. Functions outside any module (unit-test
+    fixtures) hash the ``unpipelined`` token."""
+    module = getattr(function, "module", None)
+    fingerprint = getattr(module, "pipeline_fingerprint", None) \
+        if module is not None else None
     tier = f"v{VEC_VERSION}" if vectorize else "nv"
     tag = (
         f"{CODEGEN_VERSION}|{int(bool(instrumented))}|{tier}|"
+        f"{fingerprint or 'unpipelined'}|"
         f"{_intrinsic_signature()}|"
     )
     plan_text = _canonical_plan(function, plan) if instrumented else "none"

@@ -95,6 +95,7 @@ _MAX_VEC_TRIP = 1 << 21
 
 BAIL_NUMPY = "numpy-unavailable"
 BAIL_INNER = "contains-inner-loop"
+BAIL_MULTI_LATCH = "multiple-latches"
 BAIL_NOT_SIMPLIFIED = "not-simplified"
 BAIL_HEADER = "complex-header"
 BAIL_CFG = "control-flow-in-body"
@@ -111,9 +112,10 @@ BAIL_ALIAS = "intra-iteration-alias"
 BAIL_VERDICT = "not-proved-doall"
 
 ALL_BAILOUTS = (
-    BAIL_NUMPY, BAIL_INNER, BAIL_NOT_SIMPLIFIED, BAIL_HEADER, BAIL_CFG,
-    BAIL_CALL, BAIL_OP, BAIL_INSTR, BAIL_HOOKS, BAIL_TRIP, BAIL_TRIP_WRAP,
-    BAIL_TRIP_SIZE, BAIL_IV, BAIL_ACCESS, BAIL_ALIAS, BAIL_VERDICT,
+    BAIL_NUMPY, BAIL_INNER, BAIL_MULTI_LATCH, BAIL_NOT_SIMPLIFIED,
+    BAIL_HEADER, BAIL_CFG, BAIL_CALL, BAIL_OP, BAIL_INSTR, BAIL_HOOKS,
+    BAIL_TRIP, BAIL_TRIP_WRAP, BAIL_TRIP_SIZE, BAIL_IV, BAIL_ACCESS,
+    BAIL_ALIAS, BAIL_VERDICT,
 )
 
 _ICMP = {"eq": "==", "ne": "!=", "slt": "<", "sle": "<=", "sgt": ">", "sge": ">="}
@@ -1143,6 +1145,11 @@ def _plan_loop(loop, cfg, scev, dep, plan, instrumented):
         return None, BAIL_INNER
     preheader = loop.preheader(cfg)
     latch = loop.single_latch()
+    if latch is None and loop.latches:
+        # Distinct from "not simplified": loop-simplify cannot merge
+        # multiple backedges, so this is a terminal classification the
+        # census must report (not silently fold into a generic bail).
+        return None, BAIL_MULTI_LATCH
     if preheader is None or latch is None \
             or not isinstance(preheader.terminator, Br):
         return None, BAIL_NOT_SIMPLIFIED

@@ -19,6 +19,15 @@ class Module:
         self.name = name
         self.globals = {}
         self.functions = {}
+        # Loop provenance (loop_id -> LoopOrigin) and a human-readable log of
+        # structural loop transformations, populated by the transform passes.
+        # Loops never transformed have no entry and default to a MAIN origin.
+        self.loop_origins = {}
+        self.transform_log = []
+        # Stamped by run_standard_pipeline; folded into code-cache keys so
+        # entries produced under different pipeline configurations never
+        # collide even when the final IR prints identically.
+        self.pipeline_fingerprint = None
 
     # -- globals ---------------------------------------------------------------
 

@@ -18,14 +18,27 @@ from .loop_simplify import (
 )
 from .gvn import run_gvn, run_gvn_module
 from .licm import run_licm, run_licm_module
+from .loop_fission import run_loop_fission, run_loop_fission_module
+from .loop_fusion import run_loop_fusion, run_loop_fusion_module
+from .loop_peel import run_loop_peel, run_loop_peel_module
 from .mem2reg import run_mem2reg, run_mem2reg_module
-from .pass_manager import PipelineResult, run_standard_pipeline
+from .pass_manager import (
+    PIPELINE_VERSION,
+    PipelineResult,
+    pipeline_fingerprint,
+    run_standard_pipeline,
+    run_transform_pipeline,
+    transform_enabled,
+)
 from .simplify_cfg import run_simplify_cfg, run_simplify_cfg_module
 
 __all__ = [
     "IndVarsResult",
+    "PIPELINE_VERSION",
     "PipelineResult",
     "is_loop_simplified",
+    "pipeline_fingerprint",
+    "transform_enabled",
     "run_constfold",
     "run_constfold_module",
     "run_dce",
@@ -38,6 +51,12 @@ __all__ = [
     "run_gvn_module",
     "run_licm",
     "run_licm_module",
+    "run_loop_fission",
+    "run_loop_fission_module",
+    "run_loop_fusion",
+    "run_loop_fusion_module",
+    "run_loop_peel",
+    "run_loop_peel_module",
     "run_loop_simplify",
     "run_loop_simplify_module",
     "run_mem2reg",
@@ -45,4 +64,5 @@ __all__ = [
     "run_simplify_cfg",
     "run_simplify_cfg_module",
     "run_standard_pipeline",
+    "run_transform_pipeline",
 ]

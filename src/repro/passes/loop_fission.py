@@ -1,0 +1,418 @@
+"""Loop fission (distribution) guided by the statement dependence graph.
+
+A loop whose body mixes an order-carrying component (a serial chain, an
+unproven-independence store) with independently-parallel statements is
+split: the SCC condensation of its statement-level dependence graph
+(:meth:`~repro.analysis.depend.DependenceAnalysis.statement_graph`) is
+partitioned into groups, and each group becomes its own loop running the
+full iteration space. The serial SCC is quarantined into a narrow loop
+while the remainder becomes provably DOALL — the paper's limit study then
+*measures* the parallelism this unlocks rather than assuming it.
+
+Mechanics: the original loop keeps its header (and therefore its
+``loop_id`` — profiles and figures join before/after on it) and hosts the
+*last* group; every earlier group is cloned into a fresh counted loop
+chained between the preheader and the original header. Each clone carries
+the backward slice of its statements; values crossing group boundaries are
+*replicated* (pure arithmetic, address computations, and loads proven
+disjoint from every write of the loop) rather than communicated. Loops
+where a slice would need a store, a possibly-overlapping load, or another
+group's irreducible register recurrence are left alone.
+
+Legality notes:
+
+* calls and possibly-trapping divisions fail the statement graph outright,
+  so no observable side effect is ever reordered;
+* every memory pair that is not provably independent across iterations
+  keeps its statements in one group (bidirectional edge), and
+  same-iteration ordering between groups follows program order, so the
+  memory state after the loop sequence equals the original;
+* only header phis can be live out of a canonical loop; each one stays in
+  the group that computes it, and outside uses are rewritten to the copy
+  that survives.
+
+Provenance: clones are tagged ``DISTR`` (ICC's opt-report taxonomy, see
+SNIPPETS.md) with the source loop id; the host keeps its id and is tagged
+``DISTR`` pointing at itself so reporting can tell it was restructured.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..analysis.depend import DependenceAnalysis, module_memory_summaries
+from ..analysis.invalidation import invalidate_module_analyses
+from ..analysis.loop_info import (
+    ORIGIN_DISTR,
+    LoopInfo,
+    record_loop_origin,
+)
+from ..analysis.scev import ScalarEvolution
+from ..ir.instructions import CondBr, Br, Load, Phi, Store
+from .inline import _clone_instruction
+
+# Safety valve: bounds the rescan loop even if a transformed loop were
+# (wrongly) considered splittable again and again.
+_MAX_FISSIONS_PER_FUNCTION = 64
+
+_FISSION_TAG = re.compile(r"\.fiss(\d+)g\d+")
+
+
+def _next_fission_tag(function):
+    """Smallest unused ``fissN`` tag in ``function``. Derived from block
+    names rather than a counter so compiling one source twice yields
+    identically-named clones (loop ids feed cache keys and profiles)."""
+    used = 0
+    for block in function.blocks:
+        for match in _FISSION_TAG.finditer(block.name):
+            used = max(used, int(match.group(1)))
+    return f"fiss{used + 1}"
+
+
+def run_loop_fission_module(module, summaries=None):
+    """Distribute every profitable loop in ``module``; returns the count."""
+    if summaries is None:
+        summaries = module_memory_summaries(module)
+    applied = 0
+    for function in module.defined_functions():
+        applied += run_loop_fission(function, summaries)
+    return applied
+
+
+def run_loop_fission(function, summaries=None):
+    """Distribute profitable loops of one function; returns the count."""
+    module = function.module
+    if summaries is None and module is not None:
+        summaries = module_memory_summaries(module)
+    applied = 0
+    while applied < _MAX_FISSIONS_PER_FUNCTION:
+        loop_info = LoopInfo(function)
+        scev = ScalarEvolution(function, loop_info)
+        dep = DependenceAnalysis(function, loop_info, scev, summaries)
+        changed = False
+        for loop in loop_info.loops_in_postorder():
+            if _fission_loop(module, function, dep, loop):
+                applied += 1
+                changed = True
+                invalidate_module_analyses(function=function)
+                break  # analyses are stale; rescan from scratch
+        if not changed:
+            break
+    return applied
+
+
+def _merge_storeless_groups(groups, statements):
+    """Fold groups that carry no store (and are not serial) into a
+    neighbouring group. A pure-scalar component gets *replicated* into its
+    consumers by the slicer anyway, so giving it a loop of its own would
+    only compute dead values — and, worse, recreate a splittable
+    serial/parallel mix in every clone, so fission would re-trigger on its
+    own output until the safety valve tripped."""
+    merged = []
+    pending = []  # leading store-less members waiting for a real group
+    for members, is_serial in groups:
+        has_store = any(isinstance(statements[i], Store) for i in members)
+        if not is_serial and not has_store:
+            if merged:
+                prev_members, prev_serial = merged[-1]
+                merged[-1] = (sorted(prev_members + list(members)),
+                              prev_serial)
+            else:
+                pending.extend(members)
+            continue
+        if pending:
+            members = sorted(pending + list(members))
+            pending = []
+        merged.append((list(members), is_serial))
+    if pending:
+        if not merged:
+            return []
+        prev_members, prev_serial = merged[-1]
+        merged[-1] = (sorted(prev_members + pending), prev_serial)
+    return merged
+
+
+def _load_pullable(dep, loop, statements, group_of, load_index, gi, trip):
+    """May the load at ``load_index`` be re-executed inside group ``gi``'s
+    loop and still read the value it read in place?
+
+    When group ``gi`` runs, every earlier group has completed *all* its
+    iterations and later groups none — so the memory image at the copy's
+    iteration ``i`` differs from the original read point. The read is
+    still exact when, for every store of the loop, either the store never
+    touches the load's address, or it is the same-iteration producer the
+    load always saw (same affine subscript, written earlier in program
+    order by a group that is not later than ``gi``)."""
+    load = statements[load_index]
+    access = dep._statement_access(loop, load)
+    if access is None:
+        return True  # iteration-private storage
+    fp_load = dep._footprint(access.pointer, loop, access.block)
+    for store_index, statement in enumerate(statements):
+        if not isinstance(statement, Store):
+            continue
+        write = dep._statement_access(loop, statement)
+        if write is None:
+            continue
+        alias = dep._alias(access, write)
+        if alias == "no":
+            continue
+        if alias == "may":
+            return False
+        fp_store = dep._footprint(write.pointer, loop, write.block)
+        if fp_load is None or fp_store is None:
+            return False
+        if not (fp_load.span_lo == fp_load.span_hi == 0
+                and fp_store.span_lo == fp_store.span_hi == 0):
+            return False
+        if fp_load.terms != fp_store.terms \
+                or fp_load.stride != fp_store.stride:
+            return False
+        delta = fp_load.const - fp_store.const
+        stride = fp_load.stride
+        if stride == 0:
+            if delta == 0:
+                return False  # every store iteration hits the address
+            continue
+        if delta % stride != 0:
+            continue  # subscripts never meet
+        k = delta // stride
+        if k == 0:
+            # Same-iteration producer. Visible originally iff it precedes
+            # the load; visible to the copy iff its group already ran (or
+            # shares the copy's loop, where statement order is preserved).
+            if store_index > load_index and group_of[store_index] < gi:
+                return False
+            continue
+        if trip is not None and abs(k) >= trip:
+            continue  # conflicting iteration is outside the trip space
+        return False  # cross-iteration producer: order would change
+    return True
+
+
+def _fission_loop(module, function, dep, loop):
+    """Attempt to distribute one loop. True when the IR was restructured."""
+    graph = dep.statement_graph(loop)
+    if graph.failure is not None:
+        return False
+    shape = graph.shape
+    statements = graph.statements
+    groups = _merge_storeless_groups(graph.fission_groups(), statements)
+    if len(groups) < 2:
+        return False
+    serial_flags = [is_serial for _, is_serial in groups]
+    if not any(serial_flags) or all(serial_flags):
+        return False  # nothing to quarantine (or nothing parallel to free)
+
+    index_of = {id(s): i for i, s in enumerate(statements)}
+    header, latch = shape.header, shape.latch
+    preheader, compare = shape.preheader, shape.compare
+    total = len(groups)
+    group_of = {}
+    for gi, (members, _) in enumerate(groups):
+        for i in members:
+            group_of[i] = gi
+    # Defensive: every dependence edge must point into the same or a later
+    # group, or the partition would reorder dependent statements.
+    for i in range(len(statements)):
+        for j in graph.edges[i]:
+            if group_of[i] > group_of[j]:
+                return False
+
+    # -- phi ownership: each irreducible recurrence lives in one group ------
+    owner = {}       # id(phi) -> owning group index
+    phi_class = {}   # id(phi) -> REG_* (only non-computable/reduction phis)
+    for phi, reg_class, members in graph.phi_groups:
+        phi_class[id(phi)] = reg_class
+        if members:
+            owning = {group_of[i] for i in members}
+            if len(owning) != 1:
+                return False  # clique split across groups (cannot happen)
+            owner[id(phi)] = owning.pop()
+        else:
+            owner[id(phi)] = total - 1  # unused recurrence stays in the host
+
+    header_phis = list(header.phis())
+    trip = dep._trip(loop)
+    write_accesses = []
+    for statement in statements:
+        if isinstance(statement, Store):
+            access = dep._statement_access(loop, statement)
+            if access is not None:
+                write_accesses.append(access)
+
+    def close_slice(roots, extra_phis=()):
+        """Backward slice of ``roots``: the statement set and header phis a
+        group's loop must materialize."""
+        keep = set(roots)
+        phis_needed = {}
+        work = list(keep)
+
+        def need_phi(phi):
+            if id(phi) in phis_needed:
+                return
+            phis_needed[id(phi)] = phi
+            latch_value = phi.incoming_for_block(latch)
+            j = index_of.get(id(latch_value))
+            if j is not None and j not in keep:
+                keep.add(j)
+                work.append(j)
+
+        for phi in extra_phis:
+            need_phi(phi)
+        for operand in compare.operands:
+            if isinstance(operand, Phi) and operand.parent is header:
+                need_phi(operand)
+        while work:
+            statement = statements[work.pop()]
+            for operand in statement.operands:
+                j = index_of.get(id(operand))
+                if j is not None:
+                    if j not in keep:
+                        keep.add(j)
+                        work.append(j)
+                elif isinstance(operand, Phi) and operand.parent is header:
+                    need_phi(operand)
+        return keep, phis_needed
+
+    def replicable(i, gi):
+        statement = statements[i]
+        if isinstance(statement, Store):
+            return False
+        if isinstance(statement, Load):
+            if dep.load_duplicable(loop, statement, write_accesses, trip):
+                return True
+            return _load_pullable(dep, loop, statements, group_of, i, gi,
+                                  trip)
+        return True  # pure ops (trapping divisions failed the graph build)
+
+    # -- per-group slices + legality ----------------------------------------
+    slices = []
+    for gi, (members, _) in enumerate(groups):
+        if gi == total - 1:
+            extra = [phi for phi in header_phis
+                     if phi_class.get(id(phi)) is None
+                     or owner[id(phi)] == gi]
+        else:
+            extra = [phi for phi in header_phis
+                     if phi_class.get(id(phi)) is not None
+                     and owner[id(phi)] == gi]
+        keep, phis_needed = close_slice(members, extra)
+        for pid in phis_needed:
+            if pid in phi_class and owner[pid] != gi:
+                return False  # needs another group's recurrence value
+        for i in keep:
+            if group_of[i] != gi and not replicable(i, gi):
+                return False
+        slices.append((keep, phis_needed))
+
+    # -- build the clone loops ----------------------------------------------
+    tag = _next_fission_tag(function)
+    clones = []  # (header clone, bridge, value_map)
+    insert_after = preheader
+    pred_block = preheader  # where each clone's phis receive their init
+    for gi in range(total - 1):
+        keep, phis_needed = slices[gi]
+        suffix = f".{tag}g{gi + 1}"
+        block_map = {}
+        header_clone = function.insert_block_after(
+            insert_after, header.name + suffix)
+        block_map[id(header)] = header_clone
+        insert_after = header_clone
+        for block in shape.chain:
+            clone = function.insert_block_after(
+                insert_after, block.name + suffix)
+            block_map[id(block)] = clone
+            insert_after = clone
+        bridge = function.insert_block_after(
+            insert_after, f"{header.name}{suffix}.next")
+        insert_after = bridge
+
+        value_map = {}
+        phi_clones = []
+        for phi in header_phis:
+            if id(phi) not in phis_needed:
+                continue
+            phi_clone = Phi(phi.type,
+                            f"{phi.name}{suffix}" if phi.name else "")
+            header_clone.append(phi_clone)
+            phi_clone.add_incoming(phi.incoming_for_block(preheader),
+                                   pred_block)
+            value_map[id(phi)] = phi_clone
+            phi_clones.append((phi, phi_clone))
+        compare_clone = _clone_instruction(compare, value_map, block_map)
+        header_clone.append(compare_clone)
+        header_clone.append(CondBr(
+            compare_clone, block_map[id(shape.body_entry)], bridge))
+        for block in shape.chain:
+            clone = block_map[id(block)]
+            for instruction in block.instructions:
+                if instruction.is_terminator:
+                    clone.append(_clone_instruction(
+                        instruction, value_map, block_map))
+                    continue
+                if index_of[id(instruction)] in keep:
+                    copy = _clone_instruction(
+                        instruction, value_map, block_map)
+                    value_map[id(instruction)] = copy
+                    clone.append(copy)
+        latch_clone = block_map[id(latch)]
+        for phi, phi_clone in phi_clones:
+            latch_value = phi.incoming_for_block(latch)
+            phi_clone.add_incoming(
+                value_map.get(id(latch_value), latch_value), latch_clone)
+        bridge.append(Br(header))  # retargeted below for non-final bridges
+        clones.append((header_clone, bridge, value_map))
+        pred_block = bridge
+
+    # -- wire the chain: preheader -> clones... -> original loop ------------
+    preheader.terminator.replace_successor(header, clones[0][0])
+    for gi in range(len(clones) - 1):
+        clones[gi][1].terminator.replace_successor(header, clones[gi + 1][0])
+    last_bridge = clones[-1][1]
+    for phi in header_phis:
+        for index, block in enumerate(phi.incoming_blocks):
+            if block is preheader:
+                phi.incoming_blocks[index] = last_bridge
+
+    # -- prune the host (original) loop down to its own slice ---------------
+    host_keep, host_phis = slices[-1]
+    for block in shape.chain:
+        for instruction in reversed(list(block.instructions)):
+            if instruction.is_terminator:
+                continue
+            if index_of[id(instruction)] not in host_keep:
+                block.remove_instruction(instruction)
+                instruction.drop_all_references()
+    for phi in header_phis:
+        if id(phi) in host_phis:
+            continue
+        replacement = clones[owner[id(phi)]][2][id(phi)]
+        if phi.uses:
+            phi.replace_all_uses_with(replacement)
+        header.remove_instruction(phi)
+        phi.drop_all_references()
+
+    # -- provenance + log ----------------------------------------------------
+    source_id = loop.loop_id
+    new_ids = []
+    if module is not None:
+        for gi, (header_clone, _, _) in enumerate(clones):
+            clone_id = f"{function.name}.{header_clone.name}"
+            serial = "serial" if groups[gi][1] else "parallel"
+            record_loop_origin(module, clone_id, ORIGIN_DISTR, source_id,
+                               note=f"group {gi + 1}/{total} ({serial})")
+            new_ids.append(clone_id)
+        serial = "serial" if groups[-1][1] else "parallel"
+        record_loop_origin(module, source_id, ORIGIN_DISTR, source_id,
+                           note=f"fission host: group {total}/{total} "
+                                f"({serial})")
+        module.transform_log.append({
+            "pass": "fission",
+            "function": function.name,
+            "source": source_id,
+            "loops": new_ids + [source_id],
+            "groups": total,
+            "serial_groups": sum(serial_flags),
+        })
+    return True

@@ -1,0 +1,225 @@
+"""Loop fusion: merge adjacent counted loops that run in lockstep.
+
+Two loops are fused when the second starts right where the first ends (the
+first loop's dedicated exit block is the second loop's preheader and does
+nothing but branch), both have the same *proven constant* trip count, no
+SSA value crosses from the first body into the second, and no memory pair
+would have its order reversed. The fused loop runs body A then body B each
+iteration, keeps loop A's header (and therefore its ``loop_id``), and is
+tagged ``FUSED`` in the module's provenance map; the absorbed loop's id is
+also tagged ``FUSED`` pointing at the survivor so before/after figures can
+fold the pair onto one row.
+
+Order-reversal test: originally *every* iteration of A ran before *any*
+iteration of B, so a dependence from A's iteration ``j`` to B's iteration
+``i`` with ``j > i`` is the only ordering fusion can break (``j <= i``
+pairs keep their order because iteration ``i`` still runs A's part first).
+For same-base affine accesses with equal strides ``s`` that means: bail
+exactly when ``(c_b - c_a) / s`` is an integer ``k`` with ``1 <= k <=
+trip - 1``. Anything may-aliased, non-affine, spanning, or stride-mismatched
+bails conservatively.
+
+By default loops tagged ``DISTR`` are skipped so fusion does not undo what
+fission just separated; ``ignore_origins=True`` lifts that (used by the
+fission→fusion round-trip property test).
+"""
+
+from __future__ import annotations
+
+from ..analysis.depend import DependenceAnalysis, module_memory_summaries
+from ..analysis.invalidation import invalidate_module_analyses
+from ..analysis.loop_info import (
+    ORIGIN_DISTR,
+    ORIGIN_FUSED,
+    LoopInfo,
+    record_loop_origin,
+)
+from ..analysis.scev import ScalarEvolution
+from ..ir.instructions import Br, Instruction, Load, Store
+
+_MAX_FUSIONS_PER_FUNCTION = 64
+
+
+def run_loop_fusion_module(module, summaries=None, ignore_origins=False):
+    """Fuse every legal adjacent pair in ``module``; returns the count."""
+    if summaries is None:
+        summaries = module_memory_summaries(module)
+    applied = 0
+    for function in module.defined_functions():
+        applied += run_loop_fusion(function, summaries,
+                                   ignore_origins=ignore_origins)
+    return applied
+
+
+def run_loop_fusion(function, summaries=None, ignore_origins=False):
+    module = function.module
+    if summaries is None and module is not None:
+        summaries = module_memory_summaries(module)
+    applied = 0
+    while applied < _MAX_FUSIONS_PER_FUNCTION:
+        loop_info = LoopInfo(function)
+        scev = ScalarEvolution(function, loop_info)
+        dep = DependenceAnalysis(function, loop_info, scev, summaries)
+        changed = False
+        for loop in loop_info.loops_in_postorder():
+            if _fuse_with_successor(module, function, loop_info, scev, dep,
+                                    loop, ignore_origins):
+                applied += 1
+                changed = True
+                invalidate_module_analyses(function=function)
+                break  # analyses are stale; rescan from scratch
+        if not changed:
+            break
+    return applied
+
+
+def _origin_blocks_fusion(module, loop, ignore_origins):
+    if ignore_origins or module is None:
+        return False
+    origin = module.loop_origins.get(loop.loop_id)
+    return origin is not None and origin.tag == ORIGIN_DISTR
+
+
+def _fuse_with_successor(module, function, loop_info, scev, dep, loop_a,
+                         ignore_origins):
+    """Try to fuse ``loop_a`` with the loop its exit falls through to."""
+    graph_a = dep.statement_graph(loop_a)
+    if graph_a.failure is not None:
+        return False
+    shape_a = graph_a.shape
+    bridge = shape_a.exit_block
+    # The bridge must do nothing but fall through into the next header.
+    if len(bridge.instructions) != 1 or not isinstance(
+            bridge.terminator, Br):
+        return False
+    loop_b = loop_info.loop_for_block(bridge.terminator.target)
+    if loop_b is None or loop_b is loop_a \
+            or loop_b.header is not bridge.terminator.target \
+            or loop_b.parent is not loop_a.parent:
+        return False
+    if _origin_blocks_fusion(module, loop_a, ignore_origins) \
+            or _origin_blocks_fusion(module, loop_b, ignore_origins):
+        return False
+    graph_b = dep.statement_graph(loop_b)
+    if graph_b.failure is not None:
+        return False
+    shape_b = graph_b.shape
+    if shape_b.preheader is not bridge:
+        return False
+    trip_a = scev.trip_count(loop_a)
+    trip_b = scev.trip_count(loop_b)
+    if trip_a is None or trip_a != trip_b or trip_a < 1:
+        return False
+    # No SSA value may flow from A's body into B: B would read A's
+    # final value mid-flight once the loops interleave.
+    for block in [shape_b.header, *shape_b.chain]:
+        for instruction in block.instructions:
+            for operand in instruction.operands:
+                if isinstance(operand, Instruction) \
+                        and operand.parent in loop_a.blocks:
+                    return False
+    if not _memory_fusible(dep, loop_a, shape_a, loop_b, shape_b, trip_a):
+        return False
+    _fuse(function, shape_a, shape_b)
+    if module is not None:
+        a_id, b_id = loop_a.loop_id, loop_b.loop_id
+        record_loop_origin(module, a_id, ORIGIN_FUSED, a_id,
+                           note=f"absorbed {b_id} (trip {trip_a})")
+        record_loop_origin(module, b_id, ORIGIN_FUSED, a_id,
+                           note=f"fused into {a_id}")
+        module.transform_log.append({
+            "pass": "fusion",
+            "function": function.name,
+            "source": a_id,
+            "loops": [a_id],
+            "absorbed": b_id,
+            "trip": trip_a,
+        })
+    return True
+
+
+def _loop_accesses(dep, loop, shape):
+    accesses = []
+    for block in shape.chain:
+        for instruction in block.instructions:
+            if isinstance(instruction, (Load, Store)):
+                access = dep._statement_access(loop, instruction)
+                if access is not None:  # iteration-private never escapes
+                    accesses.append(access)
+    return accesses
+
+
+def _memory_fusible(dep, loop_a, shape_a, loop_b, shape_b, trip):
+    """Would merging the iteration spaces reverse any memory dependence?"""
+    accesses_a = _loop_accesses(dep, loop_a, shape_a)
+    accesses_b = _loop_accesses(dep, loop_b, shape_b)
+    for a in accesses_a:
+        for b in accesses_b:
+            if not (a.is_write or b.is_write):
+                continue
+            alias = dep._alias(a, b)
+            if alias == "no":
+                continue
+            if alias == "may":
+                return False
+            if a.whole_object or b.whole_object:
+                return False
+            fp_a = dep._footprint(a.pointer, loop_a, a.block)
+            fp_b = dep._footprint(b.pointer, loop_b, b.block)
+            if fp_a is None or fp_b is None:
+                return False
+            if not (fp_a.span_lo == fp_a.span_hi == 0
+                    and fp_b.span_lo == fp_b.span_hi == 0):
+                return False
+            if fp_a.terms != fp_b.terms:
+                return False
+            if fp_a.stride != fp_b.stride:
+                return False
+            delta = fp_b.const - fp_a.const
+            stride = fp_a.stride
+            if stride == 0:
+                if delta == 0:
+                    return False  # every A_j hits every B_i
+                continue
+            if delta % stride == 0 and 1 <= delta // stride <= trip - 1:
+                return False  # a reversed-order conflict exists
+    return True
+
+
+def _fuse(function, shape_a, shape_b):
+    """Rewrite the CFG: one loop running body A then body B per iteration."""
+    header_a, latch_a = shape_a.header, shape_a.latch
+    header_b, latch_b = shape_b.header, shape_b.latch
+    bridge, exit_b = shape_a.exit_block, shape_b.exit_block
+    preheader_a = shape_a.preheader
+
+    # 1. B's phis move into the surviving header; their init edge now
+    # enters from A's preheader (inits dominate it — see the SSA check).
+    for phi in list(header_b.phis()):
+        header_b.remove_instruction(phi)
+        header_a.insert_phi(phi)
+        for index, block in enumerate(phi.incoming_blocks):
+            if block is bridge:
+                phi.incoming_blocks[index] = preheader_a
+
+    # 2. Re-route the edges: A's body falls into B's body, B's latch
+    # becomes the fused backedge, A's compare exits straight to B's exit.
+    latch_a.terminator.replace_successor(header_a, shape_b.body_entry)
+    latch_b.terminator.replace_successor(header_b, header_a)
+    header_a.terminator.replace_successor(bridge, exit_b)
+
+    # 3. A's phis now receive their recurrence from the fused latch.
+    for phi in header_a.phis():
+        for index, block in enumerate(phi.incoming_blocks):
+            if block is latch_a:
+                phi.incoming_blocks[index] = latch_b
+
+    # 4. Exit phis observe the same values along the retargeted exit edge.
+    for phi in exit_b.phis():
+        for index, block in enumerate(phi.incoming_blocks):
+            if block is header_b:
+                phi.incoming_blocks[index] = header_a
+
+    # 5. The bridge and B's old header are unreachable; drop them.
+    bridge.erase_from_parent()
+    header_b.erase_from_parent()

@@ -1,0 +1,214 @@
+"""Loop peeling: split boundary iterations off so the remainder proves DOALL.
+
+Some loops are serial only at their edges — a first iteration that reads an
+initialization cell every later iteration overwrites, or a last iteration
+that writes a boundary cell the others only read. The dependence engine can
+*prove* this: :meth:`DependenceAnalysis.loop_verdict_if_peeled` re-runs the
+subscript tests with the footprints shifted by the peeled iterations. When
+the residual loop's verdict improves to ``STATIC_DOALL``, this pass commits
+the transform:
+
+* **front peel** — the first iteration is cloned as a straight line between
+  the preheader and the header (phi initial values advance to their
+  first-latch values). Legal whenever the trip count is a known constant
+  ``>= 2``, since iteration 0 then executes unconditionally and in its
+  original order — no side effect moves.
+* **back peel** — the exit bound is tightened by one iteration and the last
+  iteration is cloned as a straight line on the exit edge. Requires every
+  header phi to be a constant-affine IV (its value at the last iteration is
+  a compile-time constant) and a constant compare bound; outside uses of
+  the IVs are rewritten to their original exit values.
+
+The residual loop keeps its ``loop_id`` and is tagged ``PEEL`` (front) or
+``REMAINDER`` (back) in the module's provenance map.
+"""
+
+from __future__ import annotations
+
+from ..analysis.depend import (
+    VERDICT_DOALL,
+    DependenceAnalysis,
+    canonical_loop_shape,
+    module_memory_summaries,
+)
+from ..analysis.invalidation import invalidate_module_analyses
+from ..analysis.loop_info import (
+    ORIGIN_PEEL,
+    ORIGIN_REMAINDER,
+    LoopInfo,
+    record_loop_origin,
+)
+from ..analysis.scev import SCEVAddRec, SCEVConstant, ScalarEvolution
+from ..ir.instructions import Br, ICmp
+from ..ir.values import ConstantInt
+from .inline import _clone_instruction
+
+_MAX_PEELS_PER_FUNCTION = 64
+
+
+def run_loop_peel_module(module, summaries=None):
+    """Peel every provably profitable loop in ``module``; returns count."""
+    if summaries is None:
+        summaries = module_memory_summaries(module)
+    applied = 0
+    for function in module.defined_functions():
+        applied += run_loop_peel(function, summaries)
+    return applied
+
+
+def run_loop_peel(function, summaries=None):
+    module = function.module
+    if summaries is None and module is not None:
+        summaries = module_memory_summaries(module)
+    applied = 0
+    while applied < _MAX_PEELS_PER_FUNCTION:
+        loop_info = LoopInfo(function)
+        scev = ScalarEvolution(function, loop_info)
+        dep = DependenceAnalysis(function, loop_info, scev, summaries)
+        changed = False
+        for loop in loop_info.loops_in_postorder():
+            if _peel_loop(module, function, dep, scev, loop):
+                applied += 1
+                changed = True
+                invalidate_module_analyses(function=function)
+                break
+        if not changed:
+            break
+    return applied
+
+
+def _peel_loop(module, function, dep, scev, loop):
+    shape, _ = canonical_loop_shape(loop, dep.loop_info.cfg)
+    if shape is None:
+        return False
+    if module is not None:
+        origin = module.loop_origins.get(loop.loop_id)
+        if origin is not None and origin.tag in (ORIGIN_PEEL,
+                                                 ORIGIN_REMAINDER):
+            return False  # one peel per loop; the trial proved it enough
+    trip = scev.trip_count(loop)
+    if trip is None or trip < 2:
+        return False
+    if dep.loop_verdict(loop).verdict == VERDICT_DOALL:
+        return False
+    if dep.loop_verdict_if_peeled(loop, front=1).verdict == VERDICT_DOALL:
+        _peel_front(module, function, shape, loop)
+        return True
+    if dep.loop_verdict_if_peeled(loop, back=1).verdict == VERDICT_DOALL:
+        return _peel_back(module, function, shape, scev, loop, trip)
+    return False
+
+
+def _peel_front(module, function, shape, loop):
+    """Clone iteration 0 between the preheader and the header."""
+    header, preheader, latch = shape.header, shape.preheader, shape.latch
+    peel_block = function.insert_block_after(
+        preheader, f"{header.name}.peel")
+    value_map = {}
+    header_phis = list(header.phis())
+    for phi in header_phis:
+        value_map[id(phi)] = phi.incoming_for_block(preheader)
+    for block in shape.chain:
+        for instruction in block.instructions:
+            if instruction.is_terminator:
+                continue
+            copy = _clone_instruction(instruction, value_map, {})
+            value_map[id(instruction)] = copy
+            peel_block.append(copy)
+    peel_block.append(Br(header))
+    preheader.terminator.replace_successor(header, peel_block)
+    for phi in header_phis:
+        latch_value = phi.incoming_for_block(latch)
+        advanced = value_map.get(id(latch_value), latch_value)
+        for index, block in enumerate(phi.incoming_blocks):
+            if block is preheader:
+                phi.incoming_blocks[index] = peel_block
+                phi.set_operand(index, advanced)
+    if module is not None:
+        record_loop_origin(module, loop.loop_id, ORIGIN_PEEL, loop.loop_id,
+                           note="peeled 1 leading iteration")
+        module.transform_log.append({
+            "pass": "peel",
+            "function": function.name,
+            "source": loop.loop_id,
+            "loops": [loop.loop_id],
+            "kind": "front",
+        })
+
+
+def _peel_back(module, function, shape, scev, loop, trip):
+    """Tighten the bound by one iteration and clone the last iteration on
+    the exit edge. Returns False when the loop is not constant-affine
+    enough to materialize the final iteration."""
+    header, compare = shape.header, shape.compare
+    exit_block = shape.exit_block
+    if not isinstance(compare, ICmp) \
+            or not isinstance(compare.rhs, ConstantInt):
+        return False
+    iv_expr = scev.get(compare.lhs)
+    if not (isinstance(iv_expr, SCEVAddRec) and iv_expr.loop is loop
+            and isinstance(iv_expr.start, SCEVConstant)
+            and isinstance(iv_expr.step, SCEVConstant)):
+        return False
+    start, step = iv_expr.start.value, iv_expr.step.value
+    if step <= 0:
+        return False
+    continues_if_true = header.terminator.then_block in loop.blocks
+    predicate = compare.predicate
+    if predicate in ("slt", "sge") and (predicate == "slt") == continues_if_true:
+        new_bound = start + step * (trip - 2)  # strict: first excluded value
+        new_bound += step
+    elif predicate in ("sle", "sgt") and (predicate == "sle") == continues_if_true:
+        new_bound = start + step * (trip - 2)  # inclusive: last included
+    else:
+        return False
+    # Every header phi must have a constant value at the final iteration.
+    header_phis = list(header.phis())
+    finals = {}
+    exits = {}
+    for phi in header_phis:
+        expr = scev.get(phi)
+        if not (isinstance(expr, SCEVAddRec) and expr.loop is loop
+                and isinstance(expr.start, SCEVConstant)
+                and isinstance(expr.step, SCEVConstant)):
+            return False
+        phi_start, phi_step = expr.start.value, expr.step.value
+        finals[id(phi)] = ConstantInt(phi.type,
+                                      phi_start + phi_step * (trip - 1))
+        exits[id(phi)] = ConstantInt(phi.type, phi_start + phi_step * trip)
+
+    # Commit. 1. Tighten the bound.
+    compare.set_operand(1, ConstantInt(compare.rhs.type, new_bound))
+    # 2. Clone the last iteration onto the exit edge.
+    peel_block = function.insert_block_after(
+        header, f"{header.name}.peel.last")
+    value_map = dict(finals)
+    for block in shape.chain:
+        for instruction in block.instructions:
+            if instruction.is_terminator:
+                continue
+            copy = _clone_instruction(instruction, value_map, {})
+            value_map[id(instruction)] = copy
+            peel_block.append(copy)
+    peel_block.append(Br(exit_block))
+    header.terminator.replace_successor(exit_block, peel_block)
+    for phi in exit_block.phis():
+        for index, block in enumerate(phi.incoming_blocks):
+            if block is header:
+                phi.incoming_blocks[index] = peel_block
+    # 3. Outside uses of the IVs still observe their original exit values.
+    for phi in header_phis:
+        for user, index in list(phi.uses):
+            if user.parent not in loop.blocks and user.parent is not peel_block:
+                user.set_operand(index, exits[id(phi)])
+    if module is not None:
+        record_loop_origin(module, loop.loop_id, ORIGIN_REMAINDER,
+                           loop.loop_id, note="peeled 1 trailing iteration")
+        module.transform_log.append({
+            "pass": "peel",
+            "function": function.name,
+            "source": loop.loop_id,
+            "loops": [loop.loop_id],
+            "kind": "back",
+        })
+    return True

@@ -28,6 +28,13 @@ from .experiments import (
     table1_census,
 )
 from .stats import arith_mean, geomean, speedup_percent
+from .transform_report import (
+    TransformReport,
+    TransformRow,
+    format_transform_figure,
+    transform_program,
+    transform_suites,
+)
 
 __all__ = [
     "COVERAGE_CONFIGS",
@@ -54,4 +61,9 @@ __all__ = [
     "geomean",
     "speedup_percent",
     "table1_census",
+    "TransformReport",
+    "TransformRow",
+    "format_transform_figure",
+    "transform_program",
+    "transform_suites",
 ]

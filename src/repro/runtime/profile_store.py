@@ -144,11 +144,16 @@ class ProfileStore:
 
     # -- keys -----------------------------------------------------------------
 
-    def cache_key(self, source, fuel, inline=False):
-        """Content hash identifying one (program, profiling setup) pair."""
+    def cache_key(self, source, fuel, inline=False, transform=False):
+        """Content hash identifying one (program, profiling setup) pair.
+
+        ``transform`` is the structural-transform pipeline flag: the same
+        source profiled with and without fission/peel/fusion yields
+        different loop populations, so the entries must never collide.
+        """
         tag = (
             f"{self.schema}|{FORMAT_VERSION}|{_instrumentation_version()}"
-            f"|{fuel}|{int(bool(inline))}|"
+            f"|{fuel}|{int(bool(inline))}|{int(bool(transform))}|"
         )
         digest = hashlib.sha256()
         digest.update(tag.encode("utf-8"))
@@ -160,14 +165,14 @@ class ProfileStore:
 
     # -- load -----------------------------------------------------------------
 
-    def load(self, source, fuel, inline=False):
+    def load(self, source, fuel, inline=False, transform=False):
         """Return a :class:`CachedRun` on a hit, else ``None``.
 
         Corrupt entries (bad JSON, wrong schema, checksum mismatch, missing
         fields) are deleted and reported as a miss so the caller re-profiles
         and overwrites them.
         """
-        key = self.cache_key(source, fuel, inline)
+        key = self.cache_key(source, fuel, inline, transform)
         path = self._path_for(key)
         try:
             text = path.read_text()
@@ -199,10 +204,11 @@ class ProfileStore:
 
     # -- store ----------------------------------------------------------------
 
-    def store(self, source, fuel, profile, static_info, output, inline=False):
+    def store(self, source, fuel, profile, static_info, output, inline=False,
+              transform=False):
         """Persist one profiling run. Failures are swallowed (and counted):
         caching is an optimization, never a correctness dependency."""
-        key = self.cache_key(source, fuel, inline)
+        key = self.cache_key(source, fuel, inline, transform)
         payload = {
             "profile": profile_to_dict(profile),
             "static_loops": _static_loops_to_dict(static_info.loops),

@@ -155,6 +155,32 @@ class TestCodeCache:
             function, None, True
         )
 
+    def test_pipeline_fingerprint_distinguishes_identical_ir(self):
+        """Stale-hit regression: the transforms leave TIGHT_LOOP alone, so
+        both pipelines print byte-identical IR — yet a cached artifact from
+        one pipeline configuration must never satisfy the other."""
+        from repro.interp.codegen import jit_cache_key
+        from repro.ir.printer import print_function
+
+        plain = compile_source(TIGHT_LOOP, transform=False)
+        transformed = compile_source(TIGHT_LOOP, transform=True)
+        assert print_function(plain.get_function("main")) == \
+            print_function(transformed.get_function("main"))
+        assert jit_cache_key(plain.get_function("main"), None, False) != \
+            jit_cache_key(transformed.get_function("main"), None, False)
+
+    def test_unpipelined_function_keys_stably(self):
+        from repro.interp.codegen import jit_cache_key
+        from repro.ir import Module
+
+        function = self._function()
+        bare = Module("bare")
+        assert not hasattr(bare, "pipeline_fingerprint") \
+            or bare.pipeline_fingerprint is None
+        key_a = jit_cache_key(function, None, False)
+        key_b = jit_cache_key(function, None, False)
+        assert key_a == key_b
+
     def test_round_trip_through_disk(self, tmp_path, monkeypatch):
         from repro.interp import codegen
         from repro.runtime.profile_store import CodeCache

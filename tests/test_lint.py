@@ -65,7 +65,7 @@ class TestRegistry:
     def test_catalog_is_complete_and_prefixed(self):
         assert set(CATALOG) >= {
             "LP101", "LP102", "LP103", "LP111", "LP112", "LP113",
-            "LP201", "LP202", "LP203", "LP204",
+            "LP201", "LP202", "LP203", "LP204", "LP205",
         }
         for diagnostic_id, (severity, meaning) in CATALOG.items():
             assert diagnostic_id.startswith("LP")
@@ -172,6 +172,67 @@ class TestCheckers:
         ids = sorted(d.id for d in diagnostics)
         assert "LP201" in ids  # no preheader (entry is not a dedicated one)
         assert "LP203" in ids  # no exit edge
+
+    def test_multi_latch_loop_reports_lp205(self):
+        # Two blocks branch back to the header: the loop is dropped from
+        # the census (untrackable) and LP205 says so explicitly.
+        module = Module("latches")
+        f = module.add_function("f", I32, [])
+        entry = f.append_block("entry")
+        header = f.append_block("header")
+        body1 = f.append_block("body1")
+        body2 = f.append_block("body2")
+        exit_block = f.append_block("exit")
+        b = IRBuilder(entry)
+        b.br(header)
+        b.position_at_end(header)
+        iv = b.phi(I32, "i")
+        cond = b.icmp("slt", iv, b.const_int(10))
+        b.condbr(cond, body1, exit_block)
+        b.position_at_end(body1)
+        nxt = b.add(iv, b.const_int(1))
+        parity = b.icmp("eq", b.srem(nxt, b.const_int(2)), b.const_int(0))
+        b.condbr(parity, header, body2)
+        b.position_at_end(body2)
+        b.br(header)
+        iv.add_incoming(b.const_int(0), entry)
+        iv.add_incoming(nxt, body1)
+        iv.add_incoming(nxt, body2)
+        IRBuilder(exit_block).ret(iv)
+
+        from repro.core.static_info import ModuleStaticInfo
+
+        static_info = ModuleStaticInfo(module)
+        (static,) = static_info.loops.values()
+        assert not static.trackable
+        assert static.untrackable_reason == "multi-latch"
+        context = LintContext(module, static_info=static_info,
+                              instrumentation={}, name="latches")
+        diagnostics = run_lint(context, only=["loop-shapes"])
+        ids = sorted(d.id for d in diagnostics)
+        assert "LP202" in ids  # multiple backedges, the shape warning
+        assert "LP205" in ids  # and the census-exclusion note
+        (note,) = [d for d in diagnostics if d.id == "LP205"]
+        assert note.severity == INFO
+        assert "2 latches" in note.message
+
+    def test_untrackable_reason_round_trips(self):
+        from repro.core.static_info import (
+            LoopStatic,
+            loop_static_from_dict,
+            loop_static_to_dict,
+        )
+
+        static = LoopStatic("f.header", "f", 1)
+        static.trackable = False
+        static.untrackable_reason = "multi-latch"
+        restored = loop_static_from_dict(loop_static_to_dict(static))
+        assert restored.untrackable_reason == "multi-latch"
+        assert not restored.trackable
+        # Entries written before the field existed stay loadable.
+        legacy = loop_static_to_dict(static)
+        del legacy["untrackable_reason"]
+        assert loop_static_from_dict(legacy).untrackable_reason is None
 
     def test_all_shipped_benches_lint_clean_of_errors(self):
         # Spot-check a couple of real programs: zero error severity.

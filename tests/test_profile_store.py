@@ -98,6 +98,16 @@ def test_key_depends_on_fuel_and_inline(store):
     assert key == store.cache_key("int main() { return 0; }", FUEL)
 
 
+def test_key_depends_on_transform(store):
+    """Stale-hit regression: the transform pipeline changes the loop
+    population, so a profile recorded with it off must not warm-start a
+    run with it on (or vice versa)."""
+    source = "int main() { return 0; }"
+    key = store.cache_key(source, FUEL)
+    assert key != store.cache_key(source, FUEL, transform=True)
+    assert key == store.cache_key(source, FUEL, transform=False)
+
+
 def test_corrupt_entry_falls_back_to_reprofiling(source, store):
     cold = _fresh(source, store)
     cold.profile()

@@ -32,6 +32,7 @@ from repro.interp.veccodegen import (
     BAIL_INNER,
     BAIL_INSTR,
     BAIL_IV,
+    BAIL_MULTI_LATCH,
     BAIL_NOT_SIMPLIFIED,
     BAIL_NUMPY,
     BAIL_OP,
@@ -115,10 +116,10 @@ class TestPlannerBailouts:
         )
         assert plan is None and reason == BAIL_INNER
 
-    def test_not_simplified_two_latches(self):
-        # The frontend always emits single-latch loops, so the bail for
-        # unsimplified shapes is exercised on hand-built IR: one header
-        # with two distinct backedge sources.
+    def test_multi_latch_two_latches(self):
+        # The frontend always emits single-latch loops, so the multi-latch
+        # bail is exercised on hand-built IR: one header with two distinct
+        # backedge sources.
         from repro.ir import I32, IRBuilder, Module
 
         module = Module("twolatch")
@@ -162,7 +163,7 @@ class TestPlannerBailouts:
         plan, reason = veccodegen._plan_loop(
             loops[0], loop_info.cfg, scev, dep, None, False
         )
-        assert plan is None and reason == BAIL_NOT_SIMPLIFIED
+        assert plan is None and reason == BAIL_MULTI_LATCH
 
     def test_complex_header(self):
         # The compare feeds off `i + 1`, so the header holds loop-variant
