@@ -3,7 +3,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: install test lint-ir crosscheck transform-report bench bench-interp sweep-smoke sweep-fault-smoke figures examples clean
+.PHONY: install test lint-ir crosscheck transform-report fuzz-smoke fuzz-report bench bench-interp sweep-smoke sweep-fault-smoke figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,6 +19,15 @@ crosscheck:
 
 transform-report:
 	python tools/transform_report.py
+
+# Fixed-seed differential fuzzing campaign (~60s): exits non-zero if any
+# generated program trips an oracle and gets quarantined.
+fuzz-smoke:
+	python -m repro fuzz --seed 0 --count 60 --profile mixed \
+		--time-budget 55
+
+fuzz-report:
+	python tools/fuzz_report.py
 
 bench:
 	pytest benchmarks/ --benchmark-only \

@@ -19,6 +19,12 @@ Commands:
   the "parallelism unlocked by transformation" figure, per-loop joins via
   loop provenance (``--loops``), and optional dynamic re-verification of
   every post-transform DOALL proof (``--crosscheck``).
+* ``fuzz``            — differential fuzzing: generate seeded MiniC
+  programs (``--seed --count --profile``), run the four-way oracle on
+  each (closure/jit/vec byte-equality, transform observational safety,
+  static-DOALL soundness, per-stage IR verification), delta-minimize and
+  quarantine any disagreement under ``fuzz_corpus/``; ``--replay CASE``
+  re-runs one quarantined reproducer.
 * ``evaluate FILE``   — evaluate one or more configurations (``--config``,
   repeatable; defaults to the paper's 14).
 * ``diagnose FILE``   — per-loop relaxation ladder: the first configuration
@@ -497,6 +503,50 @@ def _cmd_transform(args, out):
     return 1 if crosscheck.unsound else 0
 
 
+def _cmd_fuzz(args, out):
+    """Differential fuzzing: generate seeded MiniC programs, run the
+    four-way oracle on each, shrink and quarantine any disagreement."""
+    from .fuzz.corpus import load_case, replay_case
+    from .fuzz.harness import fuzz_campaign
+    from .runtime.telemetry import RunTelemetry, format_run_summary
+
+    if args.replay:
+        case = load_case(args.replay, root=args.corpus_dir)
+        if case is None:
+            print(f"error: no quarantined case {args.replay!r} "
+                  f"(looked in the corpus and as a path)", file=sys.stderr)
+            return 2
+        print(f"replaying {case.case_id} "
+              f"(seed {case.seed}, profile {case.profile}, "
+              f"quarantined oracle: {case.oracle})", file=out)
+        report = replay_case(case, fuel=args.fuel)
+        print(report.describe(), file=out)
+        if report.ok:
+            print("case no longer reproduces on this pipeline — the "
+                  "corpus entry can be kept as a regression guard",
+                  file=out)
+            return 0
+        return 1
+
+    telemetry = RunTelemetry.create(root=args.runs_dir)
+    print(f"run id: {telemetry.run_id}", file=out)
+    summary = fuzz_campaign(
+        seed=args.seed,
+        count=args.count,
+        profile=args.profile,
+        time_budget=args.time_budget,
+        corpus_dir=args.corpus_dir,
+        telemetry=telemetry,
+        shrink=not args.no_shrink,
+        log=lambda message: print(message, file=out),
+    )
+    telemetry.finish(status="complete" if summary.ok else "quarantined")
+    print(summary.describe(), file=out)
+    print(file=out)
+    print(format_run_summary(telemetry.summary()), file=out)
+    return 0 if summary.ok else 1
+
+
 def _cmd_crosscheck(args, out):
     from .reporting.crosscheck import (
         CrosscheckReport,
@@ -548,6 +598,7 @@ def build_parser():
         ("calltls", _cmd_calltls, True),
         ("lint", _cmd_lint, False),
         ("crosscheck", _cmd_crosscheck, False),
+        ("fuzz", _cmd_fuzz, False),
         ("transform", _cmd_transform, False),
         ("figures", _cmd_figures, False),
         ("bench", _cmd_bench, False),
@@ -601,6 +652,45 @@ def build_parser():
             sub.add_argument(
                 "--loops", action="store_true",
                 help="print the per-loop join, not just the tallies",
+            )
+        if name == "fuzz":
+            sub.add_argument(
+                "--seed", type=int, default=0,
+                help="first generator seed (default: 0)",
+            )
+            sub.add_argument(
+                "--count", type=int, default=100,
+                help="number of consecutive seeds to fuzz (default: 100)",
+            )
+            sub.add_argument(
+                "--time-budget", type=float, default=None, metavar="SECONDS",
+                help="stop starting new cases after this much wall time",
+            )
+            sub.add_argument(
+                "--profile", default="mixed",
+                choices=("affine", "calls", "transforms", "mixed"),
+                help="generator grammar bias (default: mixed)",
+            )
+            sub.add_argument(
+                "--replay", default=None, metavar="CASE",
+                help="re-run the oracle on one quarantined case (a case id "
+                     "like mixed-s7-backends, or a path to its JSON file); "
+                     "exits 1 while the case still reproduces",
+            )
+            sub.add_argument(
+                "--corpus-dir", default=None,
+                help="quarantine corpus directory (default: ./fuzz_corpus "
+                     "or REPRO_FUZZ_CORPUS)",
+            )
+            sub.add_argument(
+                "--no-shrink", action="store_true",
+                help="quarantine the original program without "
+                     "delta-minimizing it first",
+            )
+            sub.add_argument(
+                "--runs-dir", default=None,
+                help="run-ledger directory (default: ~/.cache/repro/runs "
+                     "or REPRO_RUNS_DIR)",
             )
         if name == "evaluate":
             sub.add_argument(

@@ -1,0 +1,688 @@
+"""Seeded, grammar-driven MiniC program generator.
+
+Every generated program is fully determined by a ``(seed, profile)``
+pair: the same pair always renders byte-identical source, so any
+quarantined case can be regenerated from its two integers alone. The
+grammar is deliberately biased toward the constructs the static and
+dynamic analyses care about rather than uniform over MiniC:
+
+* affine subscripts (``A[i]``, ``A[2*i + 1]``) with statically-safe
+  bounds, and non-affine ones (hash/masked/quadratic) kept in bounds by
+  power-of-two masking;
+* reductions (``acc = acc + A[i]``, ``imax``/``fmin`` folds);
+* loop-carried memory dependences at known distances
+  (``A[i] = A[i-d] + c``);
+* predictable and unpredictable scalar LCDs;
+* calls with memory effects (``memset_i32``/``memcpy_i32``), pure calls
+  (``hash_i32``/``noise_f64``), and hidden-state calls (``rand``);
+* nested loops (including flattened affine 2-D subscripts) and
+  multi-latch ``while``/``continue`` loops;
+* transform bait: fission candidates (parallel slice + serial
+  recurrence in one body), fusion candidates (adjacent lockstep
+  constant-trip loops), and peel candidates (``A[0]``/``A[N-1]``
+  boundary reads).
+
+Generated programs never trap: integer division and shifts only by safe
+constants, every subscript provably or mask-forcibly in bounds, float
+math kept finite, and total dynamic work bounded to a few hundred
+thousand IR instructions.
+
+The shrink lattice is built *at generation time*: every statement
+carries precomputed simpler alternatives, so :mod:`repro.fuzz.shrink`
+never needs the RNG again.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+import zlib
+
+#: Bumped whenever the grammar changes in a way that alters the
+#: (seed, profile) -> source mapping; stored in quarantine entries so a
+#: stale reproducer is recognisable.
+GEN_VERSION = 1
+
+_INT_SIZES = (64, 128, 256)
+_FLOAT_SIZES = (64, 128)
+
+
+# -- specs ---------------------------------------------------------------------
+
+
+class Stmt:
+    """One rendered body statement plus its precomputed shrink ladder.
+
+    ``lines`` is the final MiniC text (one or more lines); ``alts`` are
+    strictly-simpler replacement statements the shrinker may try.
+    """
+
+    __slots__ = ("kind", "lines", "alts")
+
+    def __init__(self, kind, lines, alts=()):
+        self.kind = kind
+        self.lines = list(lines)
+        self.alts = list(alts)
+
+    def __repr__(self):
+        return f"<Stmt {self.kind}: {self.lines[0][:40]!r}>"
+
+
+class LoopSpec:
+    """One loop: bounds, latch shape, body statements, optional inner loop."""
+
+    __slots__ = ("var", "start", "bound", "step", "kind", "guard", "body",
+                 "inner")
+
+    def __init__(self, var, start, bound, step=1, kind="for", guard=None,
+                 body=None, inner=None):
+        self.var = var
+        self.start = start
+        self.bound = bound
+        self.step = step
+        #: ``"for"`` or ``"multilatch"`` (while + guarded continue).
+        self.kind = kind
+        #: Extra-latch guard expression text (multilatch only).
+        self.guard = guard
+        self.body = list(body or [])
+        self.inner = inner
+
+    @property
+    def trip(self):
+        if self.bound <= self.start:
+            return 0
+        return (self.bound - self.start + self.step - 1) // self.step
+
+    def render(self, indent="  "):
+        lines = []
+        pad = indent
+        v = self.var
+        if self.kind == "multilatch":
+            lines.append(f"{pad}{v} = {self.start};")
+            lines.append(f"{pad}while ({v} < {self.bound}) {{")
+            lines.append(f"{pad}  if ({self.guard}) {{ "
+                         f"{v} = {v} + {self.step}; continue; }}")
+        else:
+            lines.append(f"{pad}for ({v} = {self.start}; {v} < {self.bound}; "
+                         f"{v} = {v} + {self.step}) {{")
+        for stmt in self.body:
+            for line in stmt.lines:
+                lines.append(f"{pad}  {line}")
+        if self.inner is not None:
+            lines.extend(self.inner.render(pad + "  "))
+        if self.kind == "multilatch":
+            lines.append(f"{pad}  {v} = {v} + {self.step};")
+        lines.append(f"{pad}}}")
+        return lines
+
+
+class ProgramSpec:
+    """The structured program the renderer and the shrinker share."""
+
+    __slots__ = ("seed", "profile", "int_arrays", "float_arrays", "scalars",
+                 "loop_vars", "blocks")
+
+    def __init__(self, seed, profile):
+        self.seed = seed
+        self.profile = profile
+        #: name -> size (power of two).
+        self.int_arrays = {}
+        self.float_arrays = {}
+        #: name -> (ctype, initializer text).
+        self.scalars = {}
+        self.loop_vars = []
+        #: Top-level items in main: LoopSpec or Stmt.
+        self.blocks = []
+
+    def clone(self):
+        return copy.deepcopy(self)
+
+    def render(self):
+        return render(self)
+
+
+class GeneratedProgram:
+    """A rendered program with its provenance."""
+
+    __slots__ = ("name", "seed", "profile", "source", "spec")
+
+    def __init__(self, name, seed, profile, source, spec):
+        self.name = name
+        self.seed = seed
+        self.profile = profile
+        self.source = source
+        self.spec = spec
+
+    def __repr__(self):
+        return f"<GeneratedProgram {self.name}>"
+
+
+# -- profiles ------------------------------------------------------------------
+
+
+class GenProfile:
+    """Grammar weights for one generation profile."""
+
+    __slots__ = ("name", "loops", "stmts", "weights", "nested", "multilatch",
+                 "fusion_pair", "peel")
+
+    def __init__(self, name, loops, stmts, weights, nested=0.0,
+                 multilatch=0.0, fusion_pair=0.0, peel=0.0):
+        self.name = name
+        self.loops = loops          # (min, max) top-level loops
+        self.stmts = stmts          # (min, max) statements per body
+        self.weights = dict(weights)
+        self.nested = nested
+        self.multilatch = multilatch
+        self.fusion_pair = fusion_pair
+        self.peel = peel
+
+
+_AFFINE_WEIGHTS = {
+    "store_affine": 5, "store_masked": 2, "lcd_mem": 3, "reduction": 3,
+    "scalar_lcd": 2, "guarded": 2, "store_2d": 2,
+}
+_CALL_WEIGHTS = dict(_AFFINE_WEIGHTS, **{
+    "call_pure": 4, "call_mem": 3, "call_unsafe": 1,
+})
+_TRANSFORM_WEIGHTS = {
+    "store_affine": 6, "lcd_mem": 4, "reduction": 3, "guarded": 1,
+    "scalar_lcd": 1,
+}
+_MIXED_WEIGHTS = dict(_CALL_WEIGHTS)
+_MIXED_WEIGHTS.update({"store_2d": 2})
+
+PROFILES = {
+    "affine": GenProfile(
+        "affine", loops=(1, 3), stmts=(1, 3), weights=_AFFINE_WEIGHTS,
+        nested=0.35, multilatch=0.15,
+    ),
+    "calls": GenProfile(
+        "calls", loops=(1, 3), stmts=(1, 3), weights=_CALL_WEIGHTS,
+        nested=0.2, multilatch=0.1,
+    ),
+    "transforms": GenProfile(
+        "transforms", loops=(1, 3), stmts=(2, 4),
+        weights=_TRANSFORM_WEIGHTS, nested=0.05, multilatch=0.0,
+        fusion_pair=0.45, peel=0.35,
+    ),
+    "mixed": GenProfile(
+        "mixed", loops=(1, 4), stmts=(1, 3), weights=_MIXED_WEIGHTS,
+        nested=0.25, multilatch=0.12, fusion_pair=0.2, peel=0.15,
+    ),
+}
+
+
+# -- generation context --------------------------------------------------------
+
+
+class _Gen:
+    """One generation run: the RNG plus the spec being grown."""
+
+    def __init__(self, seed, profile):
+        if profile not in PROFILES:
+            raise ValueError(
+                f"unknown fuzz profile {profile!r} "
+                f"(have: {', '.join(sorted(PROFILES))})"
+            )
+        self.profile = PROFILES[profile]
+        # Salt the seed with the profile name so "seed 3, affine" and
+        # "seed 3, calls" are unrelated programs. crc32 (not hash()) so
+        # the mapping survives PYTHONHASHSEED.
+        salt = zlib.crc32(profile.encode("ascii"))
+        self.rng = random.Random((seed * 2654435761 + salt) & 0xFFFFFFFF)
+        self.spec = ProgramSpec(seed, profile)
+        self._scalar_count = 0
+
+    # -- small helpers ---------------------------------------------------------
+
+    def pick_int_array(self, exclude=None):
+        names = [n for n in self.spec.int_arrays if n != exclude]
+        return self.rng.choice(names)
+
+    def pick_float_array(self):
+        names = sorted(self.spec.float_arrays)
+        return self.rng.choice(names) if names else None
+
+    def new_scalar(self, ctype="int"):
+        name = f"t{self._scalar_count}"
+        self._scalar_count += 1
+        init = str(self.rng.randint(0, 9)) if ctype == "int" \
+            else f"{self.rng.randint(0, 3)}.5"
+        self.spec.scalars[name] = (ctype, init)
+        return name
+
+    def some_scalar(self, ctype="int"):
+        names = [n for n, (t, _) in sorted(self.spec.scalars.items())
+                 if t == ctype]
+        if names and self.rng.random() < 0.7:
+            return self.rng.choice(names)
+        return self.new_scalar(ctype)
+
+    def mask(self, array):
+        return self.spec.int_arrays.get(array,
+                                        self.spec.float_arrays.get(array)) - 1
+
+    # -- index / value expressions --------------------------------------------
+
+    def masked_index(self, array, var):
+        """A non-affine (or wrapped-affine) subscript, in bounds by masking."""
+        m = self.mask(array)
+        pattern = self.rng.choice((
+            f"{var} & {m}",
+            f"({var} * {var}) & {m}",
+            f"(hash_i32({var}) ^ {var}) & {m}",
+            f"({var} * {self.rng.randint(3, 9)} + "
+            f"{self.rng.randint(0, 7)}) & {m}",
+            f"(({var} << 2) ^ {var}) & {m}",
+        ))
+        return pattern
+
+    def affine_index(self, array, loop):
+        """``a*i + b`` provably in bounds for the loop's range, or ``None``."""
+        size = self.spec.int_arrays.get(
+            array, self.spec.float_arrays.get(array))
+        for scale in ([1, 2] if self.rng.random() < 0.5 else [2, 1]):
+            offset = self.rng.randint(0, 3)
+            top = scale * (loop.bound - 1) + offset
+            if 0 <= scale * loop.start + offset and top < size:
+                if scale == 1 and offset == 0:
+                    return loop.var
+                if scale == 1:
+                    return f"{loop.var} + {offset}"
+                if offset == 0:
+                    return f"{scale}*{loop.var}"
+                return f"{scale}*{loop.var} + {offset}"
+        return None
+
+    def int_value(self, var, depth=0):
+        """A trap-free int expression over the loop var, arrays, scalars."""
+        roll = self.rng.random()
+        if depth >= 2 or roll < 0.25:
+            return str(self.rng.randint(0, 99))
+        if roll < 0.45:
+            return var
+        if roll < 0.65:
+            array = self.pick_int_array()
+            return f"{array}[{self.masked_index(array, var)}]"
+        op = self.rng.choice(("+", "-", "*", "&", "|", "^"))
+        return (f"({self.int_value(var, depth + 1)} {op} "
+                f"{self.int_value(var, depth + 1)})")
+
+    # Float array traffic is deliberately fed only by ``noise_f64`` and
+    # bounded folds (see the reduction/call templates): unbounded float
+    # expression trees could compound to inf across iterations, and
+    # ``inf - inf`` would put a NaN in front of the checksum's cast.
+
+
+# -- statement templates -------------------------------------------------------
+#
+# Each template takes (gen, loop) and returns a Stmt or None when the loop
+# shape makes the construct inexpressible (the chooser then retries).
+
+
+def _trivial_store(gen, loop):
+    array = gen.pick_int_array()
+    return Stmt("store_masked",
+                [f"{array}[{loop.var} & {gen.mask(array)}] = 1;"])
+
+
+def _stmt_store_affine(gen, loop):
+    array = gen.pick_int_array()
+    index = gen.affine_index(array, loop)
+    if index is None:
+        return None
+    value = gen.int_value(loop.var)
+    alts = [Stmt("store_affine", [f"{array}[{index}] = 1;"])]
+    return Stmt("store_affine", [f"{array}[{index}] = {value};"], alts)
+
+
+def _stmt_store_masked(gen, loop):
+    array = gen.pick_int_array()
+    index = gen.masked_index(array, loop.var)
+    value = gen.int_value(loop.var)
+    alts = [
+        Stmt("store_masked",
+             [f"{array}[{loop.var} & {gen.mask(array)}] = {loop.var};"]),
+        _trivial_store(gen, loop),
+    ]
+    return Stmt("store_masked", [f"{array}[{index}] = {value};"], alts)
+
+
+def _stmt_lcd_mem(gen, loop):
+    if loop.step != 1 or loop.start < 1:
+        return None
+    array = gen.pick_int_array()
+    size = gen.spec.int_arrays[array]
+    if loop.bound > size:
+        return None
+    distance = gen.rng.randint(1, min(4, loop.start))
+    op = gen.rng.choice(("+", "-", "^"))
+    extra = gen.rng.choice((str(gen.rng.randint(1, 9)), loop.var))
+    line = (f"{array}[{loop.var}] = "
+            f"{array}[{loop.var} - {distance}] {op} {extra};")
+    alts = [Stmt("lcd_mem",
+                 [f"{array}[{loop.var}] = {array}[{loop.var} - 1] + 1;"])]
+    return Stmt("lcd_mem", [line], alts)
+
+
+def _stmt_reduction(gen, loop):
+    if gen.spec.float_arrays and gen.rng.random() < 0.35:
+        acc = gen.some_scalar("float")
+        array = gen.pick_float_array()
+        fold = gen.rng.choice((
+            f"{acc} = {acc} + {array}[{gen.masked_index(array, loop.var)}];",
+            f"{acc} = fmin({acc}, "
+            f"{array}[{gen.masked_index(array, loop.var)}]);",
+        ))
+        alt = f"{acc} = {acc} + 1.5;"
+    else:
+        acc = gen.some_scalar("int")
+        array = gen.pick_int_array()
+        index = gen.affine_index(array, loop) \
+            or gen.masked_index(array, loop.var)
+        fold = gen.rng.choice((
+            f"{acc} = {acc} + {array}[{index}];",
+            f"{acc} = {acc} ^ {array}[{index}];",
+            f"{acc} = imax({acc}, {array}[{index}]);",
+        ))
+        alt = f"{acc} = {acc} + 1;"
+    return Stmt("reduction", [fold], [Stmt("reduction", [alt])])
+
+
+def _stmt_scalar_lcd(gen, loop):
+    scalar = gen.some_scalar("int")
+    array = gen.pick_int_array()
+    mask = gen.mask(array)
+    if gen.rng.random() < 0.5:
+        # Predictable (stride) scalar recurrence feeding a store.
+        lines = [
+            f"{scalar} = {scalar} + {gen.rng.randint(1, 5)};",
+            f"{array}[{scalar} & {mask}] = {loop.var};",
+        ]
+    else:
+        # Unpredictable pointer-chase-style recurrence.
+        lines = [
+            f"{scalar} = {scalar} + 1 + "
+            f"(({array}[{scalar} & {mask}] >> 3) & 3);",
+        ]
+    return Stmt("scalar_lcd", lines,
+                [Stmt("scalar_lcd", [f"{scalar} = {scalar} + 1;"])])
+
+
+def _stmt_guarded(gen, loop):
+    array = gen.pick_int_array()
+    index = gen.affine_index(array, loop) or gen.masked_index(array, loop.var)
+    if gen.rng.random() < 0.5:
+        # Conditional max reduction.
+        best = gen.some_scalar("int")
+        line = (f"if ({array}[{index}] > {best}) "
+                f"{{ {best} = {array}[{index}]; }}")
+    else:
+        target = gen.pick_int_array()
+        line = (f"if (({array}[{index}] & 3) == 0) "
+                f"{{ {target}[{loop.var} & {gen.mask(target)}] = "
+                f"{loop.var}; }}")
+    return Stmt("guarded", [line], [_trivial_store(gen, loop)])
+
+
+def _stmt_store_2d(gen, loop):
+    # Flattened affine 2-D subscript; only valid inside a nested loop where
+    # the generator pre-checked outer_bound * width + inner_bound <= size.
+    return None  # placed explicitly by _gen_nested, never chosen directly
+
+
+def _stmt_call_pure(gen, loop):
+    roll = gen.rng.random()
+    if roll < 0.4 and gen.spec.float_arrays:
+        array = gen.pick_float_array()
+        line = (f"{array}[{gen.masked_index(array, loop.var)}] = "
+                f"noise_f64({loop.var});")
+    elif roll < 0.7:
+        array = gen.pick_int_array()
+        line = (f"{array}[{gen.masked_index(array, loop.var)}] = "
+                f"hash_i32({loop.var} + {gen.rng.randint(0, 99)}) & 1023;")
+    else:
+        scalar = gen.some_scalar("int")
+        array = gen.pick_int_array()
+        line = (f"{scalar} = imin({scalar} + 1, "
+                f"iabs({array}[{gen.masked_index(array, loop.var)}]));")
+    return Stmt("call_pure", [line], [_trivial_store(gen, loop)])
+
+
+def _stmt_call_mem(gen, loop):
+    array = gen.pick_int_array()
+    count = gen.rng.choice((4, 8))
+    if gen.rng.random() < 0.5:
+        line = f"memset_i32({array}, {gen.rng.randint(0, 9)}, {count});"
+    else:
+        other = gen.pick_int_array(exclude=array)
+        line = f"memcpy_i32({array}, {other}, {count});"
+    return Stmt("call_mem", [line], [_trivial_store(gen, loop)])
+
+
+def _stmt_call_unsafe(gen, loop):
+    scalar = gen.some_scalar("int")
+    return Stmt("call_unsafe",
+                [f"{scalar} = {scalar} + (rand() & 7);"],
+                [Stmt("call_unsafe", [f"{scalar} = rand() & 1;"])])
+
+
+_STMT_TEMPLATES = {
+    "store_affine": _stmt_store_affine,
+    "store_masked": _stmt_store_masked,
+    "lcd_mem": _stmt_lcd_mem,
+    "reduction": _stmt_reduction,
+    "scalar_lcd": _stmt_scalar_lcd,
+    "guarded": _stmt_guarded,
+    "store_2d": _stmt_store_2d,
+    "call_pure": _stmt_call_pure,
+    "call_mem": _stmt_call_mem,
+    "call_unsafe": _stmt_call_unsafe,
+}
+
+
+# -- loop generation -----------------------------------------------------------
+
+
+def _weighted_kind(gen, exclude=()):
+    kinds = [(k, w) for k, w in sorted(gen.profile.weights.items())
+             if k not in exclude]
+    total = sum(w for _, w in kinds)
+    roll = gen.rng.random() * total
+    for kind, weight in kinds:
+        roll -= weight
+        if roll <= 0:
+            return kind
+    return kinds[-1][0]
+
+
+def _gen_body(gen, loop, count):
+    body = []
+    attempts = 0
+    while len(body) < count and attempts < count * 6:
+        attempts += 1
+        kind = _weighted_kind(gen, exclude=("store_2d",))
+        stmt = _STMT_TEMPLATES[kind](gen, loop)
+        if stmt is not None:
+            body.append(stmt)
+    if not body:
+        body.append(_trivial_store(gen, loop))
+    return body
+
+
+def _new_loop_var(gen, hint="i"):
+    var = f"{hint}{len(gen.spec.loop_vars)}"
+    gen.spec.loop_vars.append(var)
+    return var
+
+
+def _gen_loop(gen, depth=0):
+    profile = gen.profile
+    var = _new_loop_var(gen, "i" if depth == 0 else "j")
+    start = gen.rng.choice((0, 0, 1, 2, 4))
+    step = gen.rng.choice((1, 1, 1, 2, 3))
+    trip = gen.rng.randint(8, 48 if depth else 160)
+    bound = min(start + step * trip, 256)
+    loop = LoopSpec(var, start, bound, step)
+    if depth == 0 and gen.rng.random() < profile.multilatch:
+        array = gen.pick_int_array()
+        loop.kind = "multilatch"
+        loop.guard = (f"({array}[{var} & {gen.mask(array)}] & "
+                      f"{gen.rng.choice((3, 7))}) == 0")
+    stmts = gen.rng.randint(*profile.stmts)
+    loop.body = _gen_body(gen, loop, stmts)
+    if depth == 0 and loop.kind == "for" \
+            and gen.rng.random() < profile.nested:
+        _gen_nested(gen, loop)
+    return loop
+
+
+def _gen_nested(gen, outer):
+    """Attach an inner loop; sometimes with a flattened affine 2-D store."""
+    var = _new_loop_var(gen, "j")
+    width = gen.rng.choice((8, 16))
+    inner = LoopSpec(var, 0, width, 1)
+    inner.body = _gen_body(gen, inner, gen.rng.randint(1, 2))
+    # A true affine 2-D subscript when an array is provably large enough.
+    candidates = [
+        (name, size) for name, size in sorted(gen.spec.int_arrays.items())
+        if (outer.bound - 1) * width + (width - 1) < size
+    ]
+    if candidates and gen.rng.random() < 0.7:
+        array = gen.rng.choice([name for name, _ in candidates])
+        inner.body.append(Stmt(
+            "store_2d",
+            [f"{array}[{outer.var} * {width} + {var}] = "
+             f"{gen.int_value(var)};"],
+            [Stmt("store_2d",
+                  [f"{array}[{outer.var} * {width} + {var}] = 1;"])],
+        ))
+    outer.inner = inner
+
+
+def _gen_fusion_pair(gen):
+    """Two adjacent lockstep constant-trip loops over distinct arrays."""
+    bound = gen.rng.choice((32, 64))
+    pair = []
+    first = gen.pick_int_array()
+    second = gen.pick_int_array(exclude=first)
+    for array in (first, second):
+        var = _new_loop_var(gen, "i")
+        loop = LoopSpec(var, 0, bound, 1)
+        value = gen.rng.choice((var, f"{var} + {var}",
+                                f"{var} * {gen.rng.randint(2, 5)}"))
+        loop.body = [Stmt("store_affine", [f"{array}[{var}] = {value};"],
+                          [Stmt("store_affine", [f"{array}[{var}] = 1;"])])]
+        pair.append(loop)
+    return pair
+
+
+def _gen_peel_loop(gen):
+    """Blocks for a loop whose only conflict is a boundary read/write
+    (front/back peel candidate): an optional seed store *before* the
+    loop, then ``A[i] = A[edge] + c`` over the whole array."""
+    array = gen.pick_int_array()
+    size = gen.spec.int_arrays[array]
+    var = _new_loop_var(gen, "i")
+    loop = LoopSpec(var, 0, min(size, 64), 1)
+    edge = gen.rng.choice((0, loop.bound - 1))
+    loop.body = [Stmt(
+        "store_affine",
+        [f"{array}[{var}] = {array}[{edge}] + {gen.rng.randint(1, 5)};"],
+        [Stmt("store_affine", [f"{array}[{var}] = 1;"])],
+    )]
+    blocks = []
+    if gen.rng.random() < 0.5:
+        blocks.append(Stmt("peel_seed",
+                           [f"{array}[{edge}] = {gen.rng.randint(1, 9)};"]))
+    blocks.append(loop)
+    return blocks
+
+
+# -- top level -----------------------------------------------------------------
+
+
+def generate_spec(seed, profile="mixed"):
+    """The structured :class:`ProgramSpec` for ``(seed, profile)``."""
+    gen = _Gen(seed, profile)
+    spec = gen.spec
+    rng = gen.rng
+
+    for index in range(rng.randint(2, 4)):
+        spec.int_arrays[f"A{index}"] = rng.choice(_INT_SIZES)
+    for index in range(rng.randint(0, 2)):
+        spec.float_arrays[f"F{index}"] = rng.choice(_FLOAT_SIZES)
+
+    num_loops = rng.randint(*gen.profile.loops)
+    while len([b for b in spec.blocks if isinstance(b, LoopSpec)]) \
+            < num_loops:
+        roll = rng.random()
+        if roll < gen.profile.fusion_pair:
+            spec.blocks.extend(_gen_fusion_pair(gen))
+        elif roll < gen.profile.fusion_pair + gen.profile.peel:
+            spec.blocks.extend(_gen_peel_loop(gen))
+        else:
+            spec.blocks.append(_gen_loop(gen))
+    return spec
+
+
+def render(spec):
+    """Render a spec to MiniC source (pure; byte-deterministic)."""
+    lines = [f"// fuzz seed={spec.seed} profile={spec.profile} "
+             f"gen=v{GEN_VERSION}"]
+    for name, size in sorted(spec.int_arrays.items()):
+        lines.append(f"int {name}[{size}];")
+    for name, size in sorted(spec.float_arrays.items()):
+        lines.append(f"float {name}[{size}];")
+    lines.append("int main() {")
+    for name, (ctype, init) in sorted(spec.scalars.items()):
+        lines.append(f"  {ctype} {name} = {init};")
+    for var in spec.loop_vars:
+        lines.append(f"  int {var};")
+    lines.append("  int chk = 0;")
+    lines.append("  int cz;")
+    for block in spec.blocks:
+        if isinstance(block, LoopSpec):
+            lines.extend(block.render())
+        else:
+            for line in block.lines:
+                lines.append(f"  {line}")
+    # Checksum epilogue: fold every array and scalar into one printed
+    # value so a single wrong store anywhere changes the observable
+    # result. Floats are clamped before the cast so the fold stays
+    # finite and wrap-defined.
+    lines.append("  for (cz = 0; cz < 64; cz = cz + 1) {")
+    term = ["chk"]
+    for name, size in sorted(spec.int_arrays.items()):
+        term.append(f"{name}[cz & {size - 1}]")
+    lines.append(f"    chk = {' + '.join(term)};")
+    for name, size in sorted(spec.float_arrays.items()):
+        lines.append(f"    chk = chk ^ (int)(fmin(fabs("
+                     f"{name}[cz & {size - 1}]), 65536.0) * 8.0);")
+    lines.append("  }")
+    for name, (ctype, _) in sorted(spec.scalars.items()):
+        if ctype == "int":
+            lines.append(f"  chk = chk + {name};")
+        else:
+            lines.append(f"  chk = chk ^ (int)(fmin(fabs({name}), "
+                         f"65536.0));")
+    lines.append("  print_int(chk & 65535);")
+    lines.append("  return chk & 65535;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def generate_program(seed, profile="mixed"):
+    """The :class:`GeneratedProgram` for ``(seed, profile)``.
+
+    Calling this twice with the same pair returns byte-identical source.
+    """
+    spec = generate_spec(seed, profile)
+    return GeneratedProgram(
+        name=f"fuzz/{profile}-s{seed}",
+        seed=seed,
+        profile=profile,
+        source=render(spec),
+        spec=spec,
+    )

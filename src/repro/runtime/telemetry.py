@@ -99,6 +99,8 @@ class RunTelemetry:
         self._outcomes = {"parallel_loops": 0, "serial_loops": 0}
         self._cache_stats = {}
         self._vec_decisions = {}
+        self._fuzz = {"cases": 0, "quarantined": 0, "by_oracle": {},
+                      "wall_s": 0.0}
         if _replay:
             self._replay_ledger()
 
@@ -212,6 +214,37 @@ class RunTelemetry:
             "type": "vec_decisions", "summary": self._vec_decisions,
         })
 
+    def fuzz_case(self, *, seed, profile, verdict, case_id=None,
+                  oracles=(), wall_s=0.0):
+        """One differential-fuzzing oracle run (see :mod:`repro.fuzz`).
+
+        ``verdict`` is ``"ok"`` or ``"quarantined"``; ``oracles`` lists the
+        oracle kinds that fired (empty on agreement). The event rides in
+        the same JSONL ledger as sweep tasks, so one ``repro runs show``
+        answers both "what did the sweep do" and "what did the fuzzer
+        find"."""
+        event = {
+            "type": "fuzz_case",
+            "seed": seed,
+            "profile": profile,
+            "verdict": verdict,
+            "case_id": case_id,
+            "oracles": sorted(oracles),
+            "wall_s": wall_s,
+        }
+        self._absorb_fuzz_case(event)
+        self._append(event)
+
+    def _absorb_fuzz_case(self, event):
+        self._fuzz["cases"] += 1
+        self._fuzz["wall_s"] = round(
+            self._fuzz["wall_s"] + float(event.get("wall_s") or 0.0), 6)
+        if event.get("verdict") == "quarantined":
+            self._fuzz["quarantined"] += 1
+        for oracle in event.get("oracles") or ():
+            by_oracle = self._fuzz["by_oracle"]
+            by_oracle[oracle] = by_oracle.get(oracle, 0) + 1
+
     def finish(self, status="complete"):
         self.status = status
         self._append({"type": "finish", "status": status})
@@ -296,6 +329,11 @@ class RunTelemetry:
                 summary = event.get("summary")
                 if isinstance(summary, dict):
                     self._vec_decisions = summary
+            elif kind == "fuzz_case":
+                try:
+                    self._absorb_fuzz_case(event)
+                except Exception:
+                    self.corrupt_lines += 1
 
     # -- persistence ----------------------------------------------------------
 
@@ -340,6 +378,12 @@ class RunTelemetry:
             "outcomes": dict(self._outcomes),
             "cache_stats": dict(self._cache_stats),
             "vec_decisions": dict(self._vec_decisions),
+            "fuzz": {
+                "cases": self._fuzz["cases"],
+                "quarantined": self._fuzz["quarantined"],
+                "by_oracle": dict(self._fuzz["by_oracle"]),
+                "wall_s": self._fuzz["wall_s"],
+            },
             "write_errors": self.write_errors,
             "corrupt_lines": self.corrupt_lines,
         }
@@ -493,6 +537,15 @@ def format_run_summary(manifest):
             bailouts.items(), key=lambda item: (-item[1], item[0])
         ):
             lines.append(f"    bailout {reason}: {count}")
+    fuzz = manifest.get("fuzz") or {}
+    if fuzz.get("cases"):
+        lines.append(
+            f"  fuzz:         {fuzz.get('cases', 0)} oracle runs, "
+            f"{fuzz.get('quarantined', 0)} quarantined "
+            f"({fuzz.get('wall_s', 0.0):.2f}s)"
+        )
+        for oracle, count in sorted((fuzz.get("by_oracle") or {}).items()):
+            lines.append(f"    oracle {oracle}: {count} disagreement(s)")
     for task, reason in sorted(quarantined.items()):
         lines.append(f"  quarantined:  {task} ({reason})")
     return "\n".join(lines)

@@ -6,16 +6,28 @@ commonly-reused compiled kernels are session-scoped.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 from hypothesis import settings
 
 from repro.bench.suites import SuiteRunner
 from repro.core.framework import Loopapalooza
 
-# The shipped suite is deterministic: property-based tests replay the same
-# example corpus on every run (drop the profile locally to explore freshly).
-settings.register_profile("repro-ci", derandomize=True)
-settings.load_profile("repro-ci")
+# One shared hypothesis profile for the whole suite — individual test
+# files must not re-declare deadline/derandomize in per-test ``settings``
+# (a per-test ``max_examples`` override is fine). ``deadline=None``
+# because compile+profile examples legitimately take tens of
+# milliseconds; derandomized under CI (and by default) so the suite
+# replays the same example corpus on every run. Opt into fresh random
+# exploration locally with REPRO_HYPOTHESIS_PROFILE=repro-explore.
+settings.register_profile("repro-ci", deadline=None, derandomize=True)
+settings.register_profile("repro-explore", deadline=None,
+                          derandomize=False)
+settings.load_profile(
+    "repro-ci" if os.environ.get("CI")
+    else os.environ.get("REPRO_HYPOTHESIS_PROFILE", "repro-ci")
+)
 
 
 @pytest.fixture(scope="session")

@@ -33,6 +33,27 @@ def build_counting_loop(trip=10):
     return module, function
 
 
+def minic_programs(profiles=("affine", "calls", "transforms", "mixed"),
+                   max_seed=100_000):
+    """Hypothesis strategy over generated MiniC programs.
+
+    Draws a ``(seed, profile)`` pair and returns the corresponding
+    :class:`repro.fuzz.genprog.GeneratedProgram` — the same grammar the
+    ``repro fuzz`` campaign uses, so property tests and the fuzzer share
+    one program distribution. Shrinking works through the seed integer;
+    for oracle-failure minimization use :mod:`repro.fuzz.shrink` instead.
+    """
+    from hypothesis import strategies as st
+
+    from repro.fuzz.genprog import generate_program
+
+    return st.builds(
+        generate_program,
+        seed=st.integers(min_value=0, max_value=max_seed),
+        profile=st.sampled_from(list(profiles)),
+    )
+
+
 def run_minic(source, fuel=20_000_000):
     """Compile and execute a MiniC program; returns (result, cost, output)."""
     from repro.interp.interpreter import run_module

@@ -173,7 +173,7 @@ def behaviour(module, fuel=5_000_000):
     return result, tuple(machine.output)
 
 
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60)
 @given(minic_program())
 def test_optimized_equals_unoptimized(source):
     program = parse_minic(source)
@@ -185,7 +185,7 @@ def test_optimized_equals_unoptimized(source):
     assert behaviour(optimized) == reference
 
 
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=30)
 @given(minic_program())
 def test_printer_parser_round_trip_on_random_programs(source):
     optimized = CodeGenerator(analyze(parse_minic(source))).run()
@@ -197,7 +197,7 @@ def test_printer_parser_round_trip_on_random_programs(source):
     assert behaviour(reparsed) == behaviour(optimized)
 
 
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=20)
 @given(minic_program())
 def test_instrumentation_neutral_on_random_programs(source):
     from repro.core import Loopapalooza

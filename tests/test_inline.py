@@ -156,7 +156,7 @@ class TestStudyInteraction:
         assert plain.output == inlined.output
 
 
-@settings(max_examples=25, deadline=None)
+@settings(max_examples=25)
 @given(minic_program())
 def test_inline_differential_on_random_programs(source):
     reference = behaviour(compile_raw(source))

@@ -150,7 +150,7 @@ class TestWrap32Properties:
 
 
 class TestSCEVProperty:
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25)
     @given(st.integers(min_value=-50, max_value=50),
            st.integers(min_value=1, max_value=9),
            st.integers(min_value=3, max_value=25))
@@ -192,7 +192,7 @@ class TestFissionFusionRoundTrip:
     family of two-statement loops with a parallel slice and a serial
     recurrence of random distance."""
 
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20)
     @given(st.integers(min_value=-9, max_value=9),
            st.integers(min_value=-9, max_value=9),
            st.integers(min_value=1, max_value=4),

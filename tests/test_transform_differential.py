@@ -147,3 +147,43 @@ def test_transformed_bench_programs_profile_identically():
         for backend in BACKENDS:
             assert untransformed[backend][1:] == reference[1:], \
                 f"transform changes behavior of {program.full_name}"
+
+
+@pytest.mark.slow
+def test_fuzzed_transform_candidates_profile_identically():
+    """25 seeds of the fuzzer's ``transforms`` grammar profile: the same
+    three-way byte-equality and soundness checks as above, but over
+    generated programs biased toward fission/fusion/peel candidates
+    instead of hand-written ones. Part of the CI fuzz-smoke job
+    (``-m slow``)."""
+    from repro.fuzz.genprog import generate_program
+    from repro.reporting.crosscheck import crosscheck_program
+
+    fired = 0
+    for seed in range(25):
+        program = generate_program(seed, "transforms")
+        if compile_source(program.source, transform=True).transform_log:
+            fired += 1
+        profiles = {
+            backend: _canonical_profile(
+                program.source, program.name, backend, transform=True)
+            for backend in BACKENDS
+        }
+        reference = profiles["closure"]
+        for backend in ("jit", "vec"):
+            assert profiles[backend] == reference, \
+                f"{backend} diverges on transformed {program.name}"
+        off = _canonical_profile(
+            program.source, program.name, "closure", transform=False)
+        assert off[1:] == reference[1:], \
+            f"transform changes behavior of {program.name}"
+        for transform in (False, True):
+            lp = Loopapalooza(program.source, name=program.name,
+                              transform=transform)
+            unsound = [row for row in crosscheck_program(lp, program.name)
+                       if row.category == "unsound-static-doall"]
+            assert not unsound, \
+                f"{program.name} (transform={transform}): {unsound}"
+    # The grammar bias must keep the passes engaged, or the sweep decays
+    # into re-testing the untransformed pipeline.
+    assert fired >= 5, f"transforms fired on only {fired}/25 fuzz programs"
