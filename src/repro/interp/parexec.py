@@ -1,0 +1,769 @@
+"""Parallel execution tier: DOALL chunks on real workers, TLS speculation.
+
+The ``par`` backend extends the vector tier with out-of-process execution.
+For every loop the vector planner proves STATIC_DOALL, the emitter plants a
+*parallel section* ahead of the inline vector section: the iteration space
+is chunked across a persistent ``ProcessPoolExecutor``, each worker runs a
+standalone *chunk kernel* against a ``multiprocessing.shared_memory`` view
+of slot memory, and the parent commits the buffered scatter records after
+every chunk succeeds. For structurally kernel-shaped loops that are *not*
+proved DOALL, a TLS section runs the chunks speculatively with read/write
+logging and the lazy-versioning commit protocol of
+:mod:`repro.runtime.speculation`.
+
+Chunk kernels are self-contained generated sources parameterized by an
+``_inv`` tuple of loop-invariant values (registers, constants, global
+bases) that the parent evaluates at loop entry, plus the chunk bounds
+``[_lo, _hi)``. The kernel source is embedded as a string literal in the
+parent's generated source (so it rides the persistent code cache) and is
+content-addressed: workers compile it once per key and memoize.
+
+Safety stacks the same way as the vector tier: kernels verify addresses at
+runtime (``_vaddr``/``_vpre``), compute into private buffers, and raise
+``_VBail`` before any observable mutation; any bail, worker death, hang, or
+pool failure falls back to the inline vector section and, past that, the
+scalar loop. Results and profiles are byte-identical for every worker count
+because chunks cover disjoint iteration ranges (DOALL) or commit in
+iteration order (TLS), and profile events are delivered closed-form by the
+parent exactly as the vector tier does.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import multiprocessing
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+
+from ..analysis.depend import DependenceAnalysis, module_memory_summaries
+from ..analysis.loop_info import LoopInfo
+from ..analysis.scev import ScalarEvolution
+from ..ir.instructions import Br, Call, Load, Store
+from ..ir.values import ConstantFloat, ConstantInt
+from ..runtime.faults import PAR_FAULT_SENTINEL_ENV, maybe_inject_fault
+from ..runtime.speculation import commit_chunks, tls_namespace
+from .memory import TypedAddressSpace
+from .veccodegen import (
+    _MAX_VEC_TRIP,
+    BAIL_CFG,
+    BAIL_HEADER,
+    BAIL_INNER,
+    BAIL_IV,
+    BAIL_MULTI_LATCH,
+    BAIL_NOT_SIMPLIFIED,
+    BAIL_TRIP,
+    BAIL_TRIP_SIZE,
+    BAIL_TRIP_WRAP,
+    VecLoopPlan,
+    _VBail,
+    _VecEmitter,
+    _body_chain,
+    _c,
+    _header_shape,
+    _iv_chain_ok,
+    _phi_step,
+    _scan_ops,
+    _trip_exact,
+    _trip_runtime,
+    emit_trip_prologue,
+    vec_available,
+    vec_namespace,
+)
+
+#: Bump whenever the parallel-section or chunk-kernel template changes;
+#: folded into the code-cache tier tag so stale sources are never reused.
+PAR_VERSION = 1
+
+#: Exceptions that mean "this chunk bailed; fall back", never "crash".
+_BAIL_EXCEPTIONS = (_VBail, OverflowError, ValueError, ZeroDivisionError,
+                    TypeError)
+
+WORKERS_ENV = "REPRO_PAR_WORKERS"
+MIN_TRIP_ENV = "REPRO_PAR_MIN_TRIP"
+TASK_TIMEOUT_ENV = "REPRO_PAR_TASK_TIMEOUT"
+RETRIES_ENV = "REPRO_PAR_RETRIES"
+
+DEFAULT_MIN_TRIP = 4096
+DEFAULT_TASK_TIMEOUT = 120.0
+DEFAULT_RETRIES = 2
+
+
+def _env_int(name, default):
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+def _env_float(name, default):
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def default_workers():
+    """Worker count for the par tier: env override, else host cores."""
+    return max(1, _env_int(WORKERS_ENV, os.cpu_count() or 1))
+
+
+def chunk_bounds(trip, chunks):
+    """Split ``[0, trip)`` into at most ``chunks`` contiguous ranges."""
+    chunks = max(1, min(chunks, trip))
+    step, remainder = divmod(trip, chunks)
+    bounds = []
+    lo = 0
+    for index in range(chunks):
+        hi = lo + step + (1 if index < remainder else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+# -- TLS planning --------------------------------------------------------------
+
+
+class TlsLoopPlan(VecLoopPlan):
+    """A kernel-shaped loop runnable under speculation (any verdict)."""
+
+    __slots__ = ("verdict",)
+
+
+def _plan_tls_loop(loop, cfg, scev, dep):
+    """Structural screen for TLS: the vector planner's shape checks minus
+    everything specific to reordered vector execution (affine access
+    footprints, intra-iteration alias, magnitude bounds, and the DOALL
+    verdict itself — per-iteration speculative execution is faithful to
+    program order within a chunk, and the commit protocol handles the
+    cross-chunk order)."""
+    if loop.subloops:
+        return None, BAIL_INNER
+    preheader = loop.preheader(cfg)
+    latch = loop.single_latch()
+    if latch is None and loop.latches:
+        return None, BAIL_MULTI_LATCH
+    if preheader is None or latch is None \
+            or not isinstance(preheader.terminator, Br):
+        return None, BAIL_NOT_SIMPLIFIED
+    header = loop.header
+    if latch is header:
+        return None, BAIL_HEADER
+    shape = _header_shape(loop, cfg)
+    if shape is None:
+        return None, BAIL_HEADER
+    icmp, body_entry, exit_block = shape
+    chain = _body_chain(loop, body_entry, latch)
+    if chain is None:
+        return None, BAIL_CFG
+    reason = _scan_ops(chain)
+    if reason is not None:
+        return None, reason
+    trip = scev.trip_count(loop)
+    trip_runtime = None
+    if trip is not None and not 1 <= trip <= _MAX_VEC_TRIP:
+        return None, BAIL_TRIP_SIZE
+    if trip is None or not _trip_exact(icmp, header, preheader, scev, loop,
+                                       trip):
+        had_static = trip is not None
+        trip_runtime = _trip_runtime(icmp, header, preheader, scev, loop)
+        if trip_runtime is None:
+            return None, BAIL_TRIP_WRAP if had_static else BAIL_TRIP
+        trip = None
+    phis = list(header.phis())
+    phi_steps = {}
+    for phi in phis:
+        step = _phi_step(phi, scev, loop)
+        if step is None:
+            return None, BAIL_IV
+        if not _iv_chain_ok(phi.incoming_for_block(latch), loop, header):
+            return None, BAIL_IV
+        phi_steps[id(phi)] = step
+    header_cost = len(header.instructions)
+    iter_cost = header_cost
+    for block in chain:
+        extras = sum(
+            max(0, instruction.callee.intrinsic.cost - 1)
+            for instruction in block.instructions
+            if isinstance(instruction, Call)
+        )
+        iter_cost += len(block.instructions) + extras
+    tls = TlsLoopPlan(
+        loop, preheader, header, latch, exit_block, chain, phis, phi_steps,
+        trip, trip_runtime, header_cost, iter_cost, [], icmp,
+    )
+    tls.verdict = dep.loop_verdict(loop).verdict
+    return tls, None
+
+
+def plan_tls_loops(function, vec_loops):
+    """Plan TLS sections for every innermost loop the vector planner did
+    *not* claim. Returns ``(kernels, decisions)`` shaped like
+    :func:`~repro.interp.veccodegen.plan_vector_loops`."""
+    kernels = {}
+    decisions = []
+    if not vec_available():
+        return kernels, decisions
+    loop_info = LoopInfo(function)
+    loops = [
+        loop for loop in loop_info.loops_in_postorder() if not loop.subloops
+    ]
+    if not loops:
+        return kernels, decisions
+    scev = ScalarEvolution(function, loop_info)
+    dep = DependenceAnalysis(
+        function, loop_info=loop_info, scev=scev,
+        summaries=module_memory_summaries(function.module),
+    )
+    for loop in loops:
+        preheader = loop.preheader(loop_info.cfg)
+        if preheader is not None and id(preheader) in vec_loops:
+            continue  # proved DOALL: the parallel DOALL section owns it
+        tls_plan, reason = _plan_tls_loop(loop, loop_info.cfg, scev, dep)
+        if tls_plan is not None:
+            kernels[id(tls_plan.preheader)] = tls_plan
+            decisions.append({
+                "loop_id": loop.loop_id,
+                "status": "tls",
+                "reason": None,
+                "verdict": tls_plan.verdict,
+            })
+        else:
+            decisions.append({
+                "loop_id": loop.loop_id,
+                "status": "bailout",
+                "reason": reason,
+                "verdict": None,
+            })
+    return kernels, decisions
+
+
+# -- chunk-kernel emission -----------------------------------------------------
+
+
+class _ChunkEmitter(_VecEmitter):
+    """Kernel-side emitter: same op lowering as the vector section, but
+    every out-of-loop operand is captured as an ``_inv`` tuple slot whose
+    parent-side expression is recorded in ``self.inv`` (evaluation order =
+    slot order). Constants stay inline literals."""
+
+    def __init__(self, emitter, plan):
+        super().__init__(emitter, plan)
+        self.inv = []         # parent-side expressions, slot order
+        self._inv_index = {}  # id(value) -> slot
+
+    def expr(self, value):
+        name = self.names.get(id(value))
+        if name is not None:
+            return name
+        if isinstance(value, (ConstantInt, ConstantFloat)):
+            return self.em.expr(value)
+        slot = self._inv_index.get(id(value))
+        if slot is None:
+            slot = len(self.inv)
+            self._inv_index[id(value)] = slot
+            self.inv.append(self.em.expr(value))
+        return f"_inv[{slot}]"
+
+    def kernel_phi_lines(self):
+        """Header-phi closed forms over the kernel's ``_vi`` (the global
+        iteration index: an int64 vector for DOALL chunks, a scalar in the
+        TLS per-iteration loop — the dual helpers cover both)."""
+        out = []
+        plan = self.vec
+        for phi in plan.phis:
+            step = plan.phi_steps[id(phi)]
+            start = self.expr(phi.incoming_for_block(plan.preheader))
+            name = self._name(phi)
+            if step == 0:
+                out.append(f"{name} = {start}")
+            elif phi.type.is_pointer:
+                out.append(f"{name} = {start} + {_c(step)} * _vi")
+            elif step == 1:
+                out.append(f"{name} = _vw({start} + _vi)")
+            else:
+                out.append(f"{name} = _vw({start} + {_c(step)} * _vi)")
+        return out
+
+    def inv_tuple(self):
+        """Parent-side source for the ``_inv`` argument."""
+        if not self.inv:
+            return "()"
+        return "(" + ", ".join(self.inv) + ",)"
+
+
+class _DoallKernelEmitter(_ChunkEmitter):
+    """Standalone DOALL chunk kernel: gather/compute/verify over iteration
+    range ``[_lo, _hi)``, returning buffered scatter records plus the
+    iteration-0-normalized base address of every access (for the parent's
+    closed-form profile events)."""
+
+    def kernel_body_lines(self):
+        out = []
+        plan = self.vec
+        strides = {id(a.instruction): a for a in plan.accesses}
+        store_index = 0
+        for block in plan.chain:
+            for instruction in block.instructions:
+                if isinstance(instruction, Br):
+                    continue
+                if isinstance(instruction, Store):
+                    access = strides[id(instruction)]
+                    pointer = self.expr(instruction.pointer)
+                    stride = _c(access.stride)
+                    out.append(
+                        f"_vsb{store_index} = _vpre(_space, {pointer}, "
+                        f"{stride}, _vn)"
+                    )
+                    out.append(
+                        f"_pb.append(_vsb{store_index} - {stride} * _lo)"
+                    )
+                    out.append(
+                        f"_sc.append((_vsb{store_index}, {stride}, _vn, "
+                        f"{self.expr(instruction.value)}))"
+                    )
+                    store_index += 1
+                    continue
+                out.append(self._op_line(instruction, strides))
+                if isinstance(instruction, Load):
+                    access = strides[id(instruction)]
+                    pointer = self.expr(instruction.pointer)
+                    out.append(
+                        f"_pb.append(_vbase({pointer}) - "
+                        f"{_c(access.stride)} * _lo)"
+                    )
+        return out
+
+    def kernel_source(self):
+        lines = [(0, "def _par_chunk(_space, _inv, _lo, _hi):")]
+        lines.append((1, "_vn = _hi - _lo"))
+        lines.append((1, "with _np.errstate(all='ignore'):"))
+        lines.append((2, "_vi = _np.arange(_lo, _hi, dtype=_np.int64)"))
+        lines.append((2, "_vgf = []; _vgi = []"))
+        lines.append((2, "_pb = []; _sc = []"))
+        for text in self.kernel_phi_lines():
+            lines.append((2, text))
+        for text in self.kernel_body_lines():
+            lines.append((2, text))
+        lines.append((1, "return (_sc, _pb)"))
+        return "\n".join("    " * indent + text for indent, text in lines) \
+            + "\n"
+
+
+class _TlsKernelEmitter(_ChunkEmitter):
+    """Standalone TLS chunk kernel: per-iteration scalar execution with a
+    read log and a private write buffer (see
+    :mod:`repro.runtime.speculation` for the commit protocol)."""
+
+    def kernel_body_lines(self):
+        out = []
+        plan = self.vec
+        for block in plan.chain:
+            for instruction in block.instructions:
+                if isinstance(instruction, Br):
+                    continue
+                if isinstance(instruction, Store):
+                    out.append(
+                        f"_tst(_space, _writes, "
+                        f"{self.expr(instruction.pointer)}, "
+                        f"{self.expr(instruction.value)})"
+                    )
+                    continue
+                if isinstance(instruction, Load):
+                    helper = "_tldf" if instruction.type.is_float else "_tldi"
+                    dst = self._name(instruction)
+                    out.append(
+                        f"{dst} = {helper}(_space, _reads, _writes, _over, "
+                        f"{self.expr(instruction.pointer)}, _spec)"
+                    )
+                    continue
+                out.append(self._op_line(instruction, {}))
+        return out
+
+    def kernel_source(self):
+        lines = [(0, "def _par_chunk(_space, _inv, _lo, _hi, _spec, _over):")]
+        lines.append((1, "_reads = set()"))
+        lines.append((1, "_writes = {}"))
+        lines.append((1, "for _vi in range(_lo, _hi):"))
+        for text in self.kernel_phi_lines():
+            lines.append((2, text))
+        for text in self.kernel_body_lines():
+            lines.append((2, text))
+        lines.append((1, "return (_reads, _writes)"))
+        return "\n".join("    " * indent + text for indent, text in lines) \
+            + "\n"
+
+
+def _kernel_key(prefix, source):
+    return prefix + hashlib.sha256(source.encode("utf-8")).hexdigest()[:20]
+
+
+# -- parallel-section emission (parent side) -----------------------------------
+
+
+def emit_par_doall_section(emitter, vec_plan):
+    """Source lines for one parallel DOALL section. Structure::
+
+        <trip prologue and fuel check (as the vector section)>
+        _pr = machine.par.run_doall(key, src, _vn, (invariants...))
+        if _pr is not None:   # pool commit: apply scatter records
+            ...closed-form epilogue with worker-reported event bases...
+        else:                 # pool declined/failed/bailed: inline vector
+            ...the unchanged vector section body...
+
+    Falling out of every arm continues into the untouched scalar edge
+    code, so the fallback ladder is par -> vec -> scalar."""
+    emitter.needs.add("space")
+    kernel = _DoallKernelEmitter(emitter, vec_plan)
+    source = kernel.kernel_source()  # populates kernel.inv
+    key = _kernel_key("d", source)
+    loop_id = vec_plan.loop_id
+    lines, guard = emit_trip_prologue(emitter, vec_plan)
+    lines.append((guard + 1, f"_vt = _cost + _vn * {vec_plan.iter_cost} "
+                             f"+ {vec_plan.header_cost}"))
+    lines.append((guard + 1, "if _vt <= _fuel:"))
+    lines.append((guard + 2, f"_pr = machine.par.run_doall({key!r}, "
+                             f"{source!r}, _vn, {kernel.inv_tuple()})"))
+    lines.append((guard + 2, "if _pr is not None:"))
+    lines.append((guard + 3, "for _pc in _pr[0]:"))
+    lines.append((guard + 4, "_vput(_space, _pc[0], _pc[1], _pc[2], _pc[3])"))
+    lines.append((guard + 3, f"machine.par_runs[{loop_id!r}] = "
+                             f"machine.par_runs.get({loop_id!r}, 0) + 1"))
+    section = _VecEmitter(emitter, vec_plan)
+    event_bases = [f"_pr[1][{index}]"
+                   for index in range(len(vec_plan.accesses))]
+    for text in section.epilogue_lines(event_bases=event_bases):
+        lines.append((guard + 3, text))
+    lines.append((guard + 2, "else:"))
+    lines.append((guard + 3, "try:"))
+    lines.append((guard + 4, "with _np.errstate(all='ignore'):"))
+    lines.append((guard + 5, "_vi = _np.arange(_vn, dtype=_np.int64)"))
+    lines.append((guard + 5, "_vgf = []; _vgi = []"))
+    for text in section.phi_lines():
+        lines.append((guard + 5, text))
+    for text in section.body_lines():
+        lines.append((guard + 5, text))
+    lines.append((guard + 3, "except (_VBail, OverflowError, ValueError, "
+                             "ZeroDivisionError, TypeError):"))
+    lines.append((guard + 4,
+                  f"machine.vec_bailouts[{loop_id!r}] = "
+                  f"machine.vec_bailouts.get({loop_id!r}, 0) + 1"))
+    lines.append((guard + 3, "else:"))
+    for text in section.commit_lines():
+        lines.append((guard + 4, text))
+    return lines
+
+
+def emit_tls_section(emitter, tls_plan):
+    """Source lines for one TLS section (plain variant only). On commit
+    the executor has already applied the overlay to slot memory, so the
+    section only materializes the loop's closed-form live-outs and jumps
+    to the exit; on abort it falls through to the scalar loop."""
+    kernel = _TlsKernelEmitter(emitter, tls_plan)
+    source = kernel.kernel_source()
+    key = _kernel_key("t", source)
+    loop_id = tls_plan.loop_id
+    lines, guard = emit_trip_prologue(emitter, tls_plan)
+    lines.append((guard + 1, f"_vt = _cost + _vn * {tls_plan.iter_cost} "
+                             f"+ {tls_plan.header_cost}"))
+    lines.append((guard + 1, "if _vt <= _fuel:"))
+    lines.append((guard + 2, f"if machine.par.run_tls({key!r}, {source!r}, "
+                             f"_vn, {kernel.inv_tuple()}):"))
+    lines.append((guard + 3, f"machine.par_tls_runs[{loop_id!r}] = "
+                             f"machine.par_tls_runs.get({loop_id!r}, 0) + 1"))
+    section = _VecEmitter(emitter, tls_plan)
+    for text in section.epilogue_lines():
+        lines.append((guard + 3, text))
+    return lines
+
+
+# -- kernel compilation (parent and workers share this cache) ------------------
+
+_KERNELS = {}  # key -> compiled chunk-kernel callable
+
+
+def _kernel_namespace():
+    namespace = vec_namespace()
+    namespace.update(tls_namespace())
+    return namespace
+
+
+def _compile_kernel(key, source):
+    kernel = _KERNELS.get(key)
+    if kernel is None:
+        namespace = _kernel_namespace()
+        exec(compile(source, f"<par:{key}>", "exec"), namespace)
+        kernel = namespace["_par_chunk"]
+        _KERNELS[key] = kernel
+    return kernel
+
+
+# -- worker side ---------------------------------------------------------------
+
+_WORKER_SPACE = None
+_WORKER_SPACE_KEY = None
+# Whether attach() should drop the resource-tracker registration. Fork
+# workers share the parent's tracker process, where unregistering would
+# erase the parent's own registration; spawn workers have a private
+# tracker that must be told not to unlink the parent's segment.
+_ATTACH_UNTRACK = True
+
+
+def _worker_init(start_method):
+    global _ATTACH_UNTRACK
+    _ATTACH_UNTRACK = start_method != "fork"
+
+
+def _worker_run_chunk(task):
+    """Process-pool task: one chunk of one loop invocation.
+
+    The shared-memory attachment is cached per (segment, generation); the
+    stack pointer and global limit travel with every task because they are
+    per-invocation. Kernels are compiled once per content key."""
+    maybe_inject_fault(PAR_FAULT_SENTINEL_ENV)
+    mode, key, source, handle, stack_pointer, global_limit, inv, lo, hi = task
+    global _WORKER_SPACE, _WORKER_SPACE_KEY
+    name, capacity, generation = handle
+    space_key = (name, generation)
+    if _WORKER_SPACE_KEY != space_key:
+        if _WORKER_SPACE is not None:
+            _WORKER_SPACE.detach()
+        _WORKER_SPACE = TypedAddressSpace.attach(
+            name, capacity, stack_pointer, global_limit,
+            untrack=_ATTACH_UNTRACK,
+        )
+        _WORKER_SPACE_KEY = space_key
+    else:
+        _WORKER_SPACE._stack_pointer = stack_pointer
+        _WORKER_SPACE._length = stack_pointer
+        _WORKER_SPACE.global_limit = global_limit
+    kernel = _compile_kernel(key, source)
+    try:
+        if mode == "doall":
+            return ("ok", kernel(_WORKER_SPACE, inv, lo, hi))
+        return ("ok", kernel(_WORKER_SPACE, inv, lo, hi, True, None))
+    except _BAIL_EXCEPTIONS:
+        return ("bail", None)
+
+
+# -- pool management -----------------------------------------------------------
+
+_POOLS = {}  # worker count -> ProcessPoolExecutor
+
+
+def _get_pool(workers):
+    pool = _POOLS.get(workers)
+    if pool is None:
+        methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in methods else None
+        context = multiprocessing.get_context(method)
+        pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=context,
+            initializer=_worker_init,
+            initargs=(method or multiprocessing.get_start_method(),),
+        )
+        _POOLS[workers] = pool
+    return pool
+
+
+def _discard_pool(workers):
+    """Tear down a (possibly broken or hung) pool, killing its workers."""
+    pool = _POOLS.pop(workers, None)
+    if pool is None:
+        return
+    try:
+        for process in list(getattr(pool, "_processes", {}).values()):
+            process.kill()
+    except Exception:
+        pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
+def shutdown_pools():
+    """Shut down every persistent worker pool (atexit + tests)."""
+    for workers in list(_POOLS):
+        _discard_pool(workers)
+
+
+atexit.register(shutdown_pools)
+
+
+# -- the executor --------------------------------------------------------------
+
+
+class ParExecutor:
+    """Per-interpreter facade over the persistent worker pools.
+
+    Owns dispatch policy (minimum trip, chunking, retries, timeouts), the
+    serial in-process path (1 worker, or memory that cannot be shared),
+    and the telemetry counters surfaced in run manifests."""
+
+    def __init__(self, machine, workers=None):
+        self.machine = machine
+        self.workers = max(1, int(workers) if workers else default_workers())
+        self.min_trip = max(1, _env_int(MIN_TRIP_ENV, DEFAULT_MIN_TRIP))
+        self.task_timeout = _env_float(TASK_TIMEOUT_ENV, DEFAULT_TASK_TIMEOUT)
+        self.retries = max(0, _env_int(RETRIES_ENV, DEFAULT_RETRIES))
+        self.stats = {
+            "doall_dispatches": 0,
+            "doall_chunks": 0,
+            "doall_bails": 0,
+            "doall_fallbacks": 0,
+            "tls_dispatches": 0,
+            "tls_commits": 0,
+            "tls_rollbacks": 0,
+            "tls_aborts": 0,
+            "retries": 0,
+            "pool_rebuilds": 0,
+            "failures": 0,
+        }
+
+    # -- dispatch plumbing -----------------------------------------------------
+
+    def _pool_capable(self):
+        space = self.machine.space
+        return (
+            self.workers > 1
+            and getattr(space, "shared", False)
+            and getattr(space, "_shm", None) is not None
+        )
+
+    def _tasks(self, mode, key, source, inv, bounds):
+        space = self.machine.space
+        handle = space.export_handle()
+        stack_pointer = space._stack_pointer
+        global_limit = space.global_limit
+        return [
+            (mode, key, source, handle, stack_pointer, global_limit, inv,
+             lo, hi)
+            for lo, hi in bounds
+        ]
+
+    def _dispatch(self, tasks):
+        """Run tasks on the pool; retry across pool rebuilds on worker
+        death (BrokenExecutor) or hang (timeout). Returns the result list
+        in task order, or None after exhausting retries."""
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.stats["retries"] += 1
+            pool = _get_pool(self.workers)
+            futures = [pool.submit(_worker_run_chunk, task) for task in tasks]
+            deadline = time.monotonic() + self.task_timeout
+            results = []
+            try:
+                for future in futures:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise FuturesTimeoutError()
+                    results.append(future.result(timeout=remaining))
+                return results
+            except (BrokenExecutor, FuturesTimeoutError, OSError):
+                self.stats["pool_rebuilds"] += 1
+                _discard_pool(self.workers)
+            except Exception:
+                self.stats["failures"] += 1
+                return None
+        self.stats["failures"] += 1
+        return None
+
+    # -- DOALL -----------------------------------------------------------------
+
+    def run_doall(self, key, source, trip, inv):
+        """Execute a proved-DOALL loop invocation on the worker tier.
+
+        Returns ``(scatter_records, event_bases)`` on success or None —
+        the generated section then falls back to the inline vector body.
+        """
+        if trip < self.min_trip:
+            return None
+        self.stats["doall_dispatches"] += 1
+        if not self._pool_capable():
+            kernel = _compile_kernel(key, source)
+            try:
+                records, bases = kernel(self.machine.space, inv, 0, trip)
+            except _BAIL_EXCEPTIONS:
+                self.stats["doall_bails"] += 1
+                return None
+            self.stats["doall_chunks"] += 1
+            return (records, bases)
+        bounds = chunk_bounds(trip, self.workers)
+        tasks = self._tasks("doall", key, source, inv, bounds)
+        results = self._dispatch(tasks)
+        if results is None:
+            self.stats["doall_fallbacks"] += 1
+            return None
+        records = []
+        bases = None
+        for status, payload in results:
+            if status != "ok":
+                self.stats["doall_bails"] += 1
+                return None
+            records.extend(payload[0])
+            if bases is None:
+                bases = payload[1]
+        self.stats["doall_chunks"] += len(results)
+        return (records, bases)
+
+    # -- TLS -------------------------------------------------------------------
+
+    def run_tls(self, key, source, trip, inv):
+        """Speculatively execute a non-DOALL kernel-shaped loop. True
+        means every chunk committed (memory updated, possibly after
+        rollbacks); False means the speculation aborted with memory
+        untouched and the scalar loop must run."""
+        if trip < self.min_trip:
+            return False
+        self.stats["tls_dispatches"] += 1
+        space = self.machine.space
+        kernel = _compile_kernel(key, source)
+        if not self._pool_capable():
+            # Serial chunks against the committed overlay: identical
+            # memory effect, no conflicts possible, zero rollbacks.
+            overlay = {}
+            bounds = chunk_bounds(trip, self.workers)
+            try:
+                for lo, hi in bounds:
+                    _, writes = kernel(space, inv, lo, hi, False, overlay)
+                    overlay.update(writes)
+            except _BAIL_EXCEPTIONS:
+                self.stats["tls_aborts"] += 1
+                return False
+            for addr, value in overlay.items():
+                space.store(addr, value)
+            self.stats["tls_commits"] += len(bounds)
+            return True
+        bounds = chunk_bounds(trip, self.workers)
+        tasks = self._tasks("tls", key, source, inv, bounds)
+        results = self._dispatch(tasks)
+        if results is None or any(
+            status != "ok" for status, _ in results
+        ):
+            self.stats["tls_aborts"] += 1
+            return False
+
+        def rerun(index, overlay):
+            lo, hi = bounds[index]
+            _, writes = kernel(space, inv, lo, hi, False, overlay)
+            return writes
+
+        try:
+            commits, rollbacks = commit_chunks(
+                space, [payload for _, payload in results], rerun
+            )
+        except _BAIL_EXCEPTIONS:
+            self.stats["tls_aborts"] += 1
+            return False
+        self.stats["tls_commits"] += commits
+        self.stats["tls_rollbacks"] += rollbacks
+        return True

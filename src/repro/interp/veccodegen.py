@@ -48,6 +48,7 @@ the affine model promised statically.
 from __future__ import annotations
 
 import math as _math
+import os as _os
 
 from ..analysis.depend import (
     DependenceAnalysis,
@@ -303,6 +304,15 @@ _vpre = _vaddr
 
 def _vconvi(space, base, n):
     """Convert ``n`` contiguous integer slots starting at ``base``."""
+    if space.typed:
+        if space._tag[base:base + n].any():
+            raise _VBail  # a float-tagged slot in the range
+        arr = space._ival[base:base + n]
+        if ((arr >= 2147483648) | (arr < -2147483648)).any():
+            raise _VBail
+        # Copy: gathers must capture the pre-kernel image; a view would
+        # alias later scatters into the same lane.
+        return arr.copy()
     values = space.slots[base:base + n]
     if set(map(type, values)) != {int}:
         raise _VBail
@@ -320,12 +330,41 @@ def _vconvi(space, base, n):
 
 def _vconvf(space, base, n):
     """Convert ``n`` contiguous float slots starting at ``base``."""
+    if space.typed:
+        if (space._tag[base:base + n] != 1).any():  # TAG_FLOAT
+            raise _VBail
+        return space._fval[base:base + n].copy()
     values = space.slots[base:base + n]
     # set(map(type, ...)) runs the whole scan in C; asarray alone cannot
     # stand in for it because a mixed int/float slice converts silently.
     if set(map(type, values)) != {float}:
         raise _VBail
     return _np.fromiter(values, _np.float64, n)
+
+
+#: Gather-window cache bound (satellite of ISSUE 9): at most this many
+#: windows per kernel invocation; least-recently-used window is evicted.
+_WINDOW_CAP_ENV = "REPRO_VEC_WINDOW_CAP"
+_WINDOW_CAP_DEFAULT = 32
+_WINDOW_STATS = {"evictions": 0}
+
+
+def _window_cap():
+    raw = _os.environ.get(_WINDOW_CAP_ENV)
+    if not raw:
+        return _WINDOW_CAP_DEFAULT
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return _WINDOW_CAP_DEFAULT
+
+
+def vec_runtime_stats():
+    """In-process vector-tier cache counters (for ``repro cache stats``)."""
+    return {
+        "window_cap": _window_cap(),
+        "window_evictions": _WINDOW_STATS["evictions"],
+    }
 
 
 def _vwindow(space, base, n, windows, convert):
@@ -339,9 +378,11 @@ def _vwindow(space, base, n, windows, convert):
     converted, which turns k shifted reads of one array into ~one
     conversion pass instead of k."""
     lo, hi = base, base + n
-    for window in windows:
+    for index, window in enumerate(windows):
         wlo, whi = window[0], window[1]
         if wlo <= lo and hi <= whi:
+            if index != len(windows) - 1:
+                windows.append(windows.pop(index))  # LRU: refresh on hit
             return window[2][lo - wlo:hi - wlo]
         if lo <= whi and wlo <= hi:  # overlap or adjacency: extend
             new_lo, new_hi = min(lo, wlo), max(hi, whi)
@@ -353,7 +394,12 @@ def _vwindow(space, base, n, windows, convert):
                 parts.append(convert(space, whi, new_hi - whi))
             arr = _np.concatenate(parts) if len(parts) > 1 else parts[0]
             window[0], window[1], window[2] = new_lo, new_hi, arr
+            if index != len(windows) - 1:
+                windows.append(windows.pop(index))
             return arr[lo - new_lo:hi - new_lo]
+    if len(windows) >= _window_cap():
+        del windows[0]
+        _WINDOW_STATS["evictions"] += 1
     arr = convert(space, lo, n)
     windows.append([lo, hi, arr])
     return arr
@@ -369,6 +415,13 @@ def _vgathi(space, ptrs, stride, n, cache=None):
     stop = base + stride * n
     if stop < 0:
         stop = None
+    if space.typed:
+        if space._tag[base:stop:stride].any():
+            raise _VBail
+        arr = space._ival[base:stop:stride]
+        if ((arr >= 2147483648) | (arr < -2147483648)).any():
+            raise _VBail
+        return arr.copy()
     values = space.slots[base:stop:stride]
     if set(map(type, values)) != {int}:
         raise _VBail
@@ -391,6 +444,10 @@ def _vgathf(space, ptrs, stride, n, cache=None):
     stop = base + stride * n
     if stop < 0:
         stop = None
+    if space.typed:
+        if (space._tag[base:stop:stride] != 1).any():  # TAG_FLOAT
+            raise _VBail
+        return space._fval[base:stop:stride].copy()
     values = space.slots[base:stop:stride]
     if set(map(type, values)) != {float}:
         raise _VBail
@@ -407,6 +464,13 @@ def _vg0i(space, ptr):
         p = ptr
     if p < 0 or p >= space._stack_pointer:
         raise _VBail
+    if space.typed:
+        if space._tag[p]:
+            raise _VBail
+        value = int(space._ival[p])
+        if not -2147483648 <= value < 2147483648:
+            raise _VBail
+        return value
     value = space.slots[p]
     if type(value) is not int or not -2147483648 <= value < 2147483648:
         raise _VBail
@@ -423,6 +487,10 @@ def _vg0f(space, ptr):
         p = ptr
     if p < 0 or p >= space._stack_pointer:
         raise _VBail
+    if space.typed:
+        if space._tag[p] != 1:  # TAG_FLOAT
+            raise _VBail
+        return float(space._fval[p])
     value = space.slots[p]
     if type(value) is not float:
         raise _VBail
@@ -437,13 +505,30 @@ def _vput(space, base, stride, n, values):
         # Only reachable with trip count 1 (a stride-0 store over more
         # iterations is a WAW loop-carried dependence and never DOALL).
         if isinstance(values, _np.ndarray):
-            space.slots[base] = values[n - 1].item()
+            last = values[n - 1].item()
         else:
-            space.slots[base] = values
+            last = values
+        if space.typed:
+            space._write(base, last)
+        else:
+            space.slots[base] = last
         return
     stop = base + stride * n
     if stop < 0:
         stop = None
+    if space.typed:
+        window = slice(base, stop, stride)
+        if isinstance(values, _np.ndarray):
+            is_float = values.dtype.kind == "f"
+        else:
+            is_float = isinstance(values, float)
+        if is_float:
+            space._fval[window] = values
+            space._tag[window] = 1  # TAG_FLOAT
+        else:
+            space._ival[window] = values
+            space._tag[window] = 0  # TAG_INT
+        return
     if isinstance(values, _np.ndarray):
         space.slots[base:stop:stride] = values.tolist()
     else:
@@ -1527,7 +1612,6 @@ class _VecEmitter:
         values need no materialization — the header is the only exiting
         block, so no body instruction dominates (or is visible in) any
         block outside the loop."""
-        em = self.em
         vec = self.vec
         out = []
         store_index = 0
@@ -1544,6 +1628,18 @@ class _VecEmitter:
             f"machine.vec_runs[{vec.loop_id!r}] = "
             f"machine.vec_runs.get({vec.loop_id!r}, 0) + 1"
         )
+        out.extend(self.epilogue_lines())
+        return out
+
+    def epilogue_lines(self, event_bases=None):
+        """Loop-exit closed forms shared by the vector and parallel commit
+        arms: header-phi final values, the exit compare, the bulk profile
+        delivery (with ``event_bases`` overriding the per-access base
+        expressions when the body ran out-of-process), the fuel charge,
+        and the jump to the exit block."""
+        em = self.em
+        vec = self.vec
+        out = []
         for phi in vec.phis:
             step = vec.phi_steps[id(phi)]
             start = em.expr(phi.incoming_for_block(vec.preheader))
@@ -1565,8 +1661,9 @@ class _VecEmitter:
         if em.instrumented:
             tuples = ", ".join(
                 f"({access.is_write!r}, {access.offset}, "
-                f"{self._event_base(access)}, {_c(access.stride)})"
-                for access in vec.accesses
+                f"{event_bases[index] if event_bases is not None else self._event_base(access)}, "
+                f"{_c(access.stride)})"
+                for index, access in enumerate(vec.accesses)
             )
             out.append(
                 f"_rt.vec_loop({vec.loop_id!r}, _cost, _vn, "
@@ -1589,20 +1686,15 @@ class _VecEmitter:
         return f"_vbase({self.expr(access.instruction.pointer)})"
 
 
-def emit_vec_section(emitter, vec_plan):
-    """Source lines (indent, text) for one vector section, planted at the
-    top of the preheader's Br arm; indentation is relative to the arm
-    body. Falling out of the guards/``except`` continues into the
-    untouched scalar edge code, so every bail is a plain slow path.
+def emit_trip_prologue(emitter, vec_plan):
+    """``(lines, guard)`` binding ``_vn`` for one kernel section.
 
-    A static trip count binds ``_vn`` to a literal. A runtime trip count
-    computes ``_vn`` from the live start/bound registers and takes the
-    kernel only when the count is in kernel range *and* the IV's final
-    value still fits i32 — the no-wrap proof that makes the closed form
-    exact (see :func:`_trip_runtime`)."""
-    section = _VecEmitter(emitter, vec_plan)
-    if vec_plan.accesses:
-        emitter.needs.add("space")
+    A static trip count binds ``_vn`` to a literal (guard 0). A runtime
+    trip count computes ``_vn`` from the live start/bound registers and
+    opens a guard taken only when the count is in kernel range *and* the
+    IV's final value still fits i32 — the no-wrap proof that makes the
+    closed forms exact (see :func:`_trip_runtime`). Shared by the vector
+    section and the parallel tier's DOALL/TLS sections."""
     lines = []
     guard = 0
     if vec_plan.trip is not None:
@@ -1625,6 +1717,18 @@ def emit_vec_section(emitter, vec_plan):
                          f"-2147483648 <= {start_expr} + {_c(step)} * _vn "
                          f"< 2147483648:"))
         guard = 1
+    return lines, guard
+
+
+def emit_vec_section(emitter, vec_plan):
+    """Source lines (indent, text) for one vector section, planted at the
+    top of the preheader's Br arm; indentation is relative to the arm
+    body. Falling out of the guards/``except`` continues into the
+    untouched scalar edge code, so every bail is a plain slow path."""
+    section = _VecEmitter(emitter, vec_plan)
+    if vec_plan.accesses:
+        emitter.needs.add("space")
+    lines, guard = emit_trip_prologue(emitter, vec_plan)
     lines.append((guard + 1, f"_vt = _cost + _vn * {vec_plan.iter_cost} "
                              f"+ {vec_plan.header_cost}"))
     lines.append((guard + 1, "if _vt <= _fuel:"))

@@ -1,0 +1,406 @@
+"""Predicted-vs-achieved speedup: the paper's cost model joined with
+measured wall-clock on the parallel execution tier.
+
+The Loopapalooza cost model predicts per-loop and whole-program speedup
+under idealized execution models (unbounded workers, modeled overheads).
+The parallel tier (:mod:`repro.interp.parexec`) actually runs proved-DOALL
+loops on worker processes. This module joins the two:
+
+* :func:`kernel_speedup_report` — per-loop: each loop-throughput kernel
+  isolates one proved-DOALL loop, so its wall-clock ``jit / par`` ratio at
+  ``N`` workers is directly comparable to the model's per-loop speedup
+  (capped at ``N`` — the model assumes unbounded workers).
+* :func:`program_speedup_report` — whole-program: model speedup under a
+  configuration vs end-to-end wall-clock, plus the executor's
+  dispatch/commit/rollback counters showing how much of the run actually
+  reached the pool.
+* :func:`parexec_soundness` — the determinism gate behind
+  ``repro parexec --suite``: every bundled program must produce
+  byte-identical profiles and outputs under the par backend at *every*
+  worker count, instrumented and plain.
+
+All wall-clock measurements are best-of-``repeats`` on pre-compiled
+modules (warm code cache), matching :mod:`repro.bench.tiers`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import time
+
+from ..core.config import LPConfig
+from ..core.evaluator import evaluate_config
+from ..core.framework import Loopapalooza
+from ..frontend.codegen import compile_source
+from ..interp.interpreter import Interpreter
+from .stats import geomean
+
+DEFAULT_WORKERS = (1, 2, 4)
+DEFAULT_REPEATS = 3
+DEFAULT_FUEL = 2_000_000_000
+
+
+@contextlib.contextmanager
+def _env(key, value):
+    """Temporarily pin one environment variable (None = leave as-is)."""
+    if value is None:
+        yield
+        return
+    saved = os.environ.get(key)
+    os.environ[key] = str(value)
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = saved
+
+
+def _min_trip(value):
+    return _env("REPRO_PAR_MIN_TRIP", value)
+
+
+def _timed_run(module, backend, repeats, fuel, par_workers=None):
+    """Best-of-``repeats`` plain run; returns ``(seconds, machine)`` with
+    the machine of the final repeat (for its tier counters)."""
+    best = float("inf")
+    machine = None
+    for _ in range(repeats):
+        machine = Interpreter(module, fuel=fuel, backend=backend,
+                              par_workers=par_workers)
+        started = time.perf_counter()
+        machine.run("main")
+        best = min(best, time.perf_counter() - started)
+    return best, machine
+
+
+def _default_config():
+    """The model configuration matching the par tier's capability: DOALL
+    with function-call speculation (the tier executes pure intrinsic calls
+    inside worker chunks, the analog of ``fn2`` in the paper's ladder)."""
+    return LPConfig("doall", fn=2)
+
+
+def predicted_speedups(source, name="program", config=None):
+    """The paper model's :class:`EvaluationResult` for ``source``."""
+    lp = Loopapalooza(source, name=name)
+    config = config or _default_config()
+    return evaluate_config(lp.profile(), lp.static_info, config)
+
+
+def _dominant_loop(result):
+    """The best-parallelizing loop, by modeled speedup then serial cost —
+    in a loop-kernel program, the isolated kernel loop itself (the outer
+    reps loop predicts ~reps, the kernel loop ~trip count)."""
+    best = None
+    for summary in result.loops.values():
+        if best is None or (summary.speedup, summary.serial_cost) > (
+                best.speedup, best.serial_cost):
+            best = summary
+    return best
+
+
+def kernel_speedup_report(workers_list=DEFAULT_WORKERS,
+                          repeats=DEFAULT_REPEATS, fuel=DEFAULT_FUEL,
+                          config=None, min_trip=1):
+    """Per-loop predicted-vs-achieved join over the loop-kernel suite."""
+    from ..bench.loop_kernels import loop_kernels
+
+    rows = []
+    with _min_trip(min_trip):
+        for kernel in loop_kernels():
+            result = predicted_speedups(kernel.source, name=kernel.name,
+                                        config=config)
+            loop = _dominant_loop(result)
+            module = compile_source(kernel.source)
+            jit_seconds, _ = _timed_run(module, "jit", repeats, fuel)
+            # Typed memory for the vec baseline: the par tier always runs
+            # typed lanes, so vs-vec must not conflate the typed-memory
+            # win with the pool's own effect.
+            with _env("REPRO_TYPED_MEMORY", "1"):
+                vec_seconds, _ = _timed_run(module, "vec", repeats, fuel)
+            achieved = {}
+            achieved_vs_vec = {}
+            par_seconds = {}
+            pool_commits = {}
+            for workers in workers_list:
+                seconds, machine = _timed_run(module, "par", repeats, fuel,
+                                              par_workers=workers)
+                par_seconds[workers] = seconds
+                achieved[workers] = (
+                    jit_seconds / seconds if seconds > 0 else float("inf")
+                )
+                achieved_vs_vec[workers] = (
+                    vec_seconds / seconds if seconds > 0 else float("inf")
+                )
+                pool_commits[workers] = sum(machine.par_runs.values())
+            rows.append({
+                "name": kernel.name,
+                "derived_from": kernel.derived_from,
+                "loop_id": loop.loop_id if loop is not None else None,
+                "predicted_model": round(loop.speedup, 3) if loop else None,
+                "predicted_capped": {
+                    workers: round(min(loop.speedup, workers), 3)
+                    if loop else None
+                    for workers in workers_list
+                },
+                "jit_s": jit_seconds,
+                "vec_s": vec_seconds,
+                "par_s": dict(par_seconds),
+                "achieved": {
+                    workers: round(value, 3)
+                    for workers, value in achieved.items()
+                },
+                "achieved_vs_vec": {
+                    workers: round(value, 3)
+                    for workers, value in achieved_vs_vec.items()
+                },
+                "pool_commits": pool_commits,
+            })
+    return {
+        "mode": "kernels",
+        "workers": list(workers_list),
+        "repeats": repeats,
+        "config": (config or _default_config()).name,
+        "rows": rows,
+        "achieved_geomeans": {
+            workers: round(geomean(
+                row["achieved"][workers] for row in rows
+            ), 3)
+            for workers in workers_list
+        },
+        "achieved_vs_vec_geomeans": {
+            workers: round(geomean(
+                row["achieved_vs_vec"][workers] for row in rows
+            ), 3)
+            for workers in workers_list
+        },
+    }
+
+
+def program_speedup_report(suite=None, workers_list=DEFAULT_WORKERS,
+                           repeats=DEFAULT_REPEATS, fuel=DEFAULT_FUEL,
+                           config=None, min_trip=None):
+    """Whole-program predicted-vs-achieved join over bundled programs."""
+    from ..bench.suites import all_programs, suite_programs
+
+    programs = suite_programs(suite) if suite else all_programs()
+    rows = []
+    totals = {}
+    with _min_trip(min_trip):
+        for program in programs:
+            result = predicted_speedups(program.source, name=program.name,
+                                        config=config)
+            module = compile_source(program.source)
+            jit_seconds, _ = _timed_run(module, "jit", repeats, fuel)
+            achieved = {}
+            stats = {}
+            for workers in workers_list:
+                seconds, machine = _timed_run(module, "par", repeats, fuel,
+                                              par_workers=workers)
+                achieved[workers] = round(
+                    jit_seconds / seconds if seconds > 0 else float("inf"), 3
+                )
+                stats[workers] = dict(machine.par.stats)
+                for key, value in machine.par.stats.items():
+                    bucket = totals.setdefault(workers, {})
+                    bucket[key] = bucket.get(key, 0) + value
+            rows.append({
+                "name": program.full_name,
+                "predicted_model": round(result.speedup, 3),
+                "coverage": round(result.coverage, 4),
+                "jit_s": jit_seconds,
+                "achieved": achieved,
+                "par_stats": stats,
+            })
+    return {
+        "mode": "programs",
+        "suite": suite,
+        "workers": list(workers_list),
+        "repeats": repeats,
+        "config": (config or _default_config()).name,
+        "rows": rows,
+        "achieved_geomeans": {
+            workers: round(geomean(
+                row["achieved"][workers] for row in rows
+            ), 3)
+            for workers in workers_list
+        },
+        "par_stats_total": totals,
+    }
+
+
+# -- soundness gate ------------------------------------------------------------
+
+
+def _canonical_par_run(module, instrumentation, name, workers):
+    """(profile_json, profile_output, plain_result, plain_cost,
+    plain_output, machines) for one par execution at ``workers``."""
+    from ..runtime.recorder import ProfilingRuntime
+    from ..runtime.serialize import profile_to_dict
+
+    runtime = ProfilingRuntime(name)
+    instrumented = Interpreter(module, runtime, instrumentation,
+                               backend="par", par_workers=workers)
+    runtime.attach(instrumented)
+    result = instrumented.run("main")
+    profile = json.dumps(
+        profile_to_dict(runtime.finish(instrumented.cost, result)),
+        sort_keys=True,
+    )
+    plain = Interpreter(module, None, None, backend="par",
+                        par_workers=workers)
+    plain_result = plain.run("main")
+    return {
+        "profile": profile,
+        "profile_output": list(instrumented.output),
+        "plain": (plain_result, plain.cost, tuple(plain.output)),
+        "machines": (instrumented, plain),
+    }
+
+
+def parexec_soundness(workers_list=(1, 2), suite=None, min_trip=1,
+                      baseline_backend="vec"):
+    """Run every bundled program under the par backend at every worker
+    count and compare byte-for-byte against the baseline backend.
+
+    Returns a report dict; ``report["mismatches"]`` empty means the
+    determinism guarantee held everywhere. ``doall_loops`` counts loops
+    the static engine proved STATIC_DOALL across the suite (the
+    population whose kernels the pool executes)."""
+    from ..analysis.depend import VERDICT_DOALL
+    from ..bench.suites import all_programs, suite_programs
+    from ..runtime.serialize import profile_to_dict
+
+    programs = suite_programs(suite) if suite else all_programs()
+    mismatches = []
+    doall_loops = 0
+    pool_commits = 0
+    tls_commits = 0
+    tls_rollbacks = 0
+    checked = 0
+    with _min_trip(min_trip):
+        for program in programs:
+            lp = Loopapalooza(program.source, name=program.name,
+                              backend=baseline_backend)
+            for verdict in lp.static_info.dependence().values():
+                if verdict.verdict == VERDICT_DOALL:
+                    doall_loops += 1
+            base_profile = json.dumps(
+                profile_to_dict(lp.profile()), sort_keys=True,
+            )
+            base_output = list(lp.output)
+            base_plain = lp.run_uninstrumented()
+            base_plain = (base_plain[0], base_plain[1],
+                          tuple(base_plain[2]))
+            for workers in workers_list:
+                run = _canonical_par_run(
+                    lp.module, lp.instrumentation, program.name, workers
+                )
+                checked += 1
+                if run["profile"] != base_profile \
+                        or run["profile_output"] != base_output \
+                        or run["plain"] != base_plain:
+                    mismatches.append({
+                        "program": program.full_name,
+                        "workers": workers,
+                        "profile_ok": run["profile"] == base_profile,
+                        "output_ok": run["profile_output"] == base_output,
+                        "plain_ok": run["plain"] == base_plain,
+                    })
+                for machine in run["machines"]:
+                    pool_commits += sum(machine.par_runs.values())
+                    tls_commits += machine.par.stats["tls_commits"]
+                    tls_rollbacks += machine.par.stats["tls_rollbacks"]
+    return {
+        "programs": len(programs),
+        "workers": list(workers_list),
+        "runs_checked": checked,
+        "doall_loops": doall_loops,
+        "pool_commits": pool_commits,
+        "tls_commits": tls_commits,
+        "tls_rollbacks": tls_rollbacks,
+        "mismatches": mismatches,
+    }
+
+
+# -- formatting ----------------------------------------------------------------
+
+
+def format_kernel_report(report):
+    """``model`` is the uncapped paper prediction; per worker count ``N``,
+    ``pred@N`` caps it at N, ``jit@N`` is wall-clock vs the scalar JIT and
+    ``vec@N`` vs the inline vector tier (the pool's own contribution)."""
+    workers = report["workers"]
+    lines = []
+    header = f"{'kernel':22s}{'model':>9s}"
+    for n in workers:
+        header += f"{f'pred@{n}':>9s}{f'jit@{n}':>9s}{f'vec@{n}':>9s}"
+    lines.append(header)
+    for row in report["rows"]:
+        line = f"{row['name']:22s}"
+        model = row["predicted_model"]
+        line += f"{model:>9.1f}" if model is not None else f"{'-':>9s}"
+        for n in workers:
+            predicted = (row["predicted_capped"] or {}).get(n)
+            line += (f"{predicted:>8.2f}x" if predicted is not None
+                     else f"{'-':>9s}")
+            for key in ("achieved", "achieved_vs_vec"):
+                value = row[key].get(n)
+                line += (f"{value:>8.2f}x" if value is not None
+                         else f"{'-':>9s}")
+        lines.append(line)
+    means = report["achieved_geomeans"]
+    vec_means = report["achieved_vs_vec_geomeans"]
+    line = f"{'geomean':22s}" + " " * 9
+    for n in workers:
+        line += " " * 9 + f"{means[n]:>8.2f}x{vec_means[n]:>8.2f}x"
+    lines.append(line)
+    return "\n".join(lines)
+
+
+def format_program_report(report):
+    workers = report["workers"]
+    lines = []
+    header = f"{'benchmark':24s}{'model':>9s}{'cover':>8s}"
+    for n in workers:
+        header += f"{f'ach@{n}':>9s}"
+    lines.append(header)
+    for row in report["rows"]:
+        line = (f"{row['name']:24s}{row['predicted_model']:>9.2f}"
+                f"{row['coverage'] * 100:>7.1f}%")
+        for n in workers:
+            line += f"{row['achieved'][n]:>8.2f}x"
+        lines.append(line)
+    means = report["achieved_geomeans"]
+    line = f"{'geomean':24s}" + " " * 17
+    for n in workers:
+        line += f"{means[n]:>8.2f}x"
+    lines.append(line)
+    return "\n".join(lines)
+
+
+def format_soundness_report(report):
+    lines = [
+        f"{report['programs']} programs x workers {report['workers']}: "
+        f"{report['runs_checked']} par runs checked against the "
+        f"baseline",
+        f"  STATIC_DOALL loops in suite: {report['doall_loops']}",
+        f"  pool/local kernel commits:   {report['pool_commits']}",
+        f"  TLS chunk commits:           {report['tls_commits']} "
+        f"({report['tls_rollbacks']} rollbacks)",
+    ]
+    if report["mismatches"]:
+        lines.append(f"  MISMATCHES: {len(report['mismatches'])}")
+        for entry in report["mismatches"]:
+            lines.append(
+                f"    {entry['program']} @ {entry['workers']} workers "
+                f"(profile={entry['profile_ok']} "
+                f"output={entry['output_ok']} plain={entry['plain_ok']})"
+            )
+    else:
+        lines.append("  byte-identical everywhere")
+    return "\n".join(lines)

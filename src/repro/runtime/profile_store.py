@@ -326,6 +326,23 @@ def default_code_cache_root():
     return pathlib.Path.home() / ".cache" / "repro" / "code"
 
 
+#: Entry cap for the on-disk code cache (oldest-access eviction). Sized so
+#: a full bundled-suite sweep (48 programs x 2 variants x a few tiers) fits
+#: with headroom; long-lived fuzzing hosts stay bounded.
+CODE_CACHE_CAP_ENV = "REPRO_CODE_CACHE_CAP"
+CODE_CACHE_CAP_DEFAULT = 1024
+
+
+def code_cache_cap():
+    raw = os.environ.get(CODE_CACHE_CAP_ENV)
+    if not raw:
+        return CODE_CACHE_CAP_DEFAULT
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return CODE_CACHE_CAP_DEFAULT
+
+
 class CodeCache:
     """Content-addressed on-disk store for JIT-generated Python sources.
 
@@ -336,12 +353,16 @@ class CodeCache:
     propagate.
     """
 
-    def __init__(self, root=None, schema=None):
+    def __init__(self, root=None, schema=None, cap=None):
         self.root = (
             pathlib.Path(root) if root is not None else default_code_cache_root()
         )
         self.schema = CODE_CACHE_SCHEMA if schema is None else schema
         self.stats = ProfileStoreStats()
+        #: Entry cap (LRU by file mtime); ``None`` re-reads the env var at
+        #: every store so tests and long-lived hosts can tune it live.
+        self._cap = cap
+        self.evictions = 0
 
     def _path_for(self, key):
         return self.root / f"{key}.json"
@@ -374,6 +395,10 @@ class CodeCache:
                 pass
             return None
         self.stats.hits += 1
+        try:
+            os.utime(path)  # LRU touch: eviction is oldest-mtime-first
+        except OSError:
+            pass
         return source
 
     def store(self, key, source, meta=None):
@@ -405,7 +430,33 @@ class CodeCache:
             self.stats.errors += 1
             return False
         self.stats.stores += 1
+        self._evict_to_cap()
         return True
+
+    def cap(self):
+        return self._cap if self._cap is not None else code_cache_cap()
+
+    def _evict_to_cap(self):
+        """Drop least-recently-used entries until the cap holds. Races
+        with concurrent processes are benign: eviction of an entry another
+        process is about to read just costs that process a miss."""
+        cap = self.cap()
+        entries = self.entries()
+        if len(entries) <= cap:
+            return
+        by_age = []
+        for path in entries:
+            try:
+                by_age.append((path.stat().st_mtime, str(path), path))
+            except OSError:
+                pass
+        by_age.sort()
+        for _, _, path in by_age[: max(0, len(by_age) - cap)]:
+            try:
+                path.unlink()
+                self.evictions += 1
+            except OSError:
+                pass
 
     def entries(self):
         try:
@@ -440,6 +491,8 @@ class CodeCache:
             "entries": len(entries),
             "size_bytes": self.size_bytes(),
             "schema": self.schema,
+            "cap": self.cap(),
+            "evictions": self.evictions,
             **self.stats.as_dict(),
         }
 

@@ -1,0 +1,107 @@
+"""Software thread-level speculation (TLS) runtime for the parallel tier.
+
+Loops that fit the kernel structural model (straight-line body, closed-form
+induction variables, single header exit) but are *not* proved STATIC_DOALL
+can still run in parallel speculatively. The protocol is the lazy-versioning
+scheme assumed by :mod:`repro.runtime.cost_models`:
+
+1. The iteration space is chunked; each chunk executes in a worker against
+   the shared pre-loop memory image, buffering every store in a private
+   write log (reads check the own-chunk buffer first — read-your-own-write)
+   and recording every address read from shared memory in a read log.
+2. The parent commits chunks **in iteration order** into an overlay (a
+   committed-writes map layered over memory). A chunk whose read log
+   intersects the overlay observed a stale value for an address an earlier
+   chunk wrote — a cross-chunk RAW violation — and is rolled back: its
+   buffered writes are discarded and the chunk re-executes serially in the
+   parent against overlay + memory.
+3. Only after every chunk commits is the overlay applied to slot memory.
+   Any bailout (trap, type surprise, non-canonical value) aborts the whole
+   speculation with memory untouched; the caller falls back to the scalar
+   loop, which replays every iteration exactly (traps included).
+
+WAR and WAW need no detection: commit order is iteration order, so a later
+chunk's write simply shadows an earlier one (WAW resolves to the serially
+last write) and an earlier chunk's read of a later chunk's target saw the
+pre-image exactly as serial execution would (WAR is harmless).
+
+The three ``_tld*``/``_tst`` helpers are injected into TLS chunk-kernel
+namespaces by :mod:`repro.interp.parexec`; they bail (raise ``_VBail``) on
+anything the vector helpers would bail on — out-of-bounds addresses and
+non-canonical slot values — so a speculative chunk can never fault, only
+abort.
+"""
+
+from __future__ import annotations
+
+from ..interp.veccodegen import _VBail
+
+
+def _tldi(space, reads, writes, over, addr, spec):
+    """Speculative integer load: own write buffer, then the committed
+    overlay (serial re-execution only), then shared memory (logged)."""
+    if addr in writes:
+        value = writes[addr]
+    elif over is not None and addr in over:
+        value = over[addr]
+    else:
+        if addr < 0 or addr >= space._stack_pointer:
+            raise _VBail
+        value = space.load(addr)
+        if spec:
+            reads.add(addr)
+    if type(value) is not int or not -2147483648 <= value < 2147483648:
+        raise _VBail
+    return value
+
+
+def _tldf(space, reads, writes, over, addr, spec):
+    """Speculative float load (same resolution order as :func:`_tldi`)."""
+    if addr in writes:
+        value = writes[addr]
+    elif over is not None and addr in over:
+        value = over[addr]
+    else:
+        if addr < 0 or addr >= space._stack_pointer:
+            raise _VBail
+        value = space.load(addr)
+        if spec:
+            reads.add(addr)
+    if type(value) is not float:
+        raise _VBail
+    return value
+
+
+def _tst(space, writes, addr, value):
+    """Speculative store: bounds-check now (so an eventual trap aborts the
+    chunk before anything commits), buffer the value."""
+    if addr < 0 or addr >= space._stack_pointer:
+        raise _VBail
+    writes[addr] = value
+
+
+def tls_namespace():
+    """Names TLS chunk kernels reference beyond the vector helpers."""
+    return {"_tldi": _tldi, "_tldf": _tldf, "_tst": _tst}
+
+
+def commit_chunks(space, results, rerun):
+    """Commit speculative chunk results in iteration order.
+
+    ``results`` is one ``(reads, writes)`` pair per chunk, iteration order.
+    ``rerun(index, overlay)`` re-executes chunk ``index`` serially against
+    the committed overlay and returns its write map (it may raise ``_VBail``
+    to abort the whole speculation). Returns ``(commits, rollbacks)`` after
+    applying the merged overlay to ``space``; raises before any memory
+    mutation on abort.
+    """
+    overlay = {}
+    rollbacks = 0
+    for index, (reads, writes) in enumerate(results):
+        if overlay and reads and not reads.isdisjoint(overlay):
+            writes = rerun(index, overlay)  # RAW violation: rollback
+            rollbacks += 1
+        overlay.update(writes)
+    for addr, value in overlay.items():
+        space.store(addr, value)
+    return len(results), rollbacks

@@ -51,6 +51,7 @@ class TestBackendSelection:
     def test_default_is_vec(self, monkeypatch):
         monkeypatch.delenv("REPRO_NO_JIT", raising=False)
         monkeypatch.delenv("REPRO_NO_VEC", raising=False)
+        monkeypatch.delenv("REPRO_PAR", raising=False)
         assert backend_from_env() == "vec"
 
     @pytest.mark.parametrize("value", ["1", "true", "yes", "on"])
@@ -70,6 +71,7 @@ class TestBackendSelection:
         assert backend_from_env() == "closure"
 
     def test_falsy_env_values_keep_vec(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAR", raising=False)
         for value in ("", "0", "false"):
             monkeypatch.setenv("REPRO_NO_JIT", value)
             monkeypatch.setenv("REPRO_NO_VEC", value)

@@ -1,0 +1,193 @@
+"""Typed slot memory vs the list-backed reference, instruction for
+instruction.
+
+:class:`TypedAddressSpace` stores slots in int64/float64 NumPy lanes (so
+the vector and parallel tiers can gather/scatter without boxing) but must
+be observably identical to the list-backed :class:`AddressSpace` —
+including the warts: the stack-reuse zeroing quirk (``allocate`` zeroes
+only beyond the high-water mark when growing), i32 wraparound and INT_MIN
+division at the instruction layer above it, and float NaN round-tripping
+through the float lane.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import TrapError
+from repro.frontend.codegen import compile_source
+from repro.interp.interpreter import Interpreter
+from repro.interp.memory import AddressSpace, TypedAddressSpace
+
+
+def _run(source, typed, monkeypatch, backend="jit"):
+    if typed:
+        monkeypatch.setenv("REPRO_TYPED_MEMORY", "1")
+    else:
+        monkeypatch.delenv("REPRO_TYPED_MEMORY", raising=False)
+    machine = Interpreter(compile_source(source), backend=backend)
+    assert machine.space.typed is typed
+    try:
+        result = machine.run("main")
+    except TrapError as trap:
+        return ("trap", str(trap), tuple(machine.output))
+    return (result, machine.cost, tuple(machine.output))
+
+
+I32_WRAP_SOURCE = """
+int main() { int x; int i; int acc;
+  x = 2147483647; acc = 0;
+  for (i = 0; i < 8; i = i + 1) { x = x + 1; acc = acc ^ x; }
+  print_int(x); print_int(acc);
+  return x & 255; }
+"""
+
+INT_MIN_DIV_SOURCE = """
+int main() { int a; int b; int q; int r;
+  a = 0 - 2147483647; a = a - 1;
+  b = 0 - 1;
+  q = a / b; r = a % b;
+  print_int(q); print_int(r);
+  return (q ^ r) & 65535; }
+"""
+
+STACK_REUSE_SOURCE = """
+int scribble(int k) { int B[32]; int i;
+  for (i = 0; i < 32; i = i + 1) { B[i] = k * i + 7; }
+  return B[31]; }
+int probe() { int C[48]; int i; int acc;
+  acc = 0;
+  for (i = 0; i < 48; i = i + 1) { acc = acc + C[i]; }
+  return acc; }
+int main() { int s;
+  s = scribble(3);
+  print_int(probe());
+  return s & 255; }
+"""
+
+
+@pytest.mark.parametrize("source,name", [
+    (I32_WRAP_SOURCE, "i32_wrap"),
+    (INT_MIN_DIV_SOURCE, "int_min_div"),
+    (STACK_REUSE_SOURCE, "stack_reuse"),
+])
+@pytest.mark.parametrize("backend", ["jit", "closure"])
+def test_typed_memory_program_equivalence(source, name, backend,
+                                          monkeypatch):
+    reference = _run(source, typed=False, monkeypatch=monkeypatch,
+                     backend=backend)
+    observed = _run(source, typed=True, monkeypatch=monkeypatch,
+                    backend=backend)
+    assert observed == reference, f"{name} diverged on {backend}"
+
+
+# -- direct API equivalence ----------------------------------------------------
+
+
+def _equal_values(a, b):
+    if isinstance(a, float) and isinstance(b, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    return type(a) is type(b) and a == b
+
+
+INTERESTING_INTS = [0, 1, -1, 2**31 - 1, -(2**31), 2**63 - 1, -(2**63),
+                    1023, -4096]
+INTERESTING_FLOATS = [0.0, -0.0, 1.5, -2.25, float("nan"), float("inf"),
+                      float("-inf"), 1e300, 5e-324]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_random_op_sequences_match_list_backed(seed):
+    """Mirror a random allocate/store/load/release trace on both spaces;
+    every load must agree (NaN-aware), including stale values exposed by
+    the partial-reuse allocation quirk."""
+    rng = random.Random(seed)
+    reference = AddressSpace()
+    typed = TypedAddressSpace()
+    bases = []
+    for step in range(400):
+        op = rng.random()
+        sp = reference._stack_pointer
+        if op < 0.30 or sp == 0:
+            size = rng.randint(1, 16)
+            zero = rng.choice([0, 0.0])
+            a = reference.allocate(size, zero, None)
+            b = typed.allocate(size, zero, None)
+            assert a == b
+            bases.append(a)
+        elif op < 0.60:
+            address = rng.randrange(sp)
+            value = rng.choice(
+                INTERESTING_INTS if rng.random() < 0.5
+                else INTERESTING_FLOATS)
+            reference.store(address, value)
+            typed.store(address, value)
+        elif op < 0.90:
+            address = rng.randrange(sp)
+            assert _equal_values(reference.load(address),
+                                 typed.load(address)), (
+                f"seed {seed} step {step} addr {address}")
+        elif bases:
+            index = rng.randrange(len(bases))
+            base = bases[index]
+            reference.release_to(base)
+            typed.release_to(base)
+            del bases[index:]
+    # Full final sweep of the live stack.
+    for address in range(reference._stack_pointer):
+        assert _equal_values(reference.load(address), typed.load(address))
+
+
+def test_typed_rejects_out_of_range_ints():
+    space = TypedAddressSpace()
+    space.allocate(1, 0, None)
+    with pytest.raises(TrapError):
+        space.store(0, 1 << 63)
+    with pytest.raises(TrapError):
+        space.store(0, -(1 << 63) - 1)
+
+
+def test_nan_and_signed_zero_round_trip():
+    space = TypedAddressSpace()
+    space.allocate(2, 0.0, None)
+    space.store(0, float("nan"))
+    space.store(1, -0.0)
+    assert math.isnan(space.load(0))
+    value = space.load(1)
+    assert value == 0.0 and math.copysign(1.0, value) == -1.0
+
+
+# -- shared-memory lifecycle ---------------------------------------------------
+
+
+def test_shared_segment_attach_reads_parent_values():
+    parent = TypedAddressSpace(shared=True)
+    parent.allocate(8, 0, None)
+    for offset in range(8):
+        parent.store(offset, offset * 11 if offset % 2 else float(offset))
+    name, capacity, generation = parent.export_handle()
+    # untrack=False: this "worker" shares the parent's resource tracker
+    # (same process), where unregistering would erase the parent's own
+    # registration — exactly the fork-context worker contract.
+    view = TypedAddressSpace.attach(name, capacity,
+                                    parent._stack_pointer,
+                                    parent.global_limit, untrack=False)
+    try:
+        for offset in range(8):
+            assert _equal_values(view.load(offset), parent.load(offset))
+    finally:
+        view.detach()
+    parent.close()
+
+
+def test_shared_growth_bumps_generation():
+    parent = TypedAddressSpace(shared=True, capacity=64)
+    assert parent.generation == 0
+    parent.allocate(200, 0, None)  # forces a segment reallocation
+    assert parent.generation == 1
+    parent.store(150, 42)
+    assert parent.load(150) == 42
+    parent.close()

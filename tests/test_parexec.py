@@ -1,0 +1,240 @@
+"""Parallel execution tier: chunking, dispatch, determinism, TLS
+speculation, and fault recovery.
+
+Everything here runs on the real machinery — fork-context worker pools
+over shared-memory slot lanes — forced through the pool with
+``REPRO_PAR_MIN_TRIP=1`` where dispatch must actually happen. The box
+running CI may have a single core; the pool still works (workers just
+time-share), so these are functional tests, not performance tests.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.frontend.codegen import compile_source
+from repro.interp.interpreter import Interpreter, backend_from_env
+from repro.interp.parexec import (
+    PAR_VERSION,
+    _discard_pool,
+    chunk_bounds,
+    default_workers,
+)
+
+DOALL_SOURCE = """
+int N = 4096;
+int A[4096];
+int main() { int i;
+  for (i = 0; i < N; i = i + 1) { A[i] = (i * 7 + 13) & 1023; }
+  return (A[57] + A[4000]) & 65535; }
+"""
+
+# A[i] depends on A[i-1]: STATIC_LCD, rejected by the vectorizer, but
+# kernel-shaped — the TLS tier speculates on it and every chunk after the
+# first reads its predecessor's frontier write, forcing a rollback+rerun.
+CHAIN_SOURCE = """
+int N = 4096;
+int A[4096];
+int main() { int i;
+  A[0] = 1;
+  for (i = 1; i < N; i = i + 1) { A[i] = (A[i-1] + i) & 262143; }
+  return A[4095] & 65535; }
+"""
+
+
+def _plain(source, backend, workers=None):
+    machine = Interpreter(compile_source(source), backend=backend,
+                          par_workers=workers)
+    result = machine.run("main")
+    return machine, (result, machine.cost, tuple(machine.output))
+
+
+# -- chunking ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("trip,chunks", [
+    (10, 1), (10, 3), (4096, 2), (4096, 3), (7, 7), (3, 8), (1, 2),
+    (4097, 4),
+])
+def test_chunk_bounds_partition(trip, chunks):
+    bounds = chunk_bounds(trip, chunks)
+    # Contiguous ascending cover of [0, trip), no empty chunks.
+    assert bounds[0][0] == 0
+    assert bounds[-1][1] == trip
+    for (lo, hi), (nlo, _) in zip(bounds, bounds[1:]):
+        assert hi == nlo
+    sizes = [hi - lo for lo, hi in bounds]
+    assert all(size > 0 for size in sizes)
+    assert sum(sizes) == trip
+    assert len(bounds) == min(trip, chunks)
+    # Even split: sizes differ by at most one.
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_default_workers_env(monkeypatch):
+    monkeypatch.setenv("REPRO_PAR_WORKERS", "3")
+    assert default_workers() == 3
+
+
+def test_backend_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_PAR", "1")
+    assert backend_from_env() == "par"
+    # Kill switches outrank the parallel tier.
+    monkeypatch.setenv("REPRO_NO_VEC", "1")
+    assert backend_from_env() == "jit"
+    monkeypatch.setenv("REPRO_NO_JIT", "1")
+    assert backend_from_env() == "closure"
+
+
+def test_par_version_tags_cache_key():
+    from repro.interp.codegen import jit_cache_key
+
+    module = compile_source(DOALL_SOURCE)
+    function = module.functions["main"]
+    vec = jit_cache_key(function, "plain", False, vectorize=True)
+    par = jit_cache_key(function, "plain", False, vectorize=True,
+                        parallel=True)
+    # The tier tag (p{PAR_VERSION}v{VEC_VERSION} vs v{VEC_VERSION}) is
+    # hashed into the key, so par and vec variants can never collide.
+    assert vec != par
+    assert PAR_VERSION >= 1
+
+
+# -- determinism ---------------------------------------------------------------
+
+
+def test_par_serial_fallback_matches_other_backends():
+    """workers=1: no pool, no shared memory — the acceptance-relevant
+    path on a 1-core host. Result, cost, and output must match every
+    other backend exactly."""
+    _, reference = _plain(DOALL_SOURCE, "jit")
+    for backend in ("closure", "vec"):
+        assert _plain(DOALL_SOURCE, backend)[1] == reference
+    machine, observed = _plain(DOALL_SOURCE, "par", workers=1)
+    assert observed == reference
+    assert not machine.space.shared
+
+
+def test_par_identical_at_every_worker_count(monkeypatch):
+    monkeypatch.setenv("REPRO_PAR_MIN_TRIP", "1")
+    _, reference = _plain(DOALL_SOURCE, "jit")
+    for workers in (1, 2, 3):
+        _, observed = _plain(DOALL_SOURCE, "par", workers=workers)
+        assert observed == reference, f"diverged at {workers} workers"
+
+
+def test_par_profiles_identically_with_pool(monkeypatch):
+    """Instrumented par execution (pool active) must serialize the same
+    profile as the closure interpreter."""
+    from repro.core.framework import Loopapalooza
+    from repro.runtime.recorder import ProfilingRuntime
+    from repro.runtime.serialize import profile_to_dict
+
+    monkeypatch.setenv("REPRO_PAR_MIN_TRIP", "1")
+    lp = Loopapalooza(DOALL_SOURCE, "parexec_profile", backend="closure")
+    baseline = json.dumps(profile_to_dict(lp.profile()), sort_keys=True)
+    runtime = ProfilingRuntime("parexec_profile")
+    machine = Interpreter(lp.module, runtime, lp.instrumentation,
+                          backend="par", par_workers=2)
+    runtime.attach(machine)
+    result = machine.run("main")
+    profile = json.dumps(
+        profile_to_dict(runtime.finish(machine.cost, result)),
+        sort_keys=True)
+    assert profile == baseline
+    assert sum(machine.par_runs.values()) > 0  # the pool actually ran
+
+
+# -- dispatch stats ------------------------------------------------------------
+
+
+def test_doall_pool_dispatch_stats(monkeypatch):
+    monkeypatch.setenv("REPRO_PAR_MIN_TRIP", "1")
+    machine, _ = _plain(DOALL_SOURCE, "par", workers=2)
+    assert machine.space.shared
+    stats = machine.par.stats
+    assert stats["doall_dispatches"] > 0
+    assert stats["doall_chunks"] >= 2 * stats["doall_dispatches"] \
+        - stats["doall_bails"] - stats["doall_fallbacks"]
+    assert stats["failures"] == 0
+    assert sum(machine.par_runs.values()) > 0
+
+
+def test_tls_pool_commits_and_rollbacks(monkeypatch):
+    monkeypatch.setenv("REPRO_PAR_MIN_TRIP", "1")
+    _, reference = _plain(CHAIN_SOURCE, "jit")
+    machine, observed = _plain(CHAIN_SOURCE, "par", workers=2)
+    assert observed == reference
+    stats = machine.par.stats
+    assert stats["tls_dispatches"] > 0
+    assert stats["tls_commits"] > 0
+    # Every chunk after the first reads the previous chunk's last write.
+    assert stats["tls_rollbacks"] > 0
+    assert sum(machine.par_tls_runs.values()) > 0
+
+
+def test_tls_serial_mode_never_rolls_back(monkeypatch):
+    monkeypatch.setenv("REPRO_PAR_MIN_TRIP", "1")
+    _, reference = _plain(CHAIN_SOURCE, "jit")
+    machine, observed = _plain(CHAIN_SOURCE, "par", workers=1)
+    assert observed == reference
+    assert machine.par.stats["tls_commits"] > 0
+    assert machine.par.stats["tls_rollbacks"] == 0
+
+
+# -- fault injection -----------------------------------------------------------
+
+
+@pytest.fixture
+def fresh_pool():
+    """Fault tests arm a sentinel that workers read from their inherited
+    environment, so the pool must fork after the env is set — and be
+    discarded afterwards so armed workers never leak into later tests."""
+    _discard_pool(2)
+    yield
+    _discard_pool(2)
+
+
+def test_doall_worker_kill_is_retried(monkeypatch, tmp_path, fresh_pool):
+    monkeypatch.setenv("REPRO_PAR_MIN_TRIP", "1")
+    monkeypatch.setenv("REPRO_PAR_FAULT_SENTINEL",
+                       f"kill:{tmp_path / 'kill_doall'}")
+    _, reference = _plain(DOALL_SOURCE, "jit")
+    machine, observed = _plain(DOALL_SOURCE, "par", workers=2)
+    assert observed == reference
+    stats = machine.par.stats
+    assert stats["pool_rebuilds"] >= 1
+    assert stats["retries"] >= 1
+    assert (tmp_path / "kill_doall").exists()  # the fault actually fired
+
+
+def test_doall_worker_hang_is_retried(monkeypatch, tmp_path, fresh_pool):
+    monkeypatch.setenv("REPRO_PAR_MIN_TRIP", "1")
+    monkeypatch.setenv("REPRO_PAR_TASK_TIMEOUT", "1")
+    monkeypatch.setenv("REPRO_PAR_FAULT_SENTINEL",
+                       f"hang:{tmp_path / 'hang_doall'}")
+    _, reference = _plain(DOALL_SOURCE, "jit")
+    machine, observed = _plain(DOALL_SOURCE, "par", workers=2)
+    assert observed == reference
+    stats = machine.par.stats
+    assert stats["pool_rebuilds"] >= 1
+    assert (tmp_path / "hang_doall").exists()
+
+
+def test_tls_worker_kill_rolls_back_clean(monkeypatch, tmp_path,
+                                          fresh_pool):
+    """A killed TLS chunk must never poison memory: with retries
+    disabled the speculation aborts and the scalar loop recomputes the
+    exact same answer."""
+    monkeypatch.setenv("REPRO_PAR_MIN_TRIP", "1")
+    monkeypatch.setenv("REPRO_PAR_RETRIES", "0")
+    monkeypatch.setenv("REPRO_PAR_FAULT_SENTINEL",
+                       f"kill:{tmp_path / 'kill_tls'}")
+    _, reference = _plain(CHAIN_SOURCE, "jit")
+    machine, observed = _plain(CHAIN_SOURCE, "par", workers=2)
+    assert observed == reference
+    stats = machine.par.stats
+    assert stats["tls_aborts"] >= 1
+    assert (tmp_path / "kill_tls").exists()

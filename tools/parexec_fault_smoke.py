@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""End-to-end fault-tolerance smoke for the parallel execution tier.
+
+Three runs of the same two kernels (one STATIC_DOALL, one speculated
+LCD chain), with ``REPRO_PAR_FAULT_SENTINEL`` armed so exactly one
+worker task misbehaves fleet-wide:
+
+1. **baseline** — the scalar JIT; its (result, cost, output) triple is
+   the truth.
+2. **kill-doall** — a pool worker SIGKILLs itself mid-chunk. The
+   executor must rebuild the pool, retry the chunk, and reproduce the
+   baseline triple byte-for-byte, with the retry visible in its stats.
+3. **kill-tls** — a speculative TLS chunk is killed with retries
+   disabled. The speculation must abort *cleanly*: no partial commit
+   poisons memory, and the scalar re-execution reproduces the baseline.
+
+Exit status 0 only if all assertions hold. Run via
+``make parexec-fault-smoke``.
+"""
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.frontend.codegen import compile_source  # noqa: E402
+from repro.interp.interpreter import Interpreter  # noqa: E402
+from repro.interp.parexec import _discard_pool  # noqa: E402
+from repro.runtime.faults import PAR_FAULT_SENTINEL_ENV  # noqa: E402
+
+DOALL_SOURCE = """
+int N = 8192;
+int A[8192];
+int main() { int i;
+  for (i = 0; i < N; i = i + 1) { A[i] = (i * 7 + 13) & 1023; }
+  return (A[57] + A[8000]) & 65535; }
+"""
+
+CHAIN_SOURCE = """
+int N = 8192;
+int A[8192];
+int main() { int i;
+  A[0] = 1;
+  for (i = 1; i < N; i = i + 1) { A[i] = (A[i-1] + i) & 262143; }
+  return A[8191] & 65535; }
+"""
+
+
+def run(source, backend, workers=None):
+    machine = Interpreter(compile_source(source), backend=backend,
+                          par_workers=workers)
+    result = machine.run("main")
+    return machine, (result, machine.cost, tuple(machine.output))
+
+
+def main():
+    failures = []
+    os.environ["REPRO_PAR_MIN_TRIP"] = "1"
+
+    print("== baseline (scalar JIT) ==")
+    _, doall_truth = run(DOALL_SOURCE, "jit")
+    _, chain_truth = run(CHAIN_SOURCE, "jit")
+    print(f"doall truth: {doall_truth[0]}   chain truth: {chain_truth[0]}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-parexec-smoke-") as tmp:
+        print("== kill-doall (worker SIGKILLed mid-chunk, retried) ==")
+        sentinel = os.path.join(tmp, "kill-doall")
+        # Workers read the sentinel from the environment they inherit at
+        # fork, so the pool must be rebuilt after arming — and discarded
+        # afterwards so armed workers never leak into the next scenario.
+        _discard_pool(2)
+        os.environ[PAR_FAULT_SENTINEL_ENV] = f"kill:{sentinel}"
+        try:
+            machine, observed = run(DOALL_SOURCE, "par", workers=2)
+        finally:
+            del os.environ[PAR_FAULT_SENTINEL_ENV]
+            _discard_pool(2)
+        stats = machine.par.stats
+        print(f"stats: retries={stats['retries']} "
+              f"pool_rebuilds={stats['pool_rebuilds']} "
+              f"commits={stats['doall_chunks']}")
+        if not os.path.exists(sentinel):
+            failures.append("doall fault was never injected")
+        if observed != doall_truth:
+            failures.append(f"doall diverged after kill: {observed!r}")
+        if stats["retries"] < 1 or stats["pool_rebuilds"] < 1:
+            failures.append("doall kill left no retry/rebuild trace")
+
+        print("== kill-tls (speculative chunk killed, retries off) ==")
+        sentinel = os.path.join(tmp, "kill-tls")
+        _discard_pool(2)
+        os.environ[PAR_FAULT_SENTINEL_ENV] = f"kill:{sentinel}"
+        os.environ["REPRO_PAR_RETRIES"] = "0"
+        try:
+            machine, observed = run(CHAIN_SOURCE, "par", workers=2)
+        finally:
+            del os.environ[PAR_FAULT_SENTINEL_ENV]
+            del os.environ["REPRO_PAR_RETRIES"]
+            _discard_pool(2)
+        stats = machine.par.stats
+        print(f"stats: tls_aborts={stats['tls_aborts']} "
+              f"tls_commits={stats['tls_commits']} "
+              f"tls_rollbacks={stats['tls_rollbacks']}")
+        if not os.path.exists(sentinel):
+            failures.append("tls fault was never injected")
+        if observed != chain_truth:
+            failures.append(f"tls diverged after kill: {observed!r}")
+        if stats["tls_aborts"] < 1:
+            failures.append("tls kill left no abort trace")
+
+    if failures:
+        print("\nFAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: killed chunks retried/aborted cleanly, outputs "
+          "byte-identical to the scalar baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
