@@ -3,7 +3,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: install test lint-ir crosscheck transform-report fuzz-smoke fuzz-report bench bench-interp sweep-smoke sweep-fault-smoke parexec-smoke parexec-fault-smoke figures examples clean
+.PHONY: install test lint-ir crosscheck advise-report transform-report fuzz-smoke fuzz-report bench bench-interp sweep-smoke sweep-fault-smoke parexec-smoke parexec-fault-smoke figures examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -16,6 +16,11 @@ lint-ir:
 
 crosscheck:
 	python tools/crosscheck_report.py
+
+# Advisor soundness gate: every advised @parallel/@reduce loop across the
+# bench suites must profile conflict-free (exits non-zero otherwise).
+advise-report:
+	python -m repro advise --suite --crosscheck --loops
 
 transform-report:
 	python tools/transform_report.py

@@ -143,6 +143,11 @@ def main(argv):
         print("transform unlock figure...", flush=True)
         sections.insert(2, ("Transform unlock", format_transform_figure(
             transform_suites())))
+        print("parallelizability advisor...", flush=True)
+        from repro.reporting.advisor import advise_suites, format_advice
+
+        sections.insert(3, ("Parallelizability advisor", format_advice(
+            advise_suites(runner, crosscheck=True))))
         if args.parexec:
             from repro.reporting.speedup_report import (
                 format_kernel_report,

@@ -28,6 +28,10 @@ class CallGraph:
     def callees_of(self, function):
         return self.callees.get(function, set())
 
+    def is_self_recursive(self, function):
+        """Does the function call itself directly?"""
+        return function in self.callees.get(function, ())
+
     def callers_of(self, function):
         return self.callers.get(function, set())
 

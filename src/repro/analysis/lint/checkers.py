@@ -51,6 +51,14 @@ LP205 = declare(
     "LP205", INFO, "loop excluded from the static census: multiple latches "
     "prevent unique instrumentation (loop-simplify never merges backedges, "
     "so the shape is terminal)")
+LP206 = declare(
+    "LP206", INFO, "outer loop blocked only by an inner-loop boundary "
+    "(symbolic inner stride or trip count): a sharper nest model would "
+    "resolve it")
+LP207 = declare(
+    "LP207", INFO, "loop blocked only by a summarizable call: every "
+    "blocking reason names a call that has a memory summary, so a sharper "
+    "access-function summary would resolve it")
 
 #: Cap per-checker findings of one kind so a badly broken module still
 #: produces a readable report.
@@ -234,3 +242,33 @@ def check_unresolved_dependence(context, emit):
             reason = verdict.reasons[0] if verdict.reasons else "no reason"
             emit(LP204, function.name, header_index,
                  f"loop {loop.loop_id}: {reason}")
+
+
+@checker("remaining-blockers")
+def check_remaining_blockers(context, emit):
+    """LP206/LP207: the machine-readable remaining-blocker census.
+
+    An UNKNOWN loop lands in exactly one bucket when *every* blocking
+    reason is of a single resolvable kind: inner-loop boundaries (LP206)
+    or calls that do have a memory summary (LP207). Mixed or intrinsic
+    blockers (aliasing, non-affine data-dependent subscripts) stay plain
+    LP204.
+    """
+    dependence = context.dependence()
+    for function in context.module.defined_functions():
+        loop_info = context.static_info.loop_infos.get(function.name)
+        if loop_info is None:
+            continue
+        for loop in loop_info.all_loops():
+            verdict = dependence.get(loop.loop_id)
+            if verdict is None or verdict.verdict != VERDICT_UNKNOWN \
+                    or not verdict.reasons:
+                continue
+            header_index = function.blocks.index(loop.header)
+            if all("inner loop" in r for r in verdict.reasons):
+                emit(LP206, function.name, header_index,
+                     f"loop {loop.loop_id}: {verdict.reasons[0]}")
+            elif all("call @" in r and "no memory summary" not in r
+                     for r in verdict.reasons):
+                emit(LP207, function.name, header_index,
+                     f"loop {loop.loop_id}: {verdict.reasons[0]}")

@@ -77,9 +77,10 @@ def _alloca_escapes(alloca):
 class PurityAnalysis:
     """Computes :class:`FunctionClass` for every function in a module."""
 
-    def __init__(self, module):
+    def __init__(self, module, callgraph=None):
         self.module = module
-        self.callgraph = CallGraph(module)
+        self.callgraph = callgraph if callgraph is not None \
+            else CallGraph(module)
         self.classes = {}
         self._run()
 

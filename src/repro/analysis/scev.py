@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from math import comb
 
-from ..ir.instructions import GEP, BinaryOp, Cast, Phi
+from ..ir.instructions import GEP, BinaryOp, Cast, Load, Phi
 from ..ir.values import Argument, ConstantInt, GlobalVariable
 
 
@@ -362,6 +362,36 @@ def scev_mul(*operands):
     return SCEVMul(terms)
 
 
+# -- module-constant globals ---------------------------------------------------
+
+
+def constant_scalar_globals(module):
+    """``{GlobalVariable: int}`` for every scalar integer global whose value
+    is provably its initializer for the whole execution: every use in the
+    module is the pointer operand of a ``load``. No store names it, and its
+    address never escapes (never passed to a call, GEP'd, or stored as a
+    value), so no aliasing route can write it either. Loads of such globals
+    fold to constants — the fold that turns ``A[i*N + j]`` subscripts affine
+    when ``N`` is a read-only dimension global.
+    """
+    result = {}
+    for variable in module.globals.values():
+        allocated = variable.allocated_type
+        if allocated.is_array or not allocated.is_integer:
+            continue
+        if not variable.uses:
+            continue
+        if not all(isinstance(user, Load) for user, _ in variable.uses):
+            continue
+        initializer = variable.initializer
+        if initializer is None:
+            initializer = 0
+        if not isinstance(initializer, int):
+            continue
+        result[variable] = allocated.wrap(initializer)
+    return result
+
+
 # -- the analysis ---------------------------------------------------------------
 
 
@@ -381,6 +411,9 @@ class ScalarEvolution:
         self.cfg = loop_info.cfg
         self._cache = {}
         self._pending = set()
+        module = getattr(function, "module", None)
+        self._constant_globals = (
+            constant_scalar_globals(module) if module is not None else {})
 
     # -- public API -------------------------------------------------------------
 
@@ -467,6 +500,10 @@ class ScalarEvolution:
             return SCEVUnknown(value)
         if isinstance(value, GEP):
             return self._compute_gep(value)
+        if isinstance(value, Load):
+            folded = self._constant_globals.get(value.pointer)
+            if folded is not None:
+                return SCEVConstant(folded)
         return SCEVUnknown(value)
 
     def _compute_phi(self, phi):

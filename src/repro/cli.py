@@ -636,6 +636,32 @@ def _cmd_crosscheck(args, out):
     return 1 if report.unsound else 0
 
 
+def _cmd_advise(args, out):
+    """Per-loop parallelizability advice with an evidence chain; with
+    ``--crosscheck`` every advised-parallel loop is gated on a
+    conflict-free dynamic profile."""
+    from .reporting.advisor import (
+        AdvisorReport,
+        advise_program,
+        advise_suites,
+        format_advice,
+    )
+
+    if args.file:
+        lp = _load(args.file, args.fuel)
+        report = AdvisorReport(
+            advise_program(lp, crosscheck=args.crosscheck))
+    else:
+        from .bench import SuiteRunner
+
+        runner = SuiteRunner()
+        suites = None if args.suite in (None, "all") else [args.suite]
+        report = advise_suites(runner, suites=suites,
+                               crosscheck=args.crosscheck)
+    print(format_advice(report, verbose=args.loops), file=out)
+    return 1 if report.unsound else 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -666,6 +692,7 @@ def build_parser():
         ("calltls", _cmd_calltls, True),
         ("lint", _cmd_lint, False),
         ("crosscheck", _cmd_crosscheck, False),
+        ("advise", _cmd_advise, False),
         ("fuzz", _cmd_fuzz, False),
         ("transform", _cmd_transform, False),
         ("figures", _cmd_figures, False),
@@ -721,6 +748,27 @@ def build_parser():
             sub.add_argument(
                 "--loops", action="store_true",
                 help="print the per-loop join, not just the tallies",
+            )
+        if name == "advise":
+            sub.add_argument("file", nargs="?", default=None,
+                             help="MiniC source file (default: all bench "
+                                  "suites)")
+            sub.add_argument(
+                "--suite", nargs="?", const="all", default=None,
+                help="advise the shipped benchmarks: a suite name, or no "
+                     "value for all suites (this is also the default when "
+                     "no FILE is given)",
+            )
+            sub.add_argument(
+                "--crosscheck", action="store_true",
+                help="profile each program and require every advised "
+                     "@parallel/@reduce loop to have run conflict-free; "
+                     "exits non-zero on any violation",
+            )
+            sub.add_argument(
+                "--loops", action="store_true",
+                help="also print unadvised loops with their blocking "
+                     "evidence",
             )
         if name == "fuzz":
             sub.add_argument(

@@ -1295,7 +1295,7 @@ def _plan_loop(loop, cfg, scev, dep, plan, instrumented):
             if not isinstance(instruction, (Load, Store)):
                 continue
             fp = dep._footprint(instruction.pointer, loop, block)
-            if fp is None or fp.span_lo or fp.span_hi:
+            if fp is None or not fp.exact:
                 return None, BAIL_ACCESS
             base = _trace_to_base(instruction.pointer)
             if not isinstance(base, (GlobalVariable, Alloca, Argument)):

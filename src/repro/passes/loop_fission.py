@@ -162,8 +162,7 @@ def _load_pullable(dep, loop, statements, group_of, load_index, gi, trip):
         fp_store = dep._footprint(write.pointer, loop, write.block)
         if fp_load is None or fp_store is None:
             return False
-        if not (fp_load.span_lo == fp_load.span_hi == 0
-                and fp_store.span_lo == fp_store.span_hi == 0):
+        if not (fp_load.exact and fp_store.exact):
             return False
         if fp_load.terms != fp_store.terms \
                 or fp_load.stride != fp_store.stride:

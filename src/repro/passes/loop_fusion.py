@@ -168,8 +168,7 @@ def _memory_fusible(dep, loop_a, shape_a, loop_b, shape_b, trip):
             fp_b = dep._footprint(b.pointer, loop_b, b.block)
             if fp_a is None or fp_b is None:
                 return False
-            if not (fp_a.span_lo == fp_a.span_hi == 0
-                    and fp_b.span_lo == fp_b.span_hi == 0):
+            if not (fp_a.exact and fp_b.exact):
                 return False
             if fp_a.terms != fp_b.terms:
                 return False

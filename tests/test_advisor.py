@@ -1,0 +1,153 @@
+"""Parallelizability advisor tests: annotation rules, evidence chains,
+determinism, the soundness gate, and the hypothesis property that static
+nest verdicts never contradict the dynamic crosscheck."""
+
+import io
+
+from hypothesis import given, settings
+
+from helpers import minic_programs
+from repro.analysis.depend import VERDICT_DOALL
+from repro.cli import main
+from repro.core.framework import Loopapalooza
+from repro.reporting.advisor import (
+    AdvisorReport,
+    LoopAdvice,
+    advise_program,
+    format_advice,
+)
+from repro.reporting.crosscheck import crosscheck_program
+
+# One @parallel fill, one @reduce sum, one @lcd recurrence, one UNKNOWN
+# (data-dependent subscript) — every advisor bucket in a single program.
+DEMO = """
+int A[64]; int B[64]; int IDX[64];
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 64; i = i + 1) { A[i] = i * 2; IDX[i] = i; }
+  for (i = 0; i < 64; i = i + 1) { s = s + A[i]; }
+  for (i = 1; i < 64; i = i + 1) { B[i] = B[i-1] + A[i]; }
+  for (i = 0; i < 64; i = i + 1) { A[IDX[i]] = s; }
+  return s;
+}
+"""
+
+
+def demo_advices(crosscheck=False):
+    lp = Loopapalooza(DEMO, name="advisor-demo")
+    return advise_program(lp, crosscheck=crosscheck)
+
+
+class TestAnnotationRules:
+    def test_every_bucket_is_assigned(self):
+        by_kind = {a.kind: a for a in demo_advices()}
+        assert set(by_kind) == {"@parallel", "@reduce", "@lcd", None}
+        assert by_kind["@reduce"].annotation == "@reduce(add)"
+        assert by_kind["@lcd"].annotation == "@lcd(dist=1)"
+
+    def test_evidence_chain_names_the_analyses(self):
+        advices = demo_advices()
+        for advice in advices:
+            assert any(e.startswith("scev:") for e in advice.evidence)
+            assert any(e.startswith("subscripts:") for e in advice.evidence)
+        lcd = next(a for a in advices if a.kind == "@lcd")
+        assert any(e.startswith("vector:") for e in lcd.evidence)
+        assert any(e.startswith("distances:") for e in lcd.evidence)
+        unadvised = next(a for a in advices if a.kind is None)
+        assert any(e.startswith("blocked:") for e in unadvised.evidence)
+
+    def test_crosscheck_join_adds_profile_agreement(self):
+        advices = demo_advices(crosscheck=True)
+        for advice in advices:
+            assert advice.joined
+            assert any(e.startswith("profile:") for e in advice.evidence)
+        parallel = next(a for a in advices if a.kind == "@parallel")
+        assert parallel.conflicts == 0 and parallel.invocations > 0
+        lcd = next(a for a in advices if a.kind == "@lcd")
+        assert lcd.conflicts > 0  # conflicts *confirm* the LCD
+
+    def test_without_crosscheck_no_profile_claims(self):
+        for advice in demo_advices():
+            assert not advice.joined
+            assert not any(e.startswith("profile:")
+                           for e in advice.evidence)
+
+
+class TestSoundnessGate:
+    def test_demo_report_is_sound(self):
+        report = AdvisorReport(demo_advices(crosscheck=True))
+        assert report.unsound == []
+
+    def test_conflicting_parallel_advice_is_flagged(self):
+        bad = LoopAdvice("p", "f.loop", 1, "@parallel", ["scev: trip 4"],
+                         conflicts=3, invocations=1, joined=True)
+        report = AdvisorReport([bad])
+        assert report.unsound == [bad]
+        assert "SOUNDNESS VIOLATIONS" in format_advice(report)
+
+    def test_lcd_conflicts_are_not_violations(self):
+        lcd = LoopAdvice("p", "f.loop", 1, "@lcd(dist=1)", [],
+                         conflicts=9, invocations=1, joined=True)
+        assert AdvisorReport([lcd]).unsound == []
+
+    def test_unjoined_advice_never_claims_soundness(self):
+        stale = LoopAdvice("p", "f.loop", 1, "@parallel", [],
+                           conflicts=0, invocations=0, joined=False)
+        report = AdvisorReport([stale])
+        assert report.unsound == []
+        assert "soundness:" not in format_advice(report)
+
+
+class TestFormattingAndCli:
+    def test_output_is_deterministic(self):
+        first = format_advice(AdvisorReport(demo_advices(crosscheck=True)))
+        second = format_advice(AdvisorReport(demo_advices(crosscheck=True)))
+        assert first == second
+
+    def test_unadvised_loops_only_in_verbose(self):
+        report = AdvisorReport(demo_advices())
+        assert "(no annotation)" not in format_advice(report)
+        assert "(no annotation)" in format_advice(report, verbose=True)
+
+    def test_cli_advise_exits_zero_on_sound_file(self, tmp_path):
+        path = tmp_path / "demo.c"
+        path.write_text(DEMO)
+        out = io.StringIO()
+        assert main(["advise", str(path), "--crosscheck"], out=out) == 0
+        text = out.getvalue()
+        assert "@parallel" in text and "@reduce(add)" in text
+        assert "@lcd(dist=1)" in text
+        assert "every advised-parallel loop ran conflict-free" in text
+
+
+class TestNestSoundnessProperty:
+    @given(minic_programs(profiles=("affine", "mixed"), max_seed=2_000))
+    @settings(max_examples=10, deadline=None)
+    def test_static_verdicts_never_contradict_the_profile(self, program):
+        # The advisor promise, as a property over generated nests: no
+        # STATIC_DOALL loop — at any nest level — may show a dynamic
+        # conflict, and the advisor report must agree (unsound == []).
+        lp = Loopapalooza(program.source, name=program.name,
+                          fuel=20_000_000)
+        rows = crosscheck_program(lp, program.name)
+        unsound = [r for r in rows if r.category == "unsound-static-doall"]
+        assert unsound == []
+        report = AdvisorReport(advise_program(lp, crosscheck=True))
+        assert report.unsound == []
+        # Outer-loop claims specifically (the nest-oracle invariant).
+        conflicts = {}
+        for invocation in lp.profile().all_invocations():
+            conflicts[invocation.loop_id] = \
+                conflicts.get(invocation.loop_id, 0) \
+                + invocation.conflict_count
+        dependence = lp.static_info.dependence()
+        for loop_info in lp.static_info.loop_infos.values():
+            for loop in loop_info.all_loops():
+                if not loop.subloops:
+                    continue
+                verdict = dependence.get(loop.loop_id)
+                if verdict is not None \
+                        and verdict.verdict == VERDICT_DOALL:
+                    assert conflicts.get(loop.loop_id, 0) == 0

@@ -296,13 +296,32 @@ class TestTripCount:
         loop = info.all_loops()[0]
         assert scev.trip_count(loop) == 4
 
-    def test_unknown_bound_gives_none(self):
+    def test_readonly_global_bound_folds_to_constant(self):
+        # N is never stored and never escapes, so its loads fold to the
+        # initializer and the trip count becomes constant.
         module, f, info, scev = scev_for(
             """
             int N = 10;
             int main() {
               int i; int s = 0;
               int n = N;
+              for (i = 0; i < n; i = i + 1) { s = s + 1; }
+              return s;
+            }
+            """
+        )
+        loop = info.all_loops()[0]
+        assert scev.trip_count(loop) == 10
+
+    def test_written_global_bound_gives_none(self):
+        # A store anywhere in the module disqualifies the fold.
+        module, f, info, scev = scev_for(
+            """
+            int N = 10;
+            int main() {
+              int i; int s = 0;
+              int n = N;
+              N = n + 1;
               for (i = 0; i < n; i = i + 1) { s = s + 1; }
               return s;
             }
